@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the ML substrate: classifier training
+//! and prediction, LambdaMART training, and NDCG computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepeye_ml::{
+    ndcg, Dataset, DecisionTree, GaussianNb, LambdaMart, LambdaMartParams, LinearSvm, QueryGroup,
+};
+use std::hint::black_box;
+
+fn synthetic_dataset(n: usize) -> Dataset {
+    let features: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            vec![
+                (i % 41) as f64,
+                ((i * 13) % 97) as f64 - 48.0,
+                (i as f64 * 0.37).sin() * 20.0,
+                ((i * 7) % 29) as f64,
+            ]
+        })
+        .collect();
+    let labels: Vec<bool> = features.iter().map(|f| f[0] > 20.0 && f[1] < 0.0).collect();
+    Dataset::new(features, labels)
+}
+
+fn bench_classifier_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    for n in [500usize, 4_000] {
+        let data = synthetic_dataset(n);
+        group.bench_with_input(BenchmarkId::new("decision_tree", n), &data, |b, d| {
+            b.iter(|| black_box(DecisionTree::fit(d).node_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_bayes", n), &data, |b, d| {
+            b.iter(|| {
+                let m = GaussianNb::fit(d);
+                black_box(m.predict(d.row(0)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear_svm", n), &data, |b, d| {
+            b.iter(|| {
+                let m = LinearSvm::fit(d);
+                black_box(m.predict(d.row(0)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = synthetic_dataset(4_000);
+    let tree = DecisionTree::fit(&data);
+    let nb = GaussianNb::fit(&data);
+    let svm = LinearSvm::fit(&data);
+    let mut group = c.benchmark_group("predict_4k");
+    group.bench_function("decision_tree", |b| {
+        b.iter(|| black_box(tree.predict_batch(data.features()).len()))
+    });
+    group.bench_function("naive_bayes", |b| {
+        b.iter(|| black_box(nb.predict_batch(data.features()).len()))
+    });
+    group.bench_function("linear_svm", |b| {
+        b.iter(|| black_box(svm.predict_batch(data.features()).len()))
+    });
+    group.finish();
+}
+
+fn bench_lambdamart(c: &mut Criterion) {
+    let groups: Vec<QueryGroup> = (0..8)
+        .map(|g| {
+            let features: Vec<Vec<f64>> = (0..80)
+                .map(|d| vec![((d * 7 + g * 3) % 80) as f64, (d as f64 * 0.2).cos()])
+                .collect();
+            let relevance: Vec<f64> = features
+                .iter()
+                .map(|f| (f[0] / 20.0).floor().min(3.0))
+                .collect();
+            QueryGroup::new(features, relevance)
+        })
+        .collect();
+    let mut bench_group = c.benchmark_group("lambdamart");
+    bench_group.sample_size(10);
+    bench_group.bench_function("train_8x80_20trees", |b| {
+        b.iter(|| {
+            let m = LambdaMart::train(
+                &groups,
+                LambdaMartParams {
+                    trees: 20,
+                    ..Default::default()
+                },
+            );
+            black_box(m.tree_count())
+        })
+    });
+    let model = LambdaMart::train(
+        &groups,
+        LambdaMartParams {
+            trees: 20,
+            ..Default::default()
+        },
+    );
+    bench_group.bench_function("rank_80", |b| {
+        b.iter(|| black_box(model.rank(&groups[0].features).len()))
+    });
+    bench_group.finish();
+
+    let rels: Vec<f64> = (0..1_000).map(|i| ((i * 17) % 4) as f64).collect();
+    c.bench_function("ndcg_1000", |b| b.iter(|| black_box(ndcg(&rels))));
+}
+
+criterion_group!(
+    benches,
+    bench_classifier_training,
+    bench_prediction,
+    bench_lambdamart
+);
+criterion_main!(benches);

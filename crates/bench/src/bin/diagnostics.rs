@@ -1,0 +1,68 @@
+//! Diagnostics harness: per-dataset breakdown of the Figure 11 rankers
+//! against the oracle, including the factor-sum ablation and the
+//! oracle-sort upper bound. Not a paper artifact — a debugging aid for the
+//! reproduction itself (which ranking signal explains how much).
+
+use deepeye_bench::scale_from_env;
+use deepeye_core::*;
+use deepeye_datagen::*;
+use deepeye_ml::ndcg;
+
+fn main() {
+    let scale = (scale_from_env() * 0.25).clamp(0.01, 1.0);
+    println!("== ranking diagnostics (effective scale {scale:.3}) ==\n");
+    let oracle = PerceptionOracle::default();
+    let train = training_tables(scale);
+    let recognizer = Recognizer::train(
+        ClassifierKind::DecisionTree,
+        &combo_recognition_examples(&train, &oracle),
+    );
+    let ltr = LtrRanker::fit(&combo_crowd_ranking_examples(&train, &oracle));
+
+    println!("dataset: n | PO | factor-sum | LTR | oracle-sort (upper bound)");
+    for (i, spec) in test_specs().iter().enumerate() {
+        let table = build_table(&spec.scaled(scale));
+        let all = candidate_nodes(&table);
+        let mut combo_feat = vec![Vec::new(); all.len()];
+        for combo in combos_of(&table, &all) {
+            for &j in &combo.node_indices {
+                combo_feat[j] = combo.features.clone();
+            }
+        }
+        let keep: Vec<usize> = (0..all.len())
+            .filter(|&j| recognizer.predict(&combo_feat[j]))
+            .collect();
+        let (nodes, feats): (Vec<_>, Vec<_>) = if keep.len() >= 2 {
+            (
+                keep.iter().map(|&j| all[j].clone()).collect(),
+                keep.iter().map(|&j| combo_feat[j].clone()).collect(),
+            )
+        } else {
+            (all.clone(), combo_feat)
+        };
+        let rel = dense_relevance(&nodes, &oracle);
+        let eval = |order: &[usize]| ndcg(&order.iter().map(|&j| rel[j]).collect::<Vec<_>>());
+
+        let po = rank_by_partial_order(&nodes);
+        let lt = ltr.rank_features(&feats);
+        let factors = compute_factors(&nodes);
+        let mut fs: Vec<usize> = (0..nodes.len()).collect();
+        fs.sort_by(|&a, &b| {
+            let sa = factors[a].m + factors[a].q + factors[a].w;
+            let sb = factors[b].m + factors[b].q + factors[b].w;
+            sb.total_cmp(&sa)
+        });
+        let scores: Vec<f64> = nodes.iter().map(|n| oracle.score(n)).collect();
+        let mut os: Vec<usize> = (0..nodes.len()).collect();
+        os.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        println!(
+            "X{}: n={} PO={:.3} factor-sum={:.3} LTR={:.3} oracle-sort={:.3}",
+            i + 1,
+            nodes.len(),
+            eval(&po),
+            eval(&fs),
+            eval(&lt),
+            eval(&os)
+        );
+    }
+}

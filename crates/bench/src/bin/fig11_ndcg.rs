@@ -1,0 +1,60 @@
+//! Figure 11: visualization-selection quality (NDCG) of partial order vs
+//! learning-to-rank vs HybridRank on X1–X10 — (a) overall, then (b)–(e)
+//! split by bar / line / pie / scatter charts.
+//!
+//! Paper shape: partial order always beats learning-to-rank (max 0.97 /
+//! min 0.81 vs 0.85 / 0.52); HybridRank outperforms both on average.
+
+use deepeye_bench::fmt::{f2, TextTable};
+use deepeye_bench::{ranking, scale_from_env};
+use deepeye_datagen::PerceptionOracle;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Figure 11: visualization selection NDCG (scale {scale}) ==\n");
+    let exp = ranking::run(scale, &PerceptionOracle::default());
+    println!("learned hybrid preference weight α = {:.2}\n", exp.alpha);
+
+    println!("-- Figure 11(a): overall --");
+    let mut t = TextTable::new(["dataset", "partial order", "learning-to-rank", "hybrid"]);
+    for (i, row) in exp.overall.iter().enumerate() {
+        t.row([
+            format!("X{}", i + 1),
+            f2(row.partial_order),
+            f2(row.learning_to_rank),
+            f2(row.hybrid),
+        ]);
+    }
+    t.row([
+        "mean".to_owned(),
+        f2(exp.mean(|r| r.partial_order)),
+        f2(exp.mean(|r| r.learning_to_rank)),
+        f2(exp.mean(|r| r.hybrid)),
+    ]);
+    t.print();
+
+    for (ci, chart) in ["bar", "line", "pie", "scatter"].iter().enumerate() {
+        println!(
+            "\n-- Figure 11({}): {chart} charts --",
+            ["b", "c", "d", "e"][ci]
+        );
+        let mut t = TextTable::new(["dataset", "partial order", "learning-to-rank", "hybrid"]);
+        for (i, by_type) in exp.per_chart.iter().enumerate() {
+            match &by_type[ci] {
+                Some(row) => t.row([
+                    format!("X{}", i + 1),
+                    f2(row.partial_order),
+                    f2(row.learning_to_rank),
+                    f2(row.hybrid),
+                ]),
+                None => t.row([format!("X{}", i + 1), "-".into(), "-".into(), "-".into()]),
+            };
+        }
+        t.print();
+    }
+
+    println!(
+        "\nPaper: PO ∈ [0.81, 0.97] beats LTR ∈ [0.52, 0.85] on every dataset;\n\
+         Hybrid averages 0.94, +32.4% over LTR and +6.8% over PO."
+    );
+}

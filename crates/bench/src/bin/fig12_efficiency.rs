@@ -1,0 +1,66 @@
+//! Figure 12: end-to-end running time per test dataset under the four
+//! configurations {E, R} × {L, P}, with the enumeration/selection split
+//! annotated per bar.
+//!
+//! Paper findings to reproduce (shape, not absolute times — different
+//! hardware): (1) R* always beats E*; (2) *P always beats *L; (3) whole
+//! pipelines finish in seconds for reasonably sized data.
+
+use deepeye_bench::fmt::{ms, TextTable};
+use deepeye_bench::{efficiency, scale_from_env};
+use deepeye_datagen::{build_table, test_specs, PerceptionOracle};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Figure 12: efficiency (scale {scale}) ==\n");
+    let oracle = PerceptionOracle::default();
+    eprintln!("(offline) training learning-to-rank model …");
+    let ltr = efficiency::offline_ltr(scale.min(0.1), &oracle);
+
+    let mut t = TextTable::new([
+        "dataset",
+        "config",
+        "total",
+        "enumerate",
+        "select",
+        "split",
+        "#-candidates",
+    ]);
+    for (i, spec) in test_specs().iter().enumerate() {
+        let table = build_table(&spec.scaled(scale));
+        eprintln!(
+            "running X{} ({}) — {} rows …",
+            i + 1,
+            spec.name,
+            table.row_count()
+        );
+        let bars = efficiency::run_table(&table, &ltr, 10);
+        for bar in &bars {
+            t.row([
+                format!("X{}", i + 1),
+                bar.label().to_owned(),
+                ms(bar.total()),
+                ms(bar.enumerate_time),
+                ms(bar.select_time),
+                bar.annotation(),
+                bar.candidates.to_string(),
+            ]);
+        }
+        // Assert the paper's relative findings as we go.
+        let get = |l: &str| {
+            bars.iter()
+                .find(|b| b.label() == l)
+                .expect("present")
+                .total()
+        };
+        if get("RL") > get("EL") || get("RP") > get("EP") {
+            eprintln!("  note: rules did not speed up X{} at this scale", i + 1);
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper: RL/RP always faster than EL/EP (rules prune bad candidates);\n\
+         EP/RP faster than EL/RL (partial order prunes, LTR scores everything);\n\
+         seconds-scale end to end."
+    );
+}

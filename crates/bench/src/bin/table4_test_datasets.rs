@@ -1,0 +1,37 @@
+//! Table IV: the 10 testing datasets X1–X10 — name, #-tuples, #-columns,
+//! and #-charts: the number of *good* charts at the paper's annotation
+//! granularity (column-pair × chart-type combos), labeled here by the
+//! perception oracle where the paper used its student annotations.
+
+use deepeye_bench::fmt::TextTable;
+use deepeye_bench::scale_from_env;
+use deepeye_datagen::{build_table, combo_evaluation_nodes, test_specs, PerceptionOracle};
+
+/// The paper's #-charts column for X1–X10, for side-by-side comparison.
+const PAPER_CHARTS: [usize; 10] = [48, 10, 275, 123, 36, 209, 42, 17, 103, 44];
+
+fn main() {
+    let scale = scale_from_env();
+    let oracle = PerceptionOracle::default();
+    println!("== Table IV: 10 testing datasets (scale {scale}) ==\n");
+    let mut t = TextTable::new(["No.", "name", "#-tuples", "#-columns", "#-charts", "paper"]);
+    for (i, spec) in test_specs().iter().enumerate() {
+        let scaled = spec.scaled(scale);
+        let table = build_table(&scaled);
+        // #-charts at the paper's annotation granularity: good
+        // (column-pair × chart-type) combos.
+        let good = combo_evaluation_nodes(&table, &oracle)
+            .iter()
+            .filter(|c| c.good)
+            .count();
+        t.row([
+            format!("X{}", i + 1),
+            spec.name.clone(),
+            table.row_count().to_string(),
+            table.column_count().to_string(),
+            good.to_string(),
+            PAPER_CHARTS[i].to_string(),
+        ]);
+    }
+    t.print();
+}

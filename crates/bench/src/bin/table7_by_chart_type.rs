@@ -1,0 +1,44 @@
+//! Table VII: average effectiveness (%) per chart type — B(bar), L(line),
+//! P(pie), S(scatter) — for Bayes / SVM / DT, over the 10 test datasets.
+
+use deepeye_bench::fmt::{pct, TextTable};
+use deepeye_bench::{recognition, scale_from_env};
+use deepeye_core::ClassifierKind;
+use deepeye_datagen::PerceptionOracle;
+use deepeye_query::ChartType;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Table VII: effectiveness per chart type (scale {scale}) ==\n");
+    let exp = recognition::run(scale, &PerceptionOracle::default());
+    let mut t = TextTable::new([
+        "chart", "P Bayes", "P SVM", "P DT", "R Bayes", "R SVM", "R DT", "F Bayes", "F SVM", "F DT",
+    ]);
+    for (ci, chart) in ChartType::ALL.into_iter().enumerate() {
+        let label = ["B", "L", "P", "S"][ci];
+        let get = |k: ClassifierKind| exp.result(k).per_chart[ci].1;
+        assert_eq!(
+            exp.result(ClassifierKind::DecisionTree).per_chart[ci].0,
+            chart
+        );
+        let (b, s, d) = (
+            get(ClassifierKind::NaiveBayes),
+            get(ClassifierKind::Svm),
+            get(ClassifierKind::DecisionTree),
+        );
+        t.row([
+            label.to_owned(),
+            pct(b.precision),
+            pct(s.precision),
+            pct(d.precision),
+            pct(b.recall),
+            pct(s.recall),
+            pct(d.recall),
+            pct(b.f_measure),
+            pct(s.f_measure),
+            pct(d.f_measure),
+        ]);
+    }
+    t.print();
+    println!("\nPaper: the consistent story — DT best, Bayes worst, on every chart type.");
+}

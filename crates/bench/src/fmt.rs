@@ -1,0 +1,133 @@
+//! Plain-text table formatting for the experiment harnesses: every binary
+//! prints rows in the shape of the corresponding paper table/figure.
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        if cols == 0 {
+            return String::new();
+        }
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.chars().count();
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = cell
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || ".%-+ms".contains(c));
+                if numeric && !cell.is_empty() {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                } else {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Fixed two-decimal number.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Milliseconds with no decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{}ms", d.as_millis())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1.0"]);
+        t.row(["b", "22.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Numeric cells right-aligned to the same column end.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn empty_header_renders_empty() {
+        let t = TextTable::new(Vec::<String>::new());
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pct(0.934), "93.4");
+        assert_eq!(f2(1.0 / 3.0), "0.33");
+        assert_eq!(ms(std::time::Duration::from_millis(1500)), "1500ms");
+    }
+}

@@ -1,0 +1,36 @@
+//! # deepeye-bench
+//!
+//! Experiment harnesses reproducing every table and figure in the paper's
+//! evaluation (§VI). Each binary prints rows in the shape of the paper's
+//! artifact; `EXPERIMENTS.md` at the repository root records paper-vs-
+//! measured for all of them.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table3_corpus_stats` | Table III — dataset statistics |
+//! | `table4_test_datasets` | Table IV — 10 testing datasets |
+//! | `table6_coverage` | Table VI — coverage of real use cases |
+//! | `fig10_recognition` | Figure 10 — avg precision/recall/F-measure |
+//! | `table7_by_chart_type` | Table VII — effectiveness per chart type |
+//! | `table8_per_dataset` | Table VIII — F-measure per dataset |
+//! | `fig11_ndcg` | Figure 11(a–e) — selection NDCG |
+//! | `fig12_efficiency` | Figure 12 — end-to-end runtime |
+//! | `ablations` | beyond-paper design-choice ablations |
+//!
+//! Every binary accepts a `DEEPEYE_SCALE` environment variable scaling
+//! dataset row counts (default 1.0 = paper scale; e.g. `DEEPEYE_SCALE=0.1`
+//! for a quick pass).
+
+pub mod efficiency;
+pub mod fmt;
+pub mod ranking;
+pub mod recognition;
+
+/// Read the dataset scale from `DEEPEYE_SCALE` (default 1.0).
+pub fn scale_from_env() -> f64 {
+    std::env::var("DEEPEYE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| *s > 0.0 && *s <= 1.0)
+        .unwrap_or(1.0)
+}

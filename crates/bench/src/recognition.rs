@@ -1,0 +1,172 @@
+//! The recognition experiment behind Figure 10, Table VII, and Table VIII:
+//! train Bayes / SVM / decision-tree recognizers on the 32 training
+//! datasets' oracle labels, evaluate precision / recall / F-measure on the
+//! 10 held-out test datasets, overall and per chart type.
+
+use deepeye_core::{ClassifierKind, Recognizer};
+use deepeye_datagen::{
+    combo_evaluation_nodes, combo_recognition_examples, test_specs, test_tables, training_tables,
+    EvalNode, PerceptionOracle,
+};
+use deepeye_ml::Confusion;
+use deepeye_query::ChartType;
+
+/// Precision / recall / F-measure triple.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f_measure: f64,
+}
+
+impl From<Confusion> for Prf {
+    fn from(c: Confusion) -> Self {
+        Prf {
+            precision: c.precision(),
+            recall: c.recall(),
+            f_measure: c.f_measure(),
+        }
+    }
+}
+
+/// Results of one classifier over the test corpus.
+#[derive(Debug, Clone)]
+pub struct ClassifierResult {
+    pub kind: ClassifierKind,
+    /// Micro-averaged P/R/F over all test candidates (Figure 10).
+    pub overall: Prf,
+    /// P/R/F per chart type over all test candidates (Table VII).
+    pub per_chart: Vec<(ChartType, Prf)>,
+    /// F-measure per (dataset, chart type) (Table VIII).
+    pub per_dataset_chart: Vec<(String, Vec<(ChartType, f64)>)>,
+}
+
+/// The full experiment output.
+#[derive(Debug, Clone)]
+pub struct RecognitionExperiment {
+    pub results: Vec<ClassifierResult>,
+    pub dataset_names: Vec<String>,
+    pub train_examples: usize,
+    pub test_candidates: usize,
+}
+
+fn confusion_of(recognizer: &Recognizer, nodes: &[&EvalNode]) -> Confusion {
+    let preds: Vec<bool> = nodes
+        .iter()
+        .map(|n| recognizer.predict(&n.features))
+        .collect();
+    let gold: Vec<bool> = nodes.iter().map(|n| n.good).collect();
+    Confusion::from_predictions(&preds, &gold)
+}
+
+/// Run the experiment at the given dataset scale (1.0 = paper scale).
+pub fn run(scale: f64, oracle: &PerceptionOracle) -> RecognitionExperiment {
+    // Combo granularity (column pair × chart type), like the paper's
+    // ~800 annotated charts per dataset.
+    let train = training_tables(scale);
+    let examples = combo_recognition_examples(&train, oracle);
+
+    let test = test_tables(scale);
+    let dataset_names: Vec<String> = test_specs().into_iter().map(|s| s.name).collect();
+    let eval: Vec<Vec<EvalNode>> = test
+        .iter()
+        .map(|t| combo_evaluation_nodes(t, oracle))
+        .collect();
+    let test_candidates = eval.iter().map(Vec::len).sum();
+
+    let results = ClassifierKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let recognizer = Recognizer::train(kind, &examples);
+            let all: Vec<&EvalNode> = eval.iter().flatten().collect();
+            let overall = Prf::from(confusion_of(&recognizer, &all));
+
+            let per_chart = ChartType::ALL
+                .into_iter()
+                .map(|chart| {
+                    let subset: Vec<&EvalNode> =
+                        all.iter().copied().filter(|n| n.chart == chart).collect();
+                    (chart, Prf::from(confusion_of(&recognizer, &subset)))
+                })
+                .collect();
+
+            let per_dataset_chart = dataset_names
+                .iter()
+                .zip(&eval)
+                .map(|(name, nodes)| {
+                    let per = ChartType::ALL
+                        .into_iter()
+                        .map(|chart| {
+                            let subset: Vec<&EvalNode> =
+                                nodes.iter().filter(|n| n.chart == chart).collect();
+                            (
+                                chart,
+                                Prf::from(confusion_of(&recognizer, &subset)).f_measure,
+                            )
+                        })
+                        .collect();
+                    (name.clone(), per)
+                })
+                .collect();
+
+            ClassifierResult {
+                kind,
+                overall,
+                per_chart,
+                per_dataset_chart,
+            }
+        })
+        .collect();
+
+    RecognitionExperiment {
+        results,
+        dataset_names,
+        train_examples: examples.len(),
+        test_candidates,
+    }
+}
+
+impl RecognitionExperiment {
+    pub fn result(&self, kind: ClassifierKind) -> &ClassifierResult {
+        self.results
+            .iter()
+            .find(|r| r.kind == kind)
+            .expect("all kinds evaluated")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_reproduces_dt_beats_svm_beats_bayes() {
+        // Small scale keeps the test fast; the ordering (the paper's
+        // Figure 10 shape) must already hold.
+        let exp = run(0.08, &PerceptionOracle::default());
+        let dt = exp.result(ClassifierKind::DecisionTree).overall.f_measure;
+        let svm = exp.result(ClassifierKind::Svm).overall.f_measure;
+        let bayes = exp.result(ClassifierKind::NaiveBayes).overall.f_measure;
+        assert!(dt > svm, "DT {dt:.3} should beat SVM {svm:.3}");
+        assert!(dt > bayes, "DT {dt:.3} should beat Bayes {bayes:.3}");
+        assert!(dt > 0.8, "DT F-measure should be high, got {dt:.3}");
+        assert_eq!(exp.dataset_names.len(), 10);
+        assert!(exp.train_examples > 500);
+        assert!(exp.test_candidates > 200);
+    }
+
+    #[test]
+    fn per_chart_and_per_dataset_breakdowns_complete() {
+        let exp = run(0.05, &PerceptionOracle::default());
+        for r in &exp.results {
+            assert_eq!(r.per_chart.len(), 4);
+            assert_eq!(r.per_dataset_chart.len(), 10);
+            for (_, per) in &r.per_dataset_chart {
+                assert_eq!(per.len(), 4);
+                for (_, f) in per {
+                    assert!((0.0..=1.0).contains(f));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The top-level DeepEye API: configure an enumeration mode, an optional
+//! recognizer, and a ranking method; get back the top-k visualizations of a
+//! table (the full online pipeline of Figure 4).
+
+use crate::node::VisNode;
+use crate::partial_order::compute_factors;
+use crate::progressive::ProgressiveSelector;
+use crate::ranking::{rank_by_partial_order, HybridRanker, LtrRanker};
+use crate::recognition::Recognizer;
+use crate::rules;
+use deepeye_data::Table;
+use deepeye_query::{all_queries, UdfRegistry, VisQuery};
+
+/// How candidate visualizations are enumerated (the `E`/`R` split of the
+/// efficiency experiment, Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnumerationMode {
+    /// The raw §II-B search space (`528·m(m−1) + 264·m` queries), keeping
+    /// whichever execute successfully.
+    Exhaustive,
+    /// Only candidates admitted by the §V-A rules.
+    #[default]
+    RuleBased,
+}
+
+/// Which ranking method orders the valid nodes (the `L`/`P` split of
+/// Figure 12, plus the hybrid of §IV-D).
+#[derive(Debug, Clone, Default)]
+pub enum RankingMethod {
+    /// Partial-order graph, Algorithm 1.
+    #[default]
+    PartialOrder,
+    /// Trained LambdaMART over the 14-feature vectors.
+    LearningToRank(LtrRanker),
+    /// `l_v + α·p_v` position blend of both.
+    Hybrid(LtrRanker, HybridRanker),
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct DeepEyeConfig {
+    pub enumeration: EnumerationMode,
+    /// Recognition classifier filtering bad candidates; `None` keeps all
+    /// executable candidates (useful before a model is trained).
+    pub recognizer: Option<Recognizer>,
+    pub ranking: RankingMethod,
+    /// Execute candidate queries across threads (§VI-D: the task is
+    /// "trivially parallelizable"). Output is identical either way.
+    pub parallel: bool,
+}
+
+impl Default for DeepEyeConfig {
+    fn default() -> Self {
+        DeepEyeConfig {
+            enumeration: EnumerationMode::default(),
+            recognizer: None,
+            ranking: RankingMethod::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// A ranked recommendation.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// 1-based rank.
+    pub rank: usize,
+    pub node: VisNode,
+    /// Factor triple (M, Q, W) under the partial order, for explanation.
+    /// [`DeepEye::recommend_progressive`] fills all three slots with its
+    /// composite score instead (its scoring is leaf-local, not the
+    /// set-normalized triple).
+    pub factors: crate::partial_order::Factors,
+}
+
+impl Recommendation {
+    /// Vega-Lite-style JSON spec of this chart.
+    pub fn spec(&self) -> String {
+        crate::render::vega_lite_spec(&self.node)
+    }
+
+    /// The query in the paper's visualization language.
+    pub fn query_text(&self, table_name: &str) -> String {
+        self.node.query.to_language(table_name)
+    }
+
+    /// A one-paragraph human-readable explanation of why this chart
+    /// ranked where it did, grounded in the partial-order factors.
+    pub fn explain(&self) -> String {
+        let node = &self.node;
+        let f = &self.factors;
+        let mut parts: Vec<String> = Vec::new();
+        match node.chart_type() {
+            deepeye_query::ChartType::Scatter => {
+                parts.push(format!(
+                    "the plotted series are {}correlated (|c| = {:.2})",
+                    if node.features.correlation.abs() >= 0.5 {
+                        "strongly "
+                    } else {
+                        "weakly "
+                    },
+                    node.features.correlation.abs()
+                ));
+            }
+            deepeye_query::ChartType::Line => {
+                parts.push(if node.features.trend {
+                    format!(
+                        "the series follows a clear trend (fit {:.2})",
+                        node.features.trend_fit
+                    )
+                } else {
+                    "the series shows no clear trend".to_owned()
+                });
+            }
+            deepeye_query::ChartType::Bar => {
+                parts.push(format!(
+                    "{} bars is a legible comparison",
+                    node.transformed_rows()
+                ));
+            }
+            deepeye_query::ChartType::Pie => {
+                parts.push(format!(
+                    "{} slices with {} size diversity",
+                    node.transformed_rows(),
+                    if node.features.y_entropy > 0.8 {
+                        "even"
+                    } else if node.features.y_entropy > 0.4 {
+                        "varied"
+                    } else {
+                        "one dominant"
+                    }
+                ));
+            }
+        }
+        if node.query.transform != deepeye_query::Transform::None {
+            parts.push(format!(
+                "the transform condenses {} rows into {} marks (Q = {:.2})",
+                node.source_rows(),
+                node.transformed_rows(),
+                f.q
+            ));
+        }
+        parts.push(format!(
+            "its columns ({}) appear in {} of the valid charts (W = {:.2})",
+            node.columns().join(", "),
+            if f.w > 0.8 {
+                "most"
+            } else if f.w > 0.4 {
+                "many"
+            } else {
+                "few"
+            },
+            f.w
+        ));
+        format!(
+            "Ranked #{} as a {} chart: {}.",
+            self.rank,
+            node.chart_type(),
+            parts.join("; ")
+        )
+    }
+}
+
+/// The DeepEye system.
+#[derive(Debug, Clone, Default)]
+pub struct DeepEye {
+    config: DeepEyeConfig,
+    udfs: UdfRegistry,
+}
+
+impl DeepEye {
+    pub fn new(config: DeepEyeConfig) -> Self {
+        DeepEye {
+            config,
+            udfs: UdfRegistry::default(),
+        }
+    }
+
+    /// Default pipeline: rule-based enumeration, no classifier, partial
+    /// order ranking — works out of the box with no training data.
+    pub fn with_defaults() -> Self {
+        Self::new(DeepEyeConfig::default())
+    }
+
+    pub fn config(&self) -> &DeepEyeConfig {
+        &self.config
+    }
+
+    pub fn udfs_mut(&mut self) -> &mut UdfRegistry {
+        &mut self.udfs
+    }
+
+    /// Enumerate, execute, and (optionally) classifier-filter the candidate
+    /// nodes of a table.
+    pub fn candidates(&self, table: &Table) -> Vec<VisNode> {
+        let queries: Vec<VisQuery> = match self.config.enumeration {
+            EnumerationMode::Exhaustive => all_queries(table).collect(),
+            EnumerationMode::RuleBased => rules::rule_based_queries(table),
+        };
+        let nodes = if self.config.parallel {
+            crate::parallel::build_nodes_parallel(table, queries, &self.udfs, false)
+        } else {
+            let mut nodes: Vec<VisNode> = Vec::new();
+            let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+            for query in queries {
+                if let Ok(node) = VisNode::build(table, query, &self.udfs) {
+                    if seen.insert(node.id()) {
+                        nodes.push(node);
+                    }
+                }
+            }
+            nodes
+        };
+        match &self.config.recognizer {
+            Some(r) => r.filter_good(nodes),
+            None => nodes,
+        }
+    }
+
+    /// The full pipeline: candidates → recognition filter → ranking →
+    /// top-k recommendations.
+    ///
+    /// Single-mark charts are dropped before ranking: the paper zeroes the
+    /// significance of `d(X) = 1` charts (Eqs. 1–2), and without this a
+    /// huge-compression transform (e.g. binning monthly data by
+    /// minute-of-hour into one bucket) rides its perfect Q score into the
+    /// top-k. [`DeepEye::candidates`] stays unfiltered — the experiment
+    /// ground truth labels every executable candidate, like the paper's
+    /// annotators did.
+    pub fn recommend(&self, table: &Table, k: usize) -> Vec<Recommendation> {
+        let nodes: Vec<VisNode> = self
+            .candidates(table)
+            .into_iter()
+            .filter(|n| n.data.series.len() >= 2)
+            .collect();
+        self.rank_nodes(nodes, k)
+    }
+
+    /// Rank an existing node set and return the top-k.
+    ///
+    /// ORDER BY variants of one chart have identical factors and would
+    /// occupy adjacent ranks; the returned list keeps only the best-ranked
+    /// variant per (chart, columns, transform, aggregate) — the
+    /// deduplicated pages DeepEye's UI shows (Figure 9).
+    pub fn rank_nodes(&self, nodes: Vec<VisNode>, k: usize) -> Vec<Recommendation> {
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+        let factors = compute_factors(&nodes);
+        let order: Vec<usize> = match &self.config.ranking {
+            RankingMethod::PartialOrder => rank_by_partial_order(&nodes),
+            RankingMethod::LearningToRank(ltr) => ltr.rank(&nodes),
+            RankingMethod::Hybrid(ltr, hybrid) => hybrid.rank(ltr, &nodes),
+        };
+        let variant_key = |n: &VisNode| {
+            format!(
+                "{}|{}|{}|{:?}|{:?}",
+                n.query.chart,
+                n.query.x,
+                n.query.y.as_deref().unwrap_or(""),
+                n.query.transform,
+                n.query.aggregate
+            )
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut nodes: Vec<Option<VisNode>> = nodes.into_iter().map(Some).collect();
+        let mut out = Vec::with_capacity(k.min(nodes.len()));
+        for idx in order {
+            let key = nodes[idx]
+                .as_ref()
+                .map(&variant_key)
+                .expect("index visited once");
+            if !seen.insert(key) {
+                continue;
+            }
+            out.push(Recommendation {
+                rank: out.len() + 1,
+                node: nodes[idx].take().expect("ranking emits each index once"),
+                factors: factors[idx],
+            });
+            if out.len() >= k {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Fast top-k via the progressive tournament of §V-B (rule-based
+    /// enumeration and composite scoring; skips the classifier and the
+    /// global graph). Best when only a handful of charts is needed from a
+    /// wide table.
+    pub fn recommend_progressive(&self, table: &Table, k: usize) -> Vec<Recommendation> {
+        let selector = ProgressiveSelector::new(table, &self.udfs);
+        let (scored, _) = selector.top_k(k);
+        scored
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Recommendation {
+                rank: i + 1,
+                factors: crate::partial_order::Factors {
+                    m: s.score,
+                    q: s.score,
+                    w: s.score,
+                },
+                node: s.node,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognition::{ClassifierKind, LabeledExample};
+    use deepeye_data::TableBuilder;
+    use deepeye_query::ChartType;
+
+    fn table() -> Table {
+        TableBuilder::new("sales")
+            .text("region", ["N", "S", "E", "W", "N", "S", "E", "W", "N", "S"])
+            .numeric(
+                "revenue",
+                [10.0, 20.0, 15.0, 30.0, 12.0, 22.0, 18.0, 28.0, 11.0, 21.0],
+            )
+            .numeric("units", [1.0, 2.0, 1.5, 3.0, 1.2, 2.2, 1.8, 2.8, 1.1, 2.1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn default_pipeline_recommends() {
+        let eye = DeepEye::with_defaults();
+        let recs = eye.recommend(&table(), 5);
+        assert!(!recs.is_empty());
+        assert!(recs.len() <= 5);
+        assert_eq!(recs[0].rank, 1);
+        // Every recommendation has a renderable spec and query text.
+        for r in &recs {
+            assert!(r.spec().starts_with('{'));
+            assert!(r.query_text("sales").contains("VISUALIZE"));
+        }
+    }
+
+    #[test]
+    fn exhaustive_mode_finds_more_candidates() {
+        let rule = DeepEye::with_defaults();
+        let exhaustive = DeepEye::new(DeepEyeConfig {
+            enumeration: EnumerationMode::Exhaustive,
+            ..Default::default()
+        });
+        let t = table();
+        let rule_n = rule.candidates(&t).len();
+        let ex_n = exhaustive.candidates(&t).len();
+        assert!(ex_n > rule_n, "exhaustive {ex_n} vs rules {rule_n}");
+    }
+
+    #[test]
+    fn recognizer_filters_candidates() {
+        // A recognizer trained to reject everything.
+        let t = table();
+        let eye = DeepEye::with_defaults();
+        let nodes = eye.candidates(&t);
+        let examples: Vec<LabeledExample> = nodes
+            .iter()
+            .map(|n| LabeledExample::from_node(n, false))
+            .collect();
+        let reject_all = Recognizer::train(ClassifierKind::DecisionTree, &examples);
+        let eye = DeepEye::new(DeepEyeConfig {
+            recognizer: Some(reject_all),
+            ..Default::default()
+        });
+        assert!(eye.candidates(&t).is_empty());
+        assert!(eye.recommend(&t, 3).is_empty());
+    }
+
+    #[test]
+    fn progressive_recommendations_ordered() {
+        let eye = DeepEye::with_defaults();
+        let recs = eye.recommend_progressive(&table(), 4);
+        assert!(!recs.is_empty());
+        for w in recs.windows(2) {
+            assert!(w[0].factors.m >= w[1].factors.m);
+        }
+    }
+
+    #[test]
+    fn unbounded_k_returns_everything_once() {
+        // Regression: k = usize::MAX must not overflow the output
+        // capacity, and returns every deduplicated chart.
+        let eye = DeepEye::with_defaults();
+        let recs = eye.recommend(&table(), usize::MAX);
+        assert!(!recs.is_empty());
+        let mut keys: Vec<String> = recs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}|{}|{:?}|{:?}|{:?}",
+                    r.node.query.chart,
+                    r.node.query.x,
+                    r.node.query.y,
+                    r.node.query.transform,
+                    r.node.query.aggregate
+                )
+            })
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "order variants deduplicated");
+    }
+
+    #[test]
+    fn recommendations_are_deduplicated() {
+        let eye = DeepEye::with_defaults();
+        let recs = eye.recommend(&table(), 50);
+        let mut ids: Vec<String> = recs.iter().map(|r| r.node.id()).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+    }
+
+    #[test]
+    fn correlated_columns_yield_scatter() {
+        // revenue and units are strongly correlated → a scatter should rank
+        // among the candidates.
+        let eye = DeepEye::with_defaults();
+        let nodes = eye.candidates(&table());
+        assert!(nodes.iter().any(|n| n.chart_type() == ChartType::Scatter));
+    }
+}

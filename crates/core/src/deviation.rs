@@ -1,0 +1,210 @@
+//! Deviation-based interestingness — the SeeDB-style baseline the paper
+//! contrasts itself with (§I: "a chart that is dramatically different from
+//! the other charts"; §VII).
+//!
+//! SeeDB scores a grouped view by how far its distribution deviates from a
+//! reference — usually the same view computed over the whole table vs a
+//! subset, or against a uniform reference. Here a chart's keyed series is
+//! normalized to a probability vector and compared against either the
+//! uniform distribution or a caller-supplied reference chart, with the
+//! standard distance choices (EMD over sorted keys, KL divergence, L1).
+
+use crate::node::VisNode;
+use deepeye_query::Series;
+
+/// Distance used to compare two distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviationMetric {
+    /// Earth mover's distance over the (ordered) key positions.
+    EarthMover,
+    /// KL(view ‖ reference), with additive smoothing.
+    KullbackLeibler,
+    /// Total variation (half L1).
+    TotalVariation,
+}
+
+/// Normalize a keyed series into a probability vector over its y-mass
+/// (negative values clamped to 0). `None` when the chart has no mass.
+fn distribution(node: &VisNode) -> Option<Vec<f64>> {
+    let ys: Vec<f64> = match &node.data.series {
+        Series::Keyed(pairs) => pairs.iter().map(|(_, y)| y.max(0.0)).collect(),
+        Series::Points(_) => return None, // raw scatters have no grouped mass
+    };
+    let total: f64 = ys.iter().sum();
+    if total <= 0.0 || ys.is_empty() {
+        return None;
+    }
+    Some(ys.iter().map(|y| y / total).collect())
+}
+
+/// Distance between two probability vectors (padded to equal length with
+/// zero mass).
+pub fn distance(p: &[f64], q: &[f64], metric: DeviationMetric) -> f64 {
+    let n = p.len().max(q.len());
+    let get = |v: &[f64], i: usize| v.get(i).copied().unwrap_or(0.0);
+    match metric {
+        DeviationMetric::TotalVariation => {
+            0.5 * (0..n).map(|i| (get(p, i) - get(q, i)).abs()).sum::<f64>()
+        }
+        DeviationMetric::KullbackLeibler => {
+            const EPS: f64 = 1e-9;
+            (0..n)
+                .map(|i| {
+                    let a = get(p, i) + EPS;
+                    let b = get(q, i) + EPS;
+                    a * (a / b).ln()
+                })
+                .sum::<f64>()
+                .max(0.0)
+        }
+        DeviationMetric::EarthMover => {
+            // 1D EMD = sum of |CDF differences|, normalized by length so
+            // the score stays comparable across cardinalities.
+            let mut cum = 0.0;
+            let mut total = 0.0;
+            for i in 0..n {
+                cum += get(p, i) - get(q, i);
+                total += cum.abs();
+            }
+            total / n.max(1) as f64
+        }
+    }
+}
+
+/// Deviation of a chart from the uniform distribution over its keys
+/// (SeeDB's "no reference" mode): 0 means perfectly flat (boring under the
+/// deviation lens), larger means more skew.
+pub fn deviation_from_uniform(node: &VisNode, metric: DeviationMetric) -> Option<f64> {
+    let p = distribution(node)?;
+    let q = vec![1.0 / p.len() as f64; p.len()];
+    Some(distance(&p, &q, metric))
+}
+
+/// Deviation between two charts of the same shape (e.g. the same view over
+/// a subset vs the full table — SeeDB's headline query). `None` when either
+/// side lacks grouped mass.
+pub fn deviation_between(
+    view: &VisNode,
+    reference: &VisNode,
+    metric: DeviationMetric,
+) -> Option<f64> {
+    Some(distance(
+        &distribution(view)?,
+        &distribution(reference)?,
+        metric,
+    ))
+}
+
+/// Rank nodes by uniform-deviation, best (most deviating) first — the
+/// SeeDB-style ranker used as a comparison point in the ablation harness.
+/// Charts with no grouped mass sink to the end.
+pub fn rank_by_deviation(nodes: &[VisNode], metric: DeviationMetric) -> Vec<usize> {
+    let scores: Vec<f64> = nodes
+        .iter()
+        .map(|n| deviation_from_uniform(n, metric).unwrap_or(f64::NEG_INFINITY))
+        .collect();
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepeye_data::TableBuilder;
+    use deepeye_query::{Aggregate, ChartType, SortOrder, Transform, UdfRegistry, VisQuery};
+
+    fn node(values: &[f64]) -> VisNode {
+        let n = values.len();
+        let t = TableBuilder::new("t")
+            .text("cat", (0..n).map(|i| format!("c{i}")))
+            .numeric("v", values.iter().copied())
+            .build()
+            .unwrap();
+        VisNode::build(
+            &t,
+            VisQuery {
+                chart: ChartType::Bar,
+                x: "cat".into(),
+                y: Some("v".into()),
+                transform: Transform::Group,
+                aggregate: Aggregate::Sum,
+                order: SortOrder::None,
+            },
+            &UdfRegistry::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_chart_has_zero_deviation() {
+        let flat = node(&[5.0, 5.0, 5.0, 5.0]);
+        for metric in [
+            DeviationMetric::TotalVariation,
+            DeviationMetric::EarthMover,
+            DeviationMetric::KullbackLeibler,
+        ] {
+            let d = deviation_from_uniform(&flat, metric).unwrap();
+            assert!(d.abs() < 1e-6, "{metric:?}: {d}");
+        }
+    }
+
+    #[test]
+    fn skew_increases_deviation() {
+        let mild = node(&[6.0, 5.0, 5.0, 4.0]);
+        let extreme = node(&[17.0, 1.0, 1.0, 1.0]);
+        for metric in [
+            DeviationMetric::TotalVariation,
+            DeviationMetric::EarthMover,
+            DeviationMetric::KullbackLeibler,
+        ] {
+            let dm = deviation_from_uniform(&mild, metric).unwrap();
+            let de = deviation_from_uniform(&extreme, metric).unwrap();
+            assert!(de > dm, "{metric:?}: {de} vs {dm}");
+        }
+    }
+
+    #[test]
+    fn deviation_between_views() {
+        let a = node(&[10.0, 0.0, 0.0]);
+        let b = node(&[0.0, 0.0, 10.0]);
+        let same = deviation_between(&a, &a, DeviationMetric::TotalVariation).unwrap();
+        let diff = deviation_between(&a, &b, DeviationMetric::TotalVariation).unwrap();
+        assert!(same.abs() < 1e-12);
+        assert!(
+            (diff - 1.0).abs() < 1e-9,
+            "disjoint mass: TV = 1, got {diff}"
+        );
+        // EMD sees how *far* mass moved, not just that it moved.
+        let near = node(&[0.0, 10.0, 0.0]);
+        let emd_near = deviation_between(&a, &near, DeviationMetric::EarthMover).unwrap();
+        let emd_far = deviation_between(&a, &b, DeviationMetric::EarthMover).unwrap();
+        assert!(emd_far > emd_near);
+    }
+
+    #[test]
+    fn ranking_puts_skewed_first() {
+        let nodes = vec![
+            node(&[5.0, 5.0, 5.0]),
+            node(&[13.0, 1.0, 1.0]),
+            node(&[7.0, 5.0, 3.0]),
+        ];
+        let order = rank_by_deviation(&nodes, DeviationMetric::TotalVariation);
+        assert_eq!(order[0], 1);
+        assert_eq!(order[2], 0);
+    }
+
+    #[test]
+    fn kl_is_nonnegative_and_finite() {
+        let a = node(&[1.0, 0.0, 0.0]);
+        let b = node(&[0.0, 0.0, 1.0]);
+        let d = deviation_between(&a, &b, DeviationMetric::KullbackLeibler).unwrap();
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn distance_handles_unequal_lengths() {
+        let d = distance(&[0.5, 0.5], &[1.0], DeviationMetric::TotalVariation);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Parallel candidate generation. §VI-D notes that "the task of
+//! visualization selection is trivially parallelizable"; this module
+//! shards query execution and feature extraction across scoped std
+//! threads (no runtime dependency needed — the work units are
+//! independent table scans).
+
+use crate::node::VisNode;
+use deepeye_data::Table;
+use deepeye_query::{UdfRegistry, VisQuery};
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use: the available parallelism, capped by
+/// the work size (no point spawning more threads than queries).
+fn worker_count(work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(work_items).max(1)
+}
+
+/// Build visualization nodes for `queries` in parallel. Invalid queries
+/// are skipped; output order matches input order (deterministic regardless
+/// of thread count); duplicates by node id are removed keeping the first.
+pub fn build_nodes_parallel(
+    table: &Table,
+    queries: Vec<VisQuery>,
+    udfs: &UdfRegistry,
+    slim: bool,
+) -> Vec<VisNode> {
+    let workers = worker_count(queries.len());
+    if workers <= 1 || queries.len() < 32 {
+        return build_serial(table, queries, udfs, slim);
+    }
+    let chunk = queries.len().div_ceil(workers);
+    let chunks: Vec<&[VisQuery]> = queries.chunks(chunk).collect();
+    let mut per_chunk: Vec<Vec<VisNode>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for q in chunk {
+                        if let Ok(mut node) = VisNode::build(table, q.clone(), udfs) {
+                            if slim {
+                                node.slim();
+                            }
+                            out.push(node);
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            per_chunk.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut seen = std::collections::HashSet::new();
+    let mut nodes = Vec::new();
+    for chunk in per_chunk {
+        for node in chunk {
+            if seen.insert(node.id()) {
+                nodes.push(node);
+            }
+        }
+    }
+    nodes
+}
+
+fn build_serial(
+    table: &Table,
+    queries: Vec<VisQuery>,
+    udfs: &UdfRegistry,
+    slim: bool,
+) -> Vec<VisNode> {
+    let mut seen = std::collections::HashSet::new();
+    let mut nodes = Vec::new();
+    for q in queries {
+        if let Ok(mut node) = VisNode::build(table, q, udfs) {
+            if slim {
+                node.slim();
+            }
+            if seen.insert(node.id()) {
+                nodes.push(node);
+            }
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::rule_based_queries;
+    use deepeye_data::TableBuilder;
+
+    fn table() -> Table {
+        let n = 400;
+        TableBuilder::new("t")
+            .text("cat", (0..n).map(|i| format!("c{}", i % 7)))
+            .numeric("a", (0..n).map(|i| (i as f64 * 0.37).sin() * 10.0))
+            .numeric("b", (0..n).map(|i| i as f64))
+            .numeric("c", (0..n).map(|i| i as f64 * 2.0 + 1.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let queries = rule_based_queries(&t);
+        let serial = build_serial(&t, queries.clone(), &udfs, false);
+        let parallel = build_nodes_parallel(&t, queries, &udfs, false);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.data.series, b.data.series);
+        }
+    }
+
+    #[test]
+    fn slim_mode_drops_series() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let queries = rule_based_queries(&t);
+        let nodes = build_nodes_parallel(&t, queries, &udfs, true);
+        assert!(!nodes.is_empty());
+        assert!(nodes.iter().all(|n| n.data.series.is_empty()));
+        // Features survive slimming.
+        assert!(nodes
+            .iter()
+            .all(|n| n.feature_vector().len() == crate::features::FEATURE_DIM));
+    }
+
+    #[test]
+    fn small_workloads_fall_back_to_serial() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let queries: Vec<VisQuery> = rule_based_queries(&t).into_iter().take(5).collect();
+        let nodes = build_nodes_parallel(&t, queries, &udfs, false);
+        assert_eq!(nodes.len(), 5);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        assert!(build_nodes_parallel(&t, Vec::new(), &udfs, false).is_empty());
+    }
+}

@@ -1,0 +1,614 @@
+//! The progressive top-k selector of §V-B.
+//!
+//! Instead of materializing every candidate visualization and ranking the
+//! lot, the selector keeps one lazy *leaf* per (column, type) — the paper's
+//! `L_c^X` / `L_n^X` / `L_t^X` lists — and runs a tournament: a leaf is
+//! only materialized when its optimistic score bound reaches the top of the
+//! heap, and materializing a leaf computes **all** of its charts from one
+//! shared scan per transform (§V-B optimization 1). Columns whose bound
+//! never surfaces are never scanned at all (optimization 2), and ORDER BY
+//! is applied only to the k winners (optimization 3).
+//!
+//! Scores here are the unnormalized composite `(M + Q + W)/3`: unlike
+//! Eq. 5's set-relative normalization this is computable leaf-locally,
+//! which is what makes progressive evaluation possible. The tournament is
+//! exact for this score: it returns the same top-k as scoring every
+//! candidate (see the `matches_exhaustive` tests).
+
+use crate::features::NodeFeatures;
+use crate::node::VisNode;
+use crate::partial_order::{raw_match_quality, transform_quality};
+use crate::rules;
+use deepeye_data::{DataType, Table};
+use deepeye_query::{
+    bin_keys, group_keys, Aggregate, Bucketizer, ChartData, Key, Series, SortOrder, Transform,
+    UdfRegistry, VisQuery,
+};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// A node plus its composite progressive score.
+#[derive(Debug, Clone)]
+pub struct ScoredNode {
+    pub node: VisNode,
+    pub score: f64,
+}
+
+/// Work counters for the efficiency experiments and ablations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Leaves (columns) actually materialized.
+    pub leaves_materialized: usize,
+    /// Total leaves (columns with any candidate).
+    pub leaves_total: usize,
+    /// Candidate nodes generated.
+    pub nodes_generated: usize,
+    /// Table scans performed (one per materialized (column, transform)).
+    pub shared_scans: usize,
+}
+
+/// The canonical ORDER BY for a chart in progressive mode: sortable
+/// x-scales read left-to-right, categorical scales show largest first.
+/// Order does not change the factor scores, so ranking one canonical
+/// variant per chart loses nothing.
+fn canonical_order(x_prime: DataType) -> SortOrder {
+    match x_prime {
+        DataType::Numerical | DataType::Temporal => SortOrder::ByX,
+        DataType::Categorical => SortOrder::ByY,
+    }
+}
+
+/// A candidate chart descriptor, known before any scan.
+#[derive(Debug, Clone)]
+struct Candidate {
+    query: VisQuery,
+    /// W(v): sum of participating columns' importance, unnormalized.
+    w_raw: f64,
+}
+
+/// Heap entry: either an unmaterialized leaf with an optimistic bound or a
+/// concrete scored node.
+enum Entry {
+    Leaf { column: usize, bound: f64 },
+    Node { score: f64, seq: usize },
+}
+
+impl Entry {
+    fn key(&self) -> (f64, u8) {
+        // Nodes win ties against leaf bounds (a realized score equal to a
+        // bound can be emitted without materializing the leaf — the leaf
+        // cannot beat it, only match it; index tie-break keeps determinism).
+        match self {
+            Entry::Leaf { bound, .. } => (*bound, 0),
+            Entry::Node { score, .. } => (*score, 1),
+        }
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (sa, ta) = self.key();
+        let (sb, tb) = other.key();
+        sa.total_cmp(&sb).then(ta.cmp(&tb))
+    }
+}
+
+/// Progressive top-k selection over a table.
+pub struct ProgressiveSelector<'a> {
+    table: &'a Table,
+    udfs: &'a UdfRegistry,
+}
+
+impl<'a> ProgressiveSelector<'a> {
+    pub fn new(table: &'a Table, udfs: &'a UdfRegistry) -> Self {
+        ProgressiveSelector { table, udfs }
+    }
+
+    /// All canonical candidates grouped by x-column, with raw W weights.
+    fn candidates_by_column(&self) -> (Vec<Vec<Candidate>>, f64) {
+        let queries = canonical_candidates(self.table);
+        // Column importance from candidate membership (computable without
+        // executing anything).
+        let total = queries.len().max(1) as f64;
+        let mut col_count: HashMap<&str, usize> = HashMap::new();
+        for q in &queries {
+            *col_count.entry(q.x.as_str()).or_insert(0) += 1;
+            if let Some(y) = &q.y {
+                if *y != q.x {
+                    *col_count.entry(y.as_str()).or_insert(0) += 1;
+                }
+            }
+        }
+        let importance: HashMap<String, f64> = col_count
+            .into_iter()
+            .map(|(c, n)| (c.to_owned(), n as f64 / total))
+            .collect();
+
+        let mut by_column: Vec<Vec<Candidate>> = vec![Vec::new(); self.table.column_count()];
+        let mut max_w: f64 = 0.0;
+        for query in queries {
+            let mut w_raw = importance.get(&query.x).copied().unwrap_or(0.0);
+            if let Some(y) = &query.y {
+                if *y != query.x {
+                    w_raw += importance.get(y).copied().unwrap_or(0.0);
+                }
+            }
+            max_w = max_w.max(w_raw);
+            let col = self
+                .table
+                .column_index(&query.x)
+                .expect("candidate references existing column");
+            by_column[col].push(Candidate { query, w_raw });
+        }
+        (by_column, max_w.max(1e-12))
+    }
+
+    /// Compute the top-k visualizations progressively.
+    pub fn top_k(&self, k: usize) -> (Vec<ScoredNode>, SelectionStats) {
+        let (by_column, max_w) = self.candidates_by_column();
+        let mut stats = SelectionStats::default();
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        for (column, cands) in by_column.iter().enumerate() {
+            if cands.is_empty() {
+                continue;
+            }
+            stats.leaves_total += 1;
+            // Optimistic bound: M ≤ 1, Q ≤ 1, exact W known upfront.
+            let w_best = cands.iter().map(|c| c.w_raw).fold(0.0f64, f64::max) / max_w;
+            heap.push(Entry::Leaf {
+                column,
+                bound: (1.0 + 1.0 + w_best) / 3.0,
+            });
+        }
+
+        let mut materialized: Vec<ScoredNode> = Vec::new();
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match heap.pop() {
+                None => break,
+                Some(Entry::Node { seq, .. }) => {
+                    out.push(materialized[seq].clone());
+                }
+                Some(Entry::Leaf { column, .. }) => {
+                    stats.leaves_materialized += 1;
+                    let nodes = self.materialize_column(&by_column[column], max_w, &mut stats);
+                    for scored in nodes {
+                        let seq = materialized.len();
+                        heap.push(Entry::Node {
+                            score: scored.score,
+                            seq,
+                        });
+                        materialized.push(scored);
+                    }
+                }
+            }
+        }
+
+        // Optimization 3: apply the postponed ORDER BY to the winners only.
+        for scored in &mut out {
+            apply_order(&mut scored.node);
+        }
+        (out, stats)
+    }
+
+    /// Materialize every candidate of one column with shared scans: one
+    /// keys pass per transform, then all (Y, aggregate) accumulations in a
+    /// single row sweep.
+    fn materialize_column(
+        &self,
+        candidates: &[Candidate],
+        max_w: f64,
+        stats: &mut SelectionStats,
+    ) -> Vec<ScoredNode> {
+        // Group candidates by transform so each transform scans once.
+        let mut by_transform: Vec<(&Transform, Vec<&Candidate>)> = Vec::new();
+        for cand in candidates {
+            match by_transform
+                .iter_mut()
+                .find(|(t, _)| **t == cand.query.transform)
+            {
+                Some((_, list)) => list.push(cand),
+                None => by_transform.push((&cand.query.transform, vec![cand])),
+            }
+        }
+
+        let mut out = Vec::new();
+        for (transform, cands) in by_transform {
+            match transform {
+                Transform::None => {
+                    // Raw charts execute directly (no aggregation to share).
+                    for cand in cands {
+                        if let Ok(node) = VisNode::build(self.table, cand.query.clone(), self.udfs)
+                        {
+                            stats.nodes_generated += 1;
+                            out.push(self.score_node(node, cand.w_raw, max_w));
+                        }
+                    }
+                }
+                _ => {
+                    stats.shared_scans += 1;
+                    out.extend(self.shared_scan(transform, &cands, max_w, stats));
+                }
+            }
+        }
+        out
+    }
+
+    /// One scan of the table for a (column, transform): computes CNT plus
+    /// SUM/AVG of every referenced y-column per bucket, then builds every
+    /// candidate chart from the accumulated buckets.
+    fn shared_scan(
+        &self,
+        transform: &Transform,
+        cands: &[&Candidate],
+        max_w: f64,
+        stats: &mut SelectionStats,
+    ) -> Vec<ScoredNode> {
+        let x_name = &cands[0].query.x;
+        let Some(x_col) = self.table.column_by_name(x_name) else {
+            return Vec::new();
+        };
+        let keys = match transform {
+            Transform::Group => group_keys(x_col),
+            Transform::Bin(strategy) => match bin_keys(x_col, strategy, self.udfs) {
+                Ok(k) => k,
+                Err(_) => return Vec::new(),
+            },
+            Transform::None => unreachable!("raw charts handled by caller"),
+        };
+
+        // The y-columns any candidate needs SUM/AVG for.
+        let mut y_names: Vec<&str> = Vec::new();
+        for cand in cands {
+            if let (Some(y), Aggregate::Sum | Aggregate::Avg) =
+                (&cand.query.y, cand.query.aggregate)
+            {
+                if !y_names.contains(&y.as_str()) {
+                    y_names.push(y);
+                }
+            }
+        }
+        let y_values: Vec<Vec<Option<f64>>> = y_names
+            .iter()
+            .map(|name| {
+                self.table
+                    .column_by_name(name)
+                    .map(|c| match c.data() {
+                        deepeye_data::ColumnData::Numeric(v) => v.clone(),
+                        _ => vec![None; self.table.row_count()],
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+
+        let mut buckets = Bucketizer::new();
+        let mut counts: Vec<u64> = Vec::new();
+        let mut sums: Vec<Vec<f64>> = vec![Vec::new(); y_names.len()]; // [y][bucket]
+        let mut y_counts: Vec<Vec<u64>> = vec![Vec::new(); y_names.len()];
+        for (row, key) in keys.into_iter().enumerate() {
+            let Some(key) = key else { continue };
+            let idx = buckets.index_of(key);
+            if idx == counts.len() {
+                counts.push(0);
+                for s in &mut sums {
+                    s.push(0.0);
+                }
+                for c in &mut y_counts {
+                    c.push(0);
+                }
+            }
+            counts[idx] += 1;
+            for (yi, vals) in y_values.iter().enumerate() {
+                if let Some(v) = vals.get(row).copied().flatten() {
+                    sums[yi][idx] += v;
+                    y_counts[yi][idx] += 1;
+                }
+            }
+        }
+        if buckets.is_empty() {
+            return Vec::new();
+        }
+        let keys_dense: Vec<Key> = buckets.into_keys();
+
+        let mut out = Vec::with_capacity(cands.len());
+        for cand in cands {
+            let pairs: Vec<(Key, f64)> = match (&cand.query.y, cand.query.aggregate) {
+                (_, Aggregate::Cnt) => keys_dense
+                    .iter()
+                    .cloned()
+                    .zip(counts.iter().map(|&c| c as f64))
+                    .collect(),
+                (Some(y), Aggregate::Sum) => {
+                    let yi = y_names
+                        .iter()
+                        .position(|n| n == y)
+                        .expect("collected above");
+                    keys_dense
+                        .iter()
+                        .cloned()
+                        .zip(sums[yi].iter().copied())
+                        .collect()
+                }
+                (Some(y), Aggregate::Avg) => {
+                    let yi = y_names
+                        .iter()
+                        .position(|n| n == y)
+                        .expect("collected above");
+                    keys_dense
+                        .iter()
+                        .cloned()
+                        .zip(sums[yi].iter().zip(&y_counts[yi]).map(|(&s, &c)| {
+                            if c == 0 {
+                                0.0
+                            } else {
+                                s / c as f64
+                            }
+                        }))
+                        .collect()
+                }
+                _ => continue,
+            };
+            let y_label = match (&cand.query.y, cand.query.aggregate) {
+                (Some(y), agg) => format!("{}({})", agg.name(), y),
+                (None, _) => format!("CNT({})", cand.query.x),
+            };
+            let data = ChartData {
+                chart: cand.query.chart,
+                x_label: cand.query.x.clone(),
+                y_label,
+                series: Series::Keyed(pairs),
+            };
+            let features =
+                NodeFeatures::from_chart(&data, self.table.row_count(), x_col.data_type());
+            stats.nodes_generated += 1;
+            let node = VisNode {
+                query: cand.query.clone(),
+                data,
+                features,
+            };
+            out.push(self.score_node(node, cand.w_raw, max_w));
+        }
+        out
+    }
+
+    /// Score a materialized node; single-mark charts score the floor (the
+    /// paper zeroes d(X)=1 significance, and a perfect Q must not carry a
+    /// one-point chart into the top-k — mirrors `DeepEye::recommend`).
+    fn score_node(&self, node: VisNode, w_raw: f64, max_w: f64) -> ScoredNode {
+        if node.data.series.len() < 2 {
+            return ScoredNode { score: 0.0, node };
+        }
+        let m = raw_match_quality(&node);
+        let q = transform_quality(&node);
+        let w = w_raw / max_w;
+        ScoredNode {
+            score: (m + q + w) / 3.0,
+            node,
+        }
+    }
+}
+
+/// All canonical candidate queries of a table: the rule-based space with
+/// one canonical ORDER BY per (x, transform, y, aggregate, chart).
+pub fn canonical_candidates(table: &Table) -> Vec<VisQuery> {
+    let mut out = Vec::new();
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for mut q in rules::rule_based_queries(table) {
+        let x_type = table
+            .column_by_name(&q.x)
+            .map(|c| c.data_type())
+            .unwrap_or(DataType::Categorical);
+        q.order = match q.transform {
+            Transform::None => SortOrder::ByX,
+            ref t => canonical_order(rules::transformed_x_type(x_type, t)),
+        };
+        let id = format!(
+            "{}|{}|{}|{:?}|{:?}",
+            q.chart,
+            q.x,
+            q.y.as_deref().unwrap_or(""),
+            q.transform,
+            q.aggregate
+        );
+        if seen.insert(id) {
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Apply the node's postponed ORDER BY to its series in place.
+fn apply_order(node: &mut VisNode) {
+    if let Series::Keyed(pairs) = &mut node.data.series {
+        match node.query.order {
+            SortOrder::None => {}
+            SortOrder::ByX => pairs.sort_by(|a, b| a.0.total_cmp(&b.0)),
+            SortOrder::ByY => pairs.sort_by(|a, b| b.1.total_cmp(&a.1)),
+        }
+    }
+}
+
+/// Exhaustive reference: materialize and score every canonical candidate,
+/// sort best-first. Used by tests and the ablation bench to validate the
+/// tournament.
+pub fn exhaustive_top_k(
+    table: &Table,
+    udfs: &UdfRegistry,
+    k: usize,
+) -> (Vec<ScoredNode>, SelectionStats) {
+    let selector = ProgressiveSelector::new(table, udfs);
+    let (by_column, max_w) = selector.candidates_by_column();
+    let mut stats = SelectionStats::default();
+    let mut all = Vec::new();
+    for cands in &by_column {
+        if cands.is_empty() {
+            continue;
+        }
+        stats.leaves_total += 1;
+        stats.leaves_materialized += 1;
+        all.extend(selector.materialize_column(cands, max_w, &mut stats));
+    }
+    all.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.node.id().cmp(&b.node.id()))
+    });
+    all.truncate(k);
+    for scored in &mut all {
+        apply_order(&mut scored.node);
+    }
+    (all, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepeye_data::{parse_timestamp, Column, TableBuilder};
+
+    fn mixed_table() -> Table {
+        let ts: Vec<_> = (0..12)
+            .map(|i| {
+                parse_timestamp(&format!(
+                    "2015-{:02}-{:02} {:02}:00",
+                    i % 12 + 1,
+                    i % 28 + 1,
+                    (i * 3) % 24
+                ))
+                .unwrap()
+            })
+            .collect();
+        TableBuilder::new("t")
+            .text(
+                "carrier",
+                [
+                    "UA", "AA", "UA", "MQ", "OO", "AA", "UA", "MQ", "OO", "UA", "AA", "MQ",
+                ],
+            )
+            .numeric(
+                "delay",
+                [5.0, 3.0, -1.0, 2.0, 9.0, 4.0, 1.0, 7.0, 6.0, 2.0, 3.0, 8.0],
+            )
+            .numeric(
+                "passengers",
+                [
+                    10.0, 30.0, 20.0, 25.0, 40.0, 35.0, 15.0, 22.0, 28.0, 12.0, 33.0, 27.0,
+                ],
+            )
+            .column(Column::temporal("scheduled", ts))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn progressive_matches_exhaustive() {
+        let t = mixed_table();
+        let udfs = UdfRegistry::default();
+        let selector = ProgressiveSelector::new(&t, &udfs);
+        for k in [1usize, 3, 5, 10, 25] {
+            let (prog, _) = selector.top_k(k);
+            let (exh, _) = exhaustive_top_k(&t, &udfs, k);
+            let prog_scores: Vec<f64> = prog.iter().map(|s| s.score).collect();
+            let exh_scores: Vec<f64> = exh.iter().map(|s| s.score).collect();
+            for (a, b) in prog_scores.iter().zip(&exh_scores) {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "k={k}: {prog_scores:?} vs {exh_scores:?}"
+                );
+            }
+            assert_eq!(prog.len(), exh.len());
+        }
+    }
+
+    #[test]
+    fn small_k_skips_leaves() {
+        let t = mixed_table();
+        let udfs = UdfRegistry::default();
+        let selector = ProgressiveSelector::new(&t, &udfs);
+        let (top, stats) = selector.top_k(1);
+        assert_eq!(top.len(), 1);
+        assert!(stats.leaves_materialized <= stats.leaves_total, "{stats:?}");
+        // Exhaustive materializes everything.
+        let (_, exh_stats) = exhaustive_top_k(&t, &udfs, 1);
+        assert_eq!(exh_stats.leaves_materialized, exh_stats.leaves_total);
+        assert!(stats.nodes_generated <= exh_stats.nodes_generated);
+    }
+
+    #[test]
+    fn shared_scans_fewer_than_nodes() {
+        let t = mixed_table();
+        let udfs = UdfRegistry::default();
+        let (_, stats) = exhaustive_top_k(&t, &udfs, 100);
+        assert!(stats.shared_scans > 0);
+        assert!(
+            stats.shared_scans * 2 < stats.nodes_generated,
+            "shared scans {} should amortize over nodes {}",
+            stats.shared_scans,
+            stats.nodes_generated
+        );
+    }
+
+    #[test]
+    fn shared_scan_matches_direct_execution() {
+        // Every progressive node's data must equal executing its query.
+        let t = mixed_table();
+        let udfs = UdfRegistry::default();
+        let (top, _) = exhaustive_top_k(&t, &udfs, 1000);
+        assert!(!top.is_empty());
+        for scored in &top {
+            let direct = deepeye_query::execute_with(&t, &scored.node.query, &udfs)
+                .expect("progressive produced an executable query");
+            assert_eq!(
+                scored.node.data.series, direct.series,
+                "mismatch for {:?}",
+                scored.node.query
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_ordered_and_bounded() {
+        let t = mixed_table();
+        let udfs = UdfRegistry::default();
+        let (top, _) = ProgressiveSelector::new(&t, &udfs).top_k(8);
+        assert!(top.len() <= 8);
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for s in &top {
+            assert!((0.0..=1.0).contains(&s.score), "score {}", s.score);
+        }
+    }
+
+    #[test]
+    fn canonical_candidates_are_unique() {
+        let t = mixed_table();
+        let cands = canonical_candidates(&t);
+        let mut ids: Vec<String> = cands.iter().map(|q| format!("{q:?}")).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+        assert!(before > 20, "expected a rich candidate set, got {before}");
+    }
+
+    #[test]
+    fn huge_k_returns_everything() {
+        let t = mixed_table();
+        let udfs = UdfRegistry::default();
+        let (top, stats) = ProgressiveSelector::new(&t, &udfs).top_k(10_000);
+        assert_eq!(top.len(), stats.nodes_generated);
+        assert_eq!(stats.leaves_materialized, stats.leaves_total);
+    }
+}

@@ -1,0 +1,191 @@
+//! Chart-spec rendering: emit a Vega-Lite-style JSON spec for a
+//! visualization node so recommendations can be handed straight to a web
+//! renderer. Hand-rolled writer — the value space is closed (strings,
+//! numbers, fixed structure), so a serde dependency would buy nothing.
+
+use crate::node::VisNode;
+use deepeye_query::{ChartType, Key, Series};
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float as JSON (no trailing `.0` for integers; non-finite
+/// values become null).
+fn number(x: f64) -> String {
+    if !x.is_finite() {
+        "null".to_owned()
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn mark(chart: ChartType) -> &'static str {
+    match chart {
+        ChartType::Bar => "bar",
+        ChartType::Line => "line",
+        ChartType::Pie => "arc",
+        ChartType::Scatter => "point",
+    }
+}
+
+fn key_json(k: &Key) -> String {
+    match k {
+        Key::Number(x) => number(*x),
+        other => format!("\"{}\"", escape(&other.to_string())),
+    }
+}
+
+/// Render a Vega-Lite-style spec for a node.
+pub fn vega_lite_spec(node: &VisNode) -> String {
+    let mut values = String::new();
+    match &node.data.series {
+        Series::Keyed(pairs) => {
+            for (i, (k, y)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    values.push(',');
+                }
+                let _ = write!(values, "{{\"x\":{},\"y\":{}}}", key_json(k), number(*y));
+            }
+        }
+        Series::Points(pts) => {
+            for (i, (x, y)) in pts.iter().enumerate() {
+                if i > 0 {
+                    values.push(',');
+                }
+                let _ = write!(values, "{{\"x\":{},\"y\":{}}}", number(*x), number(*y));
+            }
+        }
+    }
+    let x_label = escape(&node.data.x_label);
+    let y_label = escape(&node.data.y_label);
+    let x_type = match &node.data.series {
+        Series::Keyed(pairs)
+            if pairs
+                .first()
+                .is_some_and(|(k, _)| k.scale_position().is_none()) =>
+        {
+            "nominal"
+        }
+        _ => match node.features.x.dtype {
+            deepeye_data::DataType::Temporal => "ordinal",
+            _ => "quantitative",
+        },
+    };
+    let encoding = if node.chart_type() == ChartType::Pie {
+        format!(
+            "{{\"theta\":{{\"field\":\"y\",\"type\":\"quantitative\",\"title\":\"{y_label}\"}},\
+             \"color\":{{\"field\":\"x\",\"type\":\"nominal\",\"title\":\"{x_label}\"}}}}"
+        )
+    } else {
+        format!(
+            "{{\"x\":{{\"field\":\"x\",\"type\":\"{x_type}\",\"title\":\"{x_label}\"}},\
+             \"y\":{{\"field\":\"y\",\"type\":\"quantitative\",\"title\":\"{y_label}\"}}}}"
+        )
+    };
+    format!(
+        "{{\"$schema\":\"https://vega.github.io/schema/vega-lite/v5.json\",\
+         \"mark\":\"{}\",\"data\":{{\"values\":[{values}]}},\"encoding\":{encoding}}}",
+        mark(node.chart_type()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepeye_data::TableBuilder;
+    use deepeye_query::{Aggregate, SortOrder, Transform, UdfRegistry, VisQuery};
+
+    fn node(chart: ChartType) -> VisNode {
+        let t = TableBuilder::new("t")
+            .text("carrier", ["U\"A", "AA", "U\"A"])
+            .numeric("delay", [1.5, 2.0, 3.0])
+            .build()
+            .unwrap();
+        VisNode::build(
+            &t,
+            VisQuery {
+                chart,
+                x: "carrier".into(),
+                y: Some("delay".into()),
+                transform: Transform::Group,
+                aggregate: Aggregate::Avg,
+                order: SortOrder::None,
+            },
+            &UdfRegistry::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bar_spec_structure() {
+        let spec = vega_lite_spec(&node(ChartType::Bar));
+        assert!(spec.contains("\"mark\":\"bar\""));
+        assert!(spec.contains("\"$schema\""));
+        assert!(spec.contains("\"field\":\"x\""));
+        assert!(spec.contains("\"type\":\"nominal\""));
+        // Quotes in data are escaped.
+        assert!(spec.contains("U\\\"A"));
+    }
+
+    #[test]
+    fn pie_uses_theta_encoding() {
+        let spec = vega_lite_spec(&node(ChartType::Pie));
+        assert!(spec.contains("\"mark\":\"arc\""));
+        assert!(spec.contains("\"theta\""));
+        assert!(spec.contains("\"color\""));
+    }
+
+    #[test]
+    fn numbers_are_compact() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(2.5), "2.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+    }
+
+    #[test]
+    fn spec_is_balanced_json() {
+        // Cheap structural sanity: balanced braces/brackets and no raw
+        // control characters.
+        for chart in [
+            ChartType::Bar,
+            ChartType::Line,
+            ChartType::Pie,
+            ChartType::Scatter,
+        ] {
+            let spec = vega_lite_spec(&node(chart));
+            let opens = spec.matches('{').count();
+            let closes = spec.matches('}').count();
+            assert_eq!(opens, closes, "{chart}: unbalanced braces");
+            assert_eq!(spec.matches('[').count(), spec.matches(']').count());
+            assert!(!spec.chars().any(|c| (c as u32) < 0x20));
+        }
+    }
+}

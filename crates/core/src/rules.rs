@@ -1,0 +1,487 @@
+//! The decision rules of §V-A: transformation rules, sorting rules, and
+//! visualization rules. These capture "meaningful" operations so the
+//! rule-based enumeration (the `R` configurations of Figure 12) never
+//! generates visualizations a human would never consider.
+
+use deepeye_data::{correlation, DataType, Table};
+use deepeye_query::{Aggregate, BinStrategy, ChartType, SortOrder, Transform, VisQuery};
+
+/// Minimum |correlation| between two numeric columns for the visualization
+/// rule "T(X)=Num, T(Y)=Num, (X,Y) correlated → scatter" to fire.
+pub const SCATTER_CORRELATION_THRESHOLD: f64 = 0.5;
+
+/// Transformation rules (§V-A.1): which transforms may be applied to an
+/// x-column of the given type.
+///
+/// - categorical: group only;
+/// - numerical: bin only (default equi-width buckets or the UDF splitter);
+/// - temporal: group or bin by any calendar unit.
+pub fn applicable_transforms(x_type: DataType) -> Vec<Transform> {
+    match x_type {
+        DataType::Categorical => vec![Transform::Group],
+        DataType::Numerical => vec![
+            Transform::Bin(BinStrategy::Default),
+            Transform::Bin(BinStrategy::Udf("sign".to_owned())),
+        ],
+        DataType::Temporal => {
+            let mut t = vec![Transform::Group];
+            t.extend(
+                deepeye_data::TimeUnit::ALL
+                    .into_iter()
+                    .map(|u| Transform::Bin(BinStrategy::Unit(u))),
+            );
+            t
+        }
+    }
+}
+
+/// Aggregation half of the transformation rules: AGG = {AVG, SUM, CNT} when
+/// Y is numerical, CNT only otherwise.
+pub fn applicable_aggregates(y_type: Option<DataType>) -> Vec<Aggregate> {
+    match y_type {
+        Some(DataType::Numerical) => vec![Aggregate::Avg, Aggregate::Sum, Aggregate::Cnt],
+        _ => vec![Aggregate::Cnt],
+    }
+}
+
+/// The data type of X' after a transform is applied to an x-column of type
+/// `x_type`. Grouping preserves the type; interval bins keep a numeric
+/// scale; the sign UDF yields categories; calendar bins keep time.
+pub fn transformed_x_type(x_type: DataType, transform: &Transform) -> DataType {
+    match transform {
+        Transform::None | Transform::Group => x_type,
+        Transform::Bin(BinStrategy::Default) | Transform::Bin(BinStrategy::IntoBuckets(_)) => {
+            DataType::Numerical
+        }
+        Transform::Bin(BinStrategy::Udf(_)) => DataType::Categorical,
+        Transform::Bin(BinStrategy::Unit(_)) => DataType::Temporal,
+    }
+}
+
+/// Visualization rules (§V-A.3): which chart types suit (T(X'), numeric Y').
+///
+/// - Cat/Num → bar, pie;
+/// - Num/Num → line, bar; scatter additionally when correlated;
+/// - Tem/Num → line.
+pub fn applicable_charts(x_prime_type: DataType, correlated: bool) -> Vec<ChartType> {
+    match x_prime_type {
+        DataType::Categorical => vec![ChartType::Bar, ChartType::Pie],
+        DataType::Numerical => {
+            let mut c = vec![ChartType::Line, ChartType::Bar];
+            if correlated {
+                c.push(ChartType::Scatter);
+            }
+            c
+        }
+        DataType::Temporal => vec![ChartType::Line],
+    }
+}
+
+/// Sorting rules (§V-A.2): numerical/temporal x-scales may be sorted by X';
+/// the (always numerical) aggregate may be sorted by Y'; not sorting is
+/// always allowed.
+pub fn applicable_orders(x_prime_type: DataType) -> Vec<SortOrder> {
+    match x_prime_type {
+        DataType::Categorical => vec![SortOrder::None, SortOrder::ByY],
+        DataType::Numerical | DataType::Temporal => {
+            vec![SortOrder::None, SortOrder::ByX, SortOrder::ByY]
+        }
+    }
+}
+
+/// Generate the rule-based candidate queries for a table: every query the
+/// rules of §V-A consider potentially meaningful (the `R` enumeration mode).
+/// Includes both two-column and one-column candidates, plus the raw
+/// (untransformed) numeric charts that the visualization rules admit
+/// directly (e.g. the scatter of Figure 1(a)).
+pub fn rule_based_queries(table: &Table) -> Vec<VisQuery> {
+    let mut out = Vec::new();
+    let columns = table.columns();
+
+    // Two-column candidates.
+    for x_col in columns {
+        for y_col in columns {
+            if std::ptr::eq(x_col, y_col) {
+                continue;
+            }
+            let (x_type, y_type) = (x_col.data_type(), y_col.data_type());
+
+            // Raw charts: only numeric/temporal x against numeric y.
+            if y_type == DataType::Numerical && x_type != DataType::Categorical {
+                let correlated = x_type == DataType::Numerical && {
+                    let xs = x_col.numbers();
+                    let ys = y_col.numbers();
+                    correlation(&xs, &ys).strength() >= SCATTER_CORRELATION_THRESHOLD
+                };
+                let raw_charts = match x_type {
+                    DataType::Numerical => applicable_charts(DataType::Numerical, correlated),
+                    DataType::Temporal => applicable_charts(DataType::Temporal, false),
+                    DataType::Categorical => unreachable!("filtered above"),
+                };
+                for chart in raw_charts {
+                    // A raw bar over thousands of rows is never meaningful;
+                    // bars come from transforms. Keep line/scatter raw.
+                    if chart == ChartType::Bar {
+                        continue;
+                    }
+                    for order in [SortOrder::None, SortOrder::ByX] {
+                        out.push(VisQuery {
+                            chart,
+                            x: x_col.name().to_owned(),
+                            y: Some(y_col.name().to_owned()),
+                            transform: Transform::None,
+                            aggregate: Aggregate::Raw,
+                            order,
+                        });
+                        // Deduplicate: raw scatter ignores order semantics.
+                        if chart == ChartType::Scatter {
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Transformed charts.
+            for transform in applicable_transforms(x_type) {
+                let x_prime = transformed_x_type(x_type, &transform);
+                for aggregate in applicable_aggregates(Some(y_type)) {
+                    for chart in applicable_charts(x_prime, false) {
+                        for order in applicable_orders(x_prime) {
+                            out.push(VisQuery {
+                                chart,
+                                x: x_col.name().to_owned(),
+                                y: Some(y_col.name().to_owned()),
+                                transform: transform.clone(),
+                                aggregate,
+                                order,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // One-column candidates: group/bin the column and count.
+    for x_col in columns {
+        let x_type = x_col.data_type();
+        for transform in applicable_transforms(x_type) {
+            let x_prime = transformed_x_type(x_type, &transform);
+            for chart in applicable_charts(x_prime, false) {
+                for order in applicable_orders(x_prime) {
+                    out.push(VisQuery {
+                        chart,
+                        x: x_col.name().to_owned(),
+                        y: None,
+                        transform: transform.clone(),
+                        aggregate: Aggregate::Cnt,
+                        order,
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Check whether a single query conforms to the rules (used to filter the
+/// exhaustive enumeration and in tests to cross-validate the generator).
+pub fn passes_rules(table: &Table, query: &VisQuery) -> bool {
+    let Some(x_col) = table.column_by_name(&query.x) else {
+        return false;
+    };
+    let x_type = x_col.data_type();
+    let y_type = query
+        .y
+        .as_ref()
+        .and_then(|y| table.column_by_name(y))
+        .map(|c| c.data_type());
+    if query.y.is_some() && y_type.is_none() {
+        return false;
+    }
+
+    match &query.transform {
+        Transform::None => {
+            if query.aggregate != Aggregate::Raw {
+                return false;
+            }
+            let Some(y_type) = y_type else { return false };
+            if y_type != DataType::Numerical || x_type == DataType::Categorical {
+                return false;
+            }
+            let correlated = x_type == DataType::Numerical && {
+                let xs = x_col.numbers();
+                let ys = table
+                    .column_by_name(query.y.as_ref().expect("checked above"))
+                    .map(|c| c.numbers())
+                    .unwrap_or_default();
+                correlation(&xs, &ys).strength() >= SCATTER_CORRELATION_THRESHOLD
+            };
+            let charts = applicable_charts(x_type, correlated);
+            charts.contains(&query.chart)
+                && query.chart != ChartType::Bar
+                && matches!(query.order, SortOrder::None | SortOrder::ByX)
+        }
+        transform => {
+            if !applicable_transforms(x_type).contains(transform) {
+                return false;
+            }
+            let allowed_aggs = match query.y {
+                Some(_) => applicable_aggregates(y_type),
+                None => vec![Aggregate::Cnt],
+            };
+            if !allowed_aggs.contains(&query.aggregate) {
+                return false;
+            }
+            let x_prime = transformed_x_type(x_type, transform);
+            applicable_charts(x_prime, false).contains(&query.chart)
+                && applicable_orders(x_prime).contains(&query.order)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepeye_data::{parse_timestamp, Column, TableBuilder};
+
+    fn mixed_table() -> Table {
+        let ts: Vec<_> = (1..=4)
+            .map(|d| parse_timestamp(&format!("2015-01-0{d}")).unwrap())
+            .collect();
+        TableBuilder::new("t")
+            .text("carrier", ["UA", "AA", "UA", "MQ"])
+            .numeric("delay", [5.0, 3.0, -1.0, 2.0])
+            .column(Column::temporal("scheduled", ts))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn transform_rules_by_type() {
+        assert_eq!(
+            applicable_transforms(DataType::Categorical),
+            vec![Transform::Group]
+        );
+        let num = applicable_transforms(DataType::Numerical);
+        assert!(num.iter().all(|t| matches!(t, Transform::Bin(_))));
+        let tem = applicable_transforms(DataType::Temporal);
+        assert!(tem.contains(&Transform::Group));
+        assert_eq!(tem.len(), 8); // group + 7 calendar units
+    }
+
+    #[test]
+    fn aggregate_rules_by_y_type() {
+        assert_eq!(
+            applicable_aggregates(Some(DataType::Numerical)),
+            vec![Aggregate::Avg, Aggregate::Sum, Aggregate::Cnt]
+        );
+        assert_eq!(
+            applicable_aggregates(Some(DataType::Categorical)),
+            vec![Aggregate::Cnt]
+        );
+        assert_eq!(
+            applicable_aggregates(Some(DataType::Temporal)),
+            vec![Aggregate::Cnt]
+        );
+        assert_eq!(applicable_aggregates(None), vec![Aggregate::Cnt]);
+    }
+
+    #[test]
+    fn visualization_rules_match_paper() {
+        assert_eq!(
+            applicable_charts(DataType::Categorical, false),
+            vec![ChartType::Bar, ChartType::Pie]
+        );
+        assert_eq!(
+            applicable_charts(DataType::Numerical, false),
+            vec![ChartType::Line, ChartType::Bar]
+        );
+        assert!(applicable_charts(DataType::Numerical, true).contains(&ChartType::Scatter));
+        assert_eq!(
+            applicable_charts(DataType::Temporal, false),
+            vec![ChartType::Line]
+        );
+    }
+
+    #[test]
+    fn sorting_rules_match_paper() {
+        // Categorical x cannot be sorted by X.
+        assert!(!applicable_orders(DataType::Categorical).contains(&SortOrder::ByX));
+        assert!(applicable_orders(DataType::Categorical).contains(&SortOrder::ByY));
+        assert!(applicable_orders(DataType::Temporal).contains(&SortOrder::ByX));
+    }
+
+    #[test]
+    fn transformed_type_tracking() {
+        assert_eq!(
+            transformed_x_type(DataType::Numerical, &Transform::Bin(BinStrategy::Default)),
+            DataType::Numerical
+        );
+        assert_eq!(
+            transformed_x_type(
+                DataType::Numerical,
+                &Transform::Bin(BinStrategy::Udf("sign".into()))
+            ),
+            DataType::Categorical
+        );
+        assert_eq!(
+            transformed_x_type(
+                DataType::Temporal,
+                &Transform::Bin(BinStrategy::Unit(deepeye_data::TimeUnit::Hour))
+            ),
+            DataType::Temporal
+        );
+        assert_eq!(
+            transformed_x_type(DataType::Categorical, &Transform::Group),
+            DataType::Categorical
+        );
+    }
+
+    #[test]
+    fn generator_output_all_passes_filter() {
+        let t = mixed_table();
+        let queries = rule_based_queries(&t);
+        assert!(!queries.is_empty());
+        for q in &queries {
+            assert!(
+                passes_rules(&t, q),
+                "generated query fails its own rules: {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generator_is_much_smaller_than_raw_space() {
+        let t = mixed_table();
+        let rule_count = rule_based_queries(&t).len();
+        let raw_count = deepeye_query::two_column_space_size(t.column_count())
+            + deepeye_query::one_column_space_size(t.column_count());
+        assert!(
+            rule_count * 4 < raw_count,
+            "rules should prune most of the space: {rule_count} vs {raw_count}"
+        );
+    }
+
+    #[test]
+    fn example_7_queries_are_admitted() {
+        // GROUP(carrier), AVG(passengers-like) → bar (Figure 5(b)).
+        let t = mixed_table();
+        let q = VisQuery {
+            chart: ChartType::Bar,
+            x: "carrier".into(),
+            y: Some("delay".into()),
+            transform: Transform::Group,
+            aggregate: Aggregate::Avg,
+            order: SortOrder::None,
+        };
+        assert!(passes_rules(&t, &q));
+        // BIN(scheduled) BY HOUR, AVG(delay) → line (Figure 1(c)).
+        let q = VisQuery {
+            chart: ChartType::Line,
+            x: "scheduled".into(),
+            y: Some("delay".into()),
+            transform: Transform::Bin(BinStrategy::Unit(deepeye_data::TimeUnit::Hour)),
+            aggregate: Aggregate::Avg,
+            order: SortOrder::ByX,
+        };
+        assert!(passes_rules(&t, &q));
+    }
+
+    #[test]
+    fn bad_queries_are_rejected() {
+        let t = mixed_table();
+        // Binning a categorical column.
+        assert!(!passes_rules(
+            &t,
+            &VisQuery {
+                chart: ChartType::Bar,
+                x: "carrier".into(),
+                y: Some("delay".into()),
+                transform: Transform::Bin(BinStrategy::Default),
+                aggregate: Aggregate::Avg,
+                order: SortOrder::None,
+            }
+        ));
+        // AVG over a categorical y.
+        assert!(!passes_rules(
+            &t,
+            &VisQuery {
+                chart: ChartType::Bar,
+                x: "delay".into(),
+                y: Some("carrier".into()),
+                transform: Transform::Bin(BinStrategy::Default),
+                aggregate: Aggregate::Avg,
+                order: SortOrder::None,
+            }
+        ));
+        // Pie over a temporal x-scale.
+        assert!(!passes_rules(
+            &t,
+            &VisQuery {
+                chart: ChartType::Pie,
+                x: "scheduled".into(),
+                y: Some("delay".into()),
+                transform: Transform::Bin(BinStrategy::Unit(deepeye_data::TimeUnit::Day)),
+                aggregate: Aggregate::Avg,
+                order: SortOrder::None,
+            }
+        ));
+        // Sorting a categorical x-scale by X.
+        assert!(!passes_rules(
+            &t,
+            &VisQuery {
+                chart: ChartType::Bar,
+                x: "carrier".into(),
+                y: Some("delay".into()),
+                transform: Transform::Group,
+                aggregate: Aggregate::Avg,
+                order: SortOrder::ByX,
+            }
+        ));
+        // Unknown column.
+        assert!(!passes_rules(
+            &t,
+            &VisQuery {
+                chart: ChartType::Bar,
+                x: "nope".into(),
+                y: None,
+                transform: Transform::Group,
+                aggregate: Aggregate::Cnt,
+                order: SortOrder::None,
+            }
+        ));
+    }
+
+    #[test]
+    fn scatter_requires_correlation() {
+        // delay and a correlated copy.
+        let t = TableBuilder::new("t")
+            .numeric("a", (0..50).map(f64::from))
+            .numeric("b", (0..50).map(|i| f64::from(i) * 2.0 + 1.0))
+            .numeric("noise", (0..50).map(|i| f64::from((i * 7919) % 97)))
+            .build()
+            .unwrap();
+        let scatter_ab = VisQuery {
+            chart: ChartType::Scatter,
+            x: "a".into(),
+            y: Some("b".into()),
+            transform: Transform::None,
+            aggregate: Aggregate::Raw,
+            order: SortOrder::None,
+        };
+        assert!(passes_rules(&t, &scatter_ab));
+        let scatter_noise = VisQuery {
+            y: Some("noise".into()),
+            ..scatter_ab.clone()
+        };
+        assert!(!passes_rules(&t, &scatter_noise));
+        // The generator agrees.
+        let queries = rule_based_queries(&t);
+        assert!(queries.iter().any(|q| q == &scatter_ab));
+        assert!(!queries.iter().any(|q| q.chart == ChartType::Scatter
+            && q.x == "a"
+            && q.y.as_deref() == Some("noise")));
+    }
+}

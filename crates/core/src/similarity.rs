@@ -1,0 +1,226 @@
+//! Similarity-based chart search — the zenvisage-style capability the
+//! paper positions against (§I: "charts that show similar trends w.r.t. a
+//! given chart"; §VII: "zenvisage tries to find other interesting data when
+//! the users provide their desired trends").
+//!
+//! Given a target shape — a sketched series, or another chart — find the
+//! candidate charts whose (resampled, normalized) y-series is closest.
+
+use crate::node::VisNode;
+use deepeye_query::Series;
+
+/// Extract a chart's y-series in x order.
+fn series_of(node: &VisNode) -> Vec<f64> {
+    match &node.data.series {
+        Series::Keyed(pairs) => {
+            let mut indexed: Vec<(f64, f64)> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, (k, y))| (k.scale_position().unwrap_or(i as f64), *y))
+                .collect();
+            indexed.sort_by(|a, b| a.0.total_cmp(&b.0));
+            indexed.into_iter().map(|(_, y)| y).collect()
+        }
+        Series::Points(pts) => {
+            let mut sorted = pts.clone();
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            sorted.into_iter().map(|(_, y)| y).collect()
+        }
+    }
+}
+
+/// Linearly resample a series to `n` points (piecewise-linear
+/// interpolation over the index scale).
+pub fn resample(ys: &[f64], n: usize) -> Vec<f64> {
+    if ys.is_empty() || n == 0 {
+        return vec![0.0; n];
+    }
+    if ys.len() == 1 {
+        return vec![ys[0]; n];
+    }
+    (0..n)
+        .map(|i| {
+            let pos = i as f64 / (n - 1).max(1) as f64 * (ys.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(ys.len() - 1);
+            let frac = pos - lo as f64;
+            ys[lo] * (1.0 - frac) + ys[hi] * frac
+        })
+        .collect()
+}
+
+/// Z-normalize a series (shape matters, offset and scale don't — the
+/// standard similarity-search normalization). A constant series maps to
+/// all zeros.
+pub fn z_normalize(ys: &[f64]) -> Vec<f64> {
+    let mean = deepeye_data::stats::mean(ys);
+    let sd = deepeye_data::stats::stddev(ys);
+    if sd < 1e-12 {
+        return vec![0.0; ys.len()];
+    }
+    ys.iter().map(|y| (y - mean) / sd).collect()
+}
+
+/// Shape distance between two series: Euclidean distance of the
+/// z-normalized, length-`resolution` resamplings, scaled to a
+/// per-point RMS so values are comparable across resolutions.
+pub fn shape_distance(a: &[f64], b: &[f64], resolution: usize) -> f64 {
+    let ra = z_normalize(&resample(a, resolution));
+    let rb = z_normalize(&resample(b, resolution));
+    let sum: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / resolution.max(1) as f64).sqrt()
+}
+
+/// A similarity hit.
+#[derive(Debug, Clone)]
+pub struct SimilarityHit {
+    /// Index into the searched node set.
+    pub index: usize,
+    /// Shape distance (lower = more similar).
+    pub distance: f64,
+}
+
+/// Resampling resolution used by the searches.
+pub const DEFAULT_RESOLUTION: usize = 32;
+
+/// Find the k charts whose series best matches a target shape (e.g. a
+/// user-sketched trend like "rise then fall"). Single-point charts are
+/// skipped — they have no shape.
+pub fn find_similar_to_shape(nodes: &[VisNode], target: &[f64], k: usize) -> Vec<SimilarityHit> {
+    let mut hits: Vec<SimilarityHit> = nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(index, node)| {
+            let ys = series_of(node);
+            if ys.len() < 2 {
+                return None;
+            }
+            Some(SimilarityHit {
+                index,
+                distance: shape_distance(&ys, target, DEFAULT_RESOLUTION),
+            })
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.index.cmp(&b.index))
+    });
+    hits.truncate(k);
+    hits
+}
+
+/// Find the k charts most similar to an existing chart (excluding the
+/// target itself when the reference points into the searched slice).
+pub fn find_similar_to_chart(nodes: &[VisNode], target: &VisNode, k: usize) -> Vec<SimilarityHit> {
+    let shape = series_of(target);
+    find_similar_to_shape(nodes, &shape, k + 1)
+        .into_iter()
+        .filter(|h| !std::ptr::eq(&nodes[h.index], target))
+        .take(k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepeye_data::TableBuilder;
+    use deepeye_query::{Aggregate, ChartType, SortOrder, Transform, UdfRegistry, VisQuery};
+
+    fn line_node(values: &[f64]) -> VisNode {
+        let n = values.len();
+        let t = TableBuilder::new("t")
+            .numeric("x", (0..n).map(|i| i as f64))
+            .numeric("y", values.iter().copied())
+            .build()
+            .unwrap();
+        VisNode::build(
+            &t,
+            VisQuery {
+                chart: ChartType::Line,
+                x: "x".into(),
+                y: Some("y".into()),
+                transform: Transform::None,
+                aggregate: Aggregate::Raw,
+                order: SortOrder::ByX,
+            },
+            &UdfRegistry::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_length() {
+        let ys = [1.0, 3.0, 2.0];
+        let r = resample(&ys, 7);
+        assert_eq!(r.len(), 7);
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[6], 2.0);
+        assert_eq!(resample(&[5.0], 4), vec![5.0; 4]);
+        assert_eq!(resample(&[], 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn z_normalize_is_scale_invariant() {
+        let a = z_normalize(&[1.0, 2.0, 3.0]);
+        let b = z_normalize(&[10.0, 20.0, 30.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert_eq!(z_normalize(&[4.0, 4.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn identical_shapes_have_zero_distance() {
+        // Same shape at different scale and length.
+        let up_short = [0.0, 1.0, 2.0, 3.0];
+        let up_long: Vec<f64> = (0..40).map(|i| 100.0 + 5.0 * i as f64).collect();
+        let d = shape_distance(&up_short, &up_long, 32);
+        assert!(d < 1e-9, "d={d}");
+    }
+
+    #[test]
+    fn opposite_shapes_are_far() {
+        let up: Vec<f64> = (0..20).map(f64::from).collect();
+        let down: Vec<f64> = (0..20).rev().map(f64::from).collect();
+        assert!(shape_distance(&up, &down, 32) > 1.5);
+    }
+
+    #[test]
+    fn search_finds_the_matching_trend() {
+        let nodes = vec![
+            line_node(&(0..20).map(f64::from).collect::<Vec<_>>()), // rising
+            line_node(&(0..20).rev().map(f64::from).collect::<Vec<_>>()), // falling
+            line_node(
+                &(0..20)
+                    .map(|i| ((i as f64) * 0.6).sin())
+                    .collect::<Vec<_>>(),
+            ), // wave
+        ];
+        // Target: a rising sketch.
+        let hits = find_similar_to_shape(&nodes, &[0.0, 1.0, 2.0], 2);
+        assert_eq!(hits[0].index, 0);
+        assert!(hits[0].distance < hits[1].distance);
+    }
+
+    #[test]
+    fn chart_to_chart_excludes_self() {
+        let nodes = vec![
+            line_node(&[0.0, 1.0, 2.0, 3.0]),
+            line_node(&[0.0, 2.0, 4.0, 6.0]),
+            line_node(&[3.0, 2.0, 1.0, 0.0]),
+        ];
+        let hits = find_similar_to_chart(&nodes, &nodes[0], 2);
+        assert_eq!(hits.len(), 2);
+        assert_ne!(hits[0].index, 0, "self excluded");
+        assert_eq!(hits[0].index, 1, "same trend ranks first");
+    }
+
+    #[test]
+    fn single_point_charts_skipped() {
+        let nodes = vec![line_node(&[1.0]), line_node(&[0.0, 1.0])];
+        let hits = find_similar_to_shape(&nodes, &[0.0, 1.0], 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 1);
+    }
+}

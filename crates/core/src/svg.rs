@@ -1,0 +1,584 @@
+//! Self-contained SVG rendering of visualization nodes — no JavaScript,
+//! no external renderer. Covers all four chart types with axes, ticks,
+//! and labels; enough for offline dashboards and report generation.
+
+use crate::node::VisNode;
+use deepeye_query::{ChartType, Series};
+use std::fmt::Write as _;
+
+/// Canvas geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgOptions {
+    pub width: f64,
+    pub height: f64,
+    pub margin: f64,
+    /// Max categorical tick labels before thinning.
+    pub max_ticks: usize,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 480.0,
+            height: 300.0,
+            margin: 48.0,
+            max_ticks: 12,
+        }
+    }
+}
+
+const SERIES_COLOR: &str = "#4C78A8";
+const PIE_COLORS: [&str; 10] = [
+    "#4C78A8", "#F58518", "#E45756", "#72B7B2", "#54A24B", "#EECA3B", "#B279A2", "#FF9DA6",
+    "#9D755D", "#BAB0AC",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Round a number for tick labels.
+fn tick_label(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let ax = x.abs();
+    if ax >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if ax >= 1e4 {
+        format!("{:.0}k", x / 1e3)
+    } else if ax >= 10.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+struct Frame {
+    x0: f64,
+    y0: f64,
+    plot_w: f64,
+    plot_h: f64,
+    y_min: f64,
+    y_max: f64,
+}
+
+impl Frame {
+    fn y_pos(&self, y: f64) -> f64 {
+        let span = (self.y_max - self.y_min).max(1e-12);
+        self.y0 + self.plot_h * (1.0 - (y - self.y_min) / span)
+    }
+}
+
+fn open_svg(out: &mut String, opts: &SvgOptions, title: &str) {
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\" font-family=\"sans-serif\" font-size=\"10\">",
+        opts.width, opts.height, opts.width, opts.height
+    );
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"16\" text-anchor=\"middle\" font-size=\"12\" font-weight=\"bold\">{}</text>",
+        opts.width / 2.0,
+        esc(title)
+    );
+}
+
+fn draw_axes(out: &mut String, _opts: &SvgOptions, frame: &Frame, x_label: &str, y_label: &str) {
+    let right = frame.x0 + frame.plot_w;
+    let bottom = frame.y0 + frame.plot_h;
+    let _ = write!(
+        out,
+        "<line x1=\"{x0}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"#333\"/>\
+         <line x1=\"{x0}\" y1=\"{y0}\" x2=\"{x0}\" y2=\"{b}\" stroke=\"#333\"/>",
+        x0 = frame.x0,
+        y0 = frame.y0,
+        r = right,
+        b = bottom
+    );
+    // Y ticks: min, mid, max.
+    for frac in [0.0, 0.5, 1.0] {
+        let v = frame.y_min + (frame.y_max - frame.y_min) * frac;
+        let y = frame.y_pos(v);
+        let _ = write!(
+            out,
+            "<line x1=\"{0}\" y1=\"{y}\" x2=\"{1}\" y2=\"{y}\" stroke=\"#333\"/>\
+             <text x=\"{2}\" y=\"{3}\" text-anchor=\"end\">{4}</text>",
+            frame.x0 - 4.0,
+            frame.x0,
+            frame.x0 - 6.0,
+            y + 3.0,
+            esc(&tick_label(v))
+        );
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+        frame.x0 + frame.plot_w / 2.0,
+        bottom + 30.0,
+        esc(x_label)
+    );
+    let _ = write!(
+        out,
+        "<text x=\"12\" y=\"{}\" text-anchor=\"middle\" transform=\"rotate(-90 12 {})\">{}</text>",
+        frame.y0 + frame.plot_h / 2.0,
+        frame.y0 + frame.plot_h / 2.0,
+        esc(y_label)
+    );
+}
+
+/// Render a node to a complete `<svg>` document.
+pub fn render_svg(node: &VisNode, opts: &SvgOptions) -> String {
+    let title = format!(
+        "{} · {} vs {}",
+        node.chart_type(),
+        node.data.x_label,
+        node.data.y_label
+    );
+    let mut out = String::with_capacity(4096);
+    open_svg(&mut out, opts, &title);
+
+    match node.chart_type() {
+        ChartType::Pie => render_pie(&mut out, node, opts),
+        _ => render_cartesian(&mut out, node, opts),
+    }
+    out.push_str("</svg>");
+    out
+}
+
+fn render_pie(out: &mut String, node: &VisNode, opts: &SvgOptions) {
+    let pairs: Vec<(String, f64)> = match &node.data.series {
+        Series::Keyed(p) => p.iter().map(|(k, v)| (k.to_string(), v.max(0.0))).collect(),
+        Series::Points(p) => p
+            .iter()
+            .map(|(x, v)| (format!("{x}"), v.max(0.0)))
+            .collect(),
+    };
+    let total: f64 = pairs.iter().map(|(_, v)| v).sum();
+    let cx = opts.width / 2.0;
+    let cy = opts.height / 2.0 + 8.0;
+    let r = (opts.width.min(opts.height) / 2.0 - opts.margin).max(10.0);
+    if total <= 0.0 {
+        let _ = write!(
+            out,
+            "<circle cx=\"{cx}\" cy=\"{cy}\" r=\"{r}\" fill=\"#eee\"/>"
+        );
+        return;
+    }
+    let mut angle = -std::f64::consts::FRAC_PI_2;
+    for (i, (label, v)) in pairs.iter().enumerate() {
+        let frac = v / total;
+        let sweep = frac * std::f64::consts::TAU;
+        let (x1, y1) = (cx + r * angle.cos(), cy + r * angle.sin());
+        let end = angle + sweep;
+        let (x2, y2) = (cx + r * end.cos(), cy + r * end.sin());
+        let large = i32::from(sweep > std::f64::consts::PI);
+        let color = PIE_COLORS[i % PIE_COLORS.len()];
+        if frac >= 0.999 {
+            let _ = write!(
+                out,
+                "<circle cx=\"{cx}\" cy=\"{cy}\" r=\"{r}\" fill=\"{color}\"/>"
+            );
+        } else {
+            let _ = write!(
+                out,
+                "<path d=\"M{cx},{cy} L{x1:.2},{y1:.2} A{r},{r} 0 {large} 1 {x2:.2},{y2:.2} Z\" \
+                 fill=\"{color}\" stroke=\"white\"/>"
+            );
+        }
+        // Label at the slice midpoint if the slice is big enough.
+        if frac > 0.04 {
+            let mid = angle + sweep / 2.0;
+            let (lx, ly) = (cx + r * 0.65 * mid.cos(), cy + r * 0.65 * mid.sin());
+            let short: String = label.chars().take(12).collect();
+            let _ = write!(
+                out,
+                "<text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"middle\" fill=\"white\">{}</text>",
+                esc(&short)
+            );
+        }
+        angle = end;
+    }
+}
+
+fn render_cartesian(out: &mut String, node: &VisNode, opts: &SvgOptions) {
+    let (positions, labels, ys): (Vec<f64>, Vec<String>, Vec<f64>) = match &node.data.series {
+        Series::Keyed(pairs) => {
+            let pos = (0..pairs.len()).map(|i| i as f64).collect();
+            let labels = pairs.iter().map(|(k, _)| k.to_string()).collect();
+            let ys = pairs.iter().map(|(_, y)| *y).collect();
+            (pos, labels, ys)
+        }
+        Series::Points(pts) => {
+            let pos = pts.iter().map(|(x, _)| *x).collect();
+            let ys = pts.iter().map(|(_, y)| *y).collect();
+            (pos, Vec::new(), ys)
+        }
+    };
+    if ys.is_empty() {
+        return;
+    }
+    let y_min = ys.iter().copied().fold(f64::INFINITY, f64::min).min(0.0);
+    let y_max = ys
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(y_min + 1e-9);
+    let frame = Frame {
+        x0: opts.margin,
+        y0: opts.margin / 2.0 + 12.0,
+        plot_w: opts.width - opts.margin * 1.5,
+        plot_h: opts.height - opts.margin * 1.5 - 12.0,
+        y_min,
+        y_max,
+    };
+    draw_axes(out, opts, &frame, &node.data.x_label, &node.data.y_label);
+
+    let x_lo = positions.iter().copied().fold(f64::INFINITY, f64::min);
+    let x_hi = positions.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let x_span = (x_hi - x_lo).max(1e-12);
+    let x_pos = |x: f64| frame.x0 + frame.plot_w * (x - x_lo) / x_span;
+
+    match node.chart_type() {
+        ChartType::Bar => {
+            let n = ys.len() as f64;
+            let band = frame.plot_w / n;
+            let bar_w = (band * 0.8).max(1.0);
+            let zero = frame.y_pos(0.0);
+            for (i, &y) in ys.iter().enumerate() {
+                let x = frame.x0 + band * i as f64 + band * 0.1;
+                let y_top = frame.y_pos(y.max(0.0));
+                let h = (zero - frame.y_pos(y.abs())).abs().max(0.5);
+                let _ = write!(
+                    out,
+                    "<rect x=\"{x:.2}\" y=\"{:.2}\" width=\"{bar_w:.2}\" height=\"{h:.2}\" fill=\"{SERIES_COLOR}\"/>",
+                    if y >= 0.0 { y_top } else { zero },
+                );
+            }
+        }
+        ChartType::Line => {
+            let mut d = String::new();
+            for (i, (&x, &y)) in positions.iter().zip(&ys).enumerate() {
+                let cmd = if i == 0 { 'M' } else { 'L' };
+                let _ = write!(d, "{cmd}{:.2},{:.2} ", x_pos(x), frame.y_pos(y));
+            }
+            let _ = write!(
+                out,
+                "<path d=\"{}\" fill=\"none\" stroke=\"{SERIES_COLOR}\" stroke-width=\"1.5\"/>",
+                d.trim_end()
+            );
+        }
+        ChartType::Scatter => {
+            for (&x, &y) in positions.iter().zip(&ys) {
+                let _ = write!(
+                    out,
+                    "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"2\" fill=\"{SERIES_COLOR}\" fill-opacity=\"0.6\"/>",
+                    x_pos(x),
+                    frame.y_pos(y)
+                );
+            }
+        }
+        ChartType::Pie => unreachable!("handled by render_pie"),
+    }
+
+    // Categorical tick labels (thinned).
+    if !labels.is_empty() {
+        let step = (labels.len() / opts.max_ticks).max(1);
+        let band = frame.plot_w / labels.len() as f64;
+        for (i, label) in labels.iter().enumerate().step_by(step) {
+            let x = frame.x0 + band * (i as f64 + 0.5);
+            let short: String = label.chars().take(10).collect();
+            let _ = write!(
+                out,
+                "<text x=\"{x:.1}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+                frame.y0 + frame.plot_h + 14.0,
+                esc(&short)
+            );
+        }
+    }
+}
+
+/// Render a multi-series chart (stacked bars for bar charts, one polyline
+/// per series for line charts) with a simple legend.
+pub fn render_multi_svg(chart: &deepeye_query::MultiSeriesChart, opts: &SvgOptions) -> String {
+    use deepeye_query::Key;
+
+    let mut out = String::with_capacity(8192);
+    let title = format!(
+        "{} · {} vs {} by series",
+        chart.chart, chart.x_label, chart.y_label
+    );
+    open_svg(&mut out, opts, &title);
+
+    // Shared x-key universe in first-seen order across series.
+    let mut keys: Vec<Key> = Vec::new();
+    for (_, pts) in &chart.series {
+        for (k, _) in pts {
+            if !keys.iter().any(|e| e == k) {
+                keys.push(k.clone());
+            }
+        }
+    }
+    keys.sort_by(|a, b| a.total_cmp(b));
+    let key_index = |k: &Key| keys.iter().position(|e| e == k).unwrap_or(0);
+
+    // Per-key stacked totals determine the y-scale for bars; per-point max
+    // for lines.
+    let stacked = chart.chart == deepeye_query::ChartType::Bar;
+    let mut y_max: f64 = 1e-9;
+    if stacked {
+        let mut totals = vec![0.0f64; keys.len()];
+        for (_, pts) in &chart.series {
+            for (k, v) in pts {
+                totals[key_index(k)] += v.max(0.0);
+            }
+        }
+        y_max = totals.iter().copied().fold(y_max, f64::max);
+    } else {
+        for (_, pts) in &chart.series {
+            for (_, v) in pts {
+                y_max = y_max.max(*v);
+            }
+        }
+    }
+    let frame = Frame {
+        x0: opts.margin,
+        y0: opts.margin / 2.0 + 12.0,
+        plot_w: opts.width - opts.margin * 1.5,
+        plot_h: opts.height - opts.margin * 1.5 - 12.0,
+        y_min: 0.0,
+        y_max,
+    };
+    draw_axes(&mut out, opts, &frame, &chart.x_label, &chart.y_label);
+
+    let band = frame.plot_w / keys.len().max(1) as f64;
+    if stacked {
+        let mut base = vec![0.0f64; keys.len()];
+        for (si, (_, pts)) in chart.series.iter().enumerate() {
+            let color = PIE_COLORS[si % PIE_COLORS.len()];
+            for (k, v) in pts {
+                let ki = key_index(k);
+                let v = v.max(0.0);
+                let x = frame.x0 + band * ki as f64 + band * 0.1;
+                let y_top = frame.y_pos(base[ki] + v);
+                let h = (frame.y_pos(base[ki]) - y_top).max(0.3);
+                let _ = write!(
+                    out,
+                    "<rect x=\"{x:.2}\" y=\"{y_top:.2}\" width=\"{:.2}\" height=\"{h:.2}\" fill=\"{color}\"/>",
+                    band * 0.8
+                );
+                base[ki] += v;
+            }
+        }
+    } else {
+        for (si, (_, pts)) in chart.series.iter().enumerate() {
+            let color = PIE_COLORS[si % PIE_COLORS.len()];
+            let mut d = String::new();
+            let mut sorted = pts.clone();
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (i, (k, v)) in sorted.iter().enumerate() {
+                let x = frame.x0 + band * (key_index(k) as f64 + 0.5);
+                let cmd = if i == 0 { 'M' } else { 'L' };
+                let _ = write!(d, "{cmd}{x:.2},{:.2} ", frame.y_pos(*v));
+            }
+            let _ = write!(
+                out,
+                "<path d=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>",
+                d.trim_end()
+            );
+        }
+    }
+
+    // Legend in the top-right corner.
+    for (si, (name, _)) in chart.series.iter().take(PIE_COLORS.len()).enumerate() {
+        let color = PIE_COLORS[si % PIE_COLORS.len()];
+        let y = frame.y0 + 12.0 * si as f64;
+        let x = frame.x0 + frame.plot_w - 80.0;
+        let short: String = name.chars().take(12).collect();
+        let _ = write!(
+            out,
+            "<rect x=\"{x}\" y=\"{:.1}\" width=\"8\" height=\"8\" fill=\"{color}\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+            y - 7.0,
+            x + 12.0,
+            y,
+            esc(&short)
+        );
+    }
+
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod multi_tests {
+    use super::*;
+    use deepeye_data::TableBuilder;
+    use deepeye_query::{execute_xyz, Aggregate, Transform, UdfRegistry, XyzQuery};
+
+    fn multi_chart(chart: ChartType) -> deepeye_query::MultiSeriesChart {
+        let n = 24;
+        let t = TableBuilder::new("t")
+            .text("grp", (0..n).map(|i| ["a", "b"][i % 2]))
+            .text("axis", (0..n).map(|i| format!("k{}", i % 4)))
+            .numeric("v", (0..n).map(|i| 1.0 + (i % 7) as f64))
+            .build()
+            .unwrap();
+        let q = XyzQuery {
+            chart,
+            series_column: "grp".into(),
+            x: "axis".into(),
+            x_transform: Transform::Group,
+            z: "v".into(),
+            aggregate: Aggregate::Sum,
+        };
+        execute_xyz(&t, &q, &UdfRegistry::default()).unwrap()
+    }
+
+    #[test]
+    fn stacked_bar_renders() {
+        let svg = render_multi_svg(&multi_chart(ChartType::Bar), &SvgOptions::default());
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        // grp alternates with parity, so series "a" covers keys {k0, k2}
+        // and "b" covers {k1, k3}: 4 bars + 2 legend swatches = 6 rects.
+        assert_eq!(svg.matches("<rect").count(), 6);
+        assert_eq!(svg.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn multi_line_renders_one_path_per_series() {
+        let svg = render_multi_svg(&multi_chart(ChartType::Line), &SvgOptions::default());
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("stroke-width"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepeye_data::TableBuilder;
+    use deepeye_query::{Aggregate, SortOrder, Transform, UdfRegistry, VisQuery};
+
+    fn node(chart: ChartType) -> VisNode {
+        let t = TableBuilder::new("t")
+            .text("cat", ["a&b", "c<d", "e", "a&b", "c<d", "e"])
+            .numeric("v", [4.0, 2.0, 6.0, 3.0, 5.0, 1.0])
+            .build()
+            .unwrap();
+        VisNode::build(
+            &t,
+            VisQuery {
+                chart,
+                x: "cat".into(),
+                y: Some("v".into()),
+                transform: Transform::Group,
+                aggregate: Aggregate::Sum,
+                order: SortOrder::ByY,
+            },
+            &UdfRegistry::default(),
+        )
+        .unwrap()
+    }
+
+    fn well_formed(svg: &str) {
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // No raw unescaped data characters.
+        assert!(!svg.contains("a&b"), "ampersand must be escaped");
+        assert!(
+            svg.contains("a&amp;b") || !svg.contains("a&"),
+            "escaped label present"
+        );
+        // Every opened tag family is closed or self-closed: cheap checks.
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn bar_chart_renders() {
+        let svg = render_svg(&node(ChartType::Bar), &SvgOptions::default());
+        well_formed(&svg);
+        assert_eq!(svg.matches("<rect").count(), 3, "one bar per category");
+        assert!(svg.contains("SUM(v)"));
+    }
+
+    #[test]
+    fn pie_chart_renders() {
+        let svg = render_svg(&node(ChartType::Pie), &SvgOptions::default());
+        well_formed(&svg);
+        assert_eq!(svg.matches("<path").count(), 3, "one slice per category");
+    }
+
+    #[test]
+    fn line_and_scatter_render() {
+        let line = render_svg(&node(ChartType::Line), &SvgOptions::default());
+        well_formed(&line);
+        assert!(line.contains("stroke-width"));
+        let scatter = render_svg(&node(ChartType::Scatter), &SvgOptions::default());
+        well_formed(&scatter);
+        assert_eq!(scatter.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn negative_values_do_not_break_bars() {
+        let t = TableBuilder::new("t")
+            .text("cat", ["a", "b"])
+            .numeric("v", [5.0, -3.0])
+            .build()
+            .unwrap();
+        let n = VisNode::build(
+            &t,
+            VisQuery {
+                chart: ChartType::Bar,
+                x: "cat".into(),
+                y: Some("v".into()),
+                transform: Transform::Group,
+                aggregate: Aggregate::Sum,
+                order: SortOrder::None,
+            },
+            &UdfRegistry::default(),
+        )
+        .unwrap();
+        let svg = render_svg(&n, &SvgOptions::default());
+        well_formed(&svg);
+        assert_eq!(svg.matches("<rect").count(), 2);
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn single_slice_pie_is_a_circle() {
+        let t = TableBuilder::new("t")
+            .text("cat", ["only", "only"])
+            .numeric("v", [3.0, 4.0])
+            .build()
+            .unwrap();
+        let n = VisNode::build(
+            &t,
+            VisQuery {
+                chart: ChartType::Pie,
+                x: "cat".into(),
+                y: Some("v".into()),
+                transform: Transform::Group,
+                aggregate: Aggregate::Sum,
+                order: SortOrder::None,
+            },
+            &UdfRegistry::default(),
+        )
+        .unwrap();
+        let svg = render_svg(&n, &SvgOptions::default());
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn tick_labels_compact() {
+        assert_eq!(tick_label(0.0), "0");
+        assert_eq!(tick_label(2_500_000.0), "2.5M");
+        assert_eq!(tick_label(42_000.0), "42k");
+        assert_eq!(tick_label(57.0), "57");
+        assert_eq!(tick_label(1.234), "1.23");
+    }
+}

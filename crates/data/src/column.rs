@@ -1,0 +1,282 @@
+//! Typed columnar storage.
+
+use crate::temporal::Timestamp;
+use crate::value::{DataType, Value};
+use std::collections::HashSet;
+
+/// Physical storage for one column, chosen to match its semantic type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Numerical column; `None` marks a null/unparseable cell.
+    Numeric(Vec<Option<f64>>),
+    /// Categorical column.
+    Text(Vec<Option<String>>),
+    /// Temporal column.
+    Temporal(Vec<Option<Timestamp>>),
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Numeric(v) => v.len(),
+            ColumnData::Text(v) => v.len(),
+            ColumnData::Temporal(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Numeric(_) => DataType::Numerical,
+            ColumnData::Text(_) => DataType::Categorical,
+            ColumnData::Temporal(_) => DataType::Temporal,
+        }
+    }
+
+    /// The cell at `row` as a [`Value`].
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            ColumnData::Numeric(v) => v[row].map_or(Value::Null, Value::Number),
+            ColumnData::Text(v) => v[row]
+                .as_ref()
+                .map_or(Value::Null, |s| Value::Text(s.clone())),
+            ColumnData::Temporal(v) => v[row].map_or(Value::Null, Value::Time),
+        }
+    }
+
+    pub fn is_null(&self, row: usize) -> bool {
+        match self {
+            ColumnData::Numeric(v) => v[row].is_none(),
+            ColumnData::Text(v) => v[row].is_none(),
+            ColumnData::Temporal(v) => v[row].is_none(),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, data: ColumnData) -> Self {
+        Column {
+            name: name.into(),
+            data,
+        }
+    }
+
+    /// Build a numerical column; NaNs become nulls.
+    pub fn numeric(name: impl Into<String>, values: impl IntoIterator<Item = f64>) -> Self {
+        Column::new(
+            name,
+            ColumnData::Numeric(
+                values
+                    .into_iter()
+                    .map(|x| if x.is_nan() { None } else { Some(x) })
+                    .collect(),
+            ),
+        )
+    }
+
+    /// Build a categorical column.
+    pub fn text<S: Into<String>>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Column::new(
+            name,
+            ColumnData::Text(values.into_iter().map(|s| Some(s.into())).collect()),
+        )
+    }
+
+    /// Build a temporal column.
+    pub fn temporal(name: impl Into<String>, values: impl IntoIterator<Item = Timestamp>) -> Self {
+        Column::new(
+            name,
+            ColumnData::Temporal(values.into_iter().map(Some).collect()),
+        )
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    /// Number of rows, `|X|` in the paper's feature (2).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn get(&self, row: usize) -> Value {
+        self.data.get(row)
+    }
+
+    /// Non-null numeric values (empty for non-numeric columns).
+    pub fn numbers(&self) -> Vec<f64> {
+        match &self.data {
+            ColumnData::Numeric(v) => v.iter().flatten().copied().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Non-null timestamps (empty for non-temporal columns).
+    pub fn timestamps(&self) -> Vec<Timestamp> {
+        match &self.data {
+            ColumnData::Temporal(v) => v.iter().flatten().copied().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of distinct non-null values, `d(X)` in feature (1).
+    pub fn distinct_count(&self) -> usize {
+        match &self.data {
+            ColumnData::Numeric(v) => {
+                let mut set: HashSet<u64> = HashSet::new();
+                for x in v.iter().flatten() {
+                    set.insert(x.to_bits());
+                }
+                set.len()
+            }
+            ColumnData::Text(v) => {
+                let set: HashSet<&str> = v.iter().flatten().map(String::as_str).collect();
+                set.len()
+            }
+            ColumnData::Temporal(v) => {
+                let set: HashSet<Timestamp> = v.iter().flatten().copied().collect();
+                set.len()
+            }
+        }
+    }
+
+    /// Ratio of unique values, `r(X) = d(X)/|X|` in feature (3).
+    pub fn unique_ratio(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.distinct_count() as f64 / self.len() as f64
+        }
+    }
+
+    /// Number of null cells.
+    pub fn null_count(&self) -> usize {
+        (0..self.len()).filter(|&i| self.data.is_null(i)).count()
+    }
+
+    /// Minimum value as a comparable scalar (numeric value or Unix seconds);
+    /// `None` for categorical or all-null columns. Feature (4).
+    pub fn min_scalar(&self) -> Option<f64> {
+        match &self.data {
+            ColumnData::Numeric(v) => v
+                .iter()
+                .flatten()
+                .copied()
+                .fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |a| a.min(x)))
+                }),
+            ColumnData::Temporal(v) => v
+                .iter()
+                .flatten()
+                .map(|t| t.unix_seconds() as f64)
+                .fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |a| a.min(x)))
+                }),
+            ColumnData::Text(_) => None,
+        }
+    }
+
+    /// Maximum value as a comparable scalar. Feature (4).
+    pub fn max_scalar(&self) -> Option<f64> {
+        match &self.data {
+            ColumnData::Numeric(v) => v
+                .iter()
+                .flatten()
+                .copied()
+                .fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |a| a.max(x)))
+                }),
+            ColumnData::Temporal(v) => v
+                .iter()
+                .flatten()
+                .map(|t| t.unix_seconds() as f64)
+                .fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |a| a.max(x)))
+                }),
+            ColumnData::Text(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::parse_timestamp;
+
+    #[test]
+    fn numeric_column_stats() {
+        let c = Column::numeric("d", [1.0, 2.0, 2.0, f64::NAN, 5.0]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.distinct_count(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.unique_ratio(), 3.0 / 5.0);
+        assert_eq!(c.min_scalar(), Some(1.0));
+        assert_eq!(c.max_scalar(), Some(5.0));
+        assert_eq!(c.data_type(), DataType::Numerical);
+        assert_eq!(c.numbers(), vec![1.0, 2.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn text_column_stats() {
+        let c = Column::text("carrier", ["UA", "AA", "UA", "MQ"]);
+        assert_eq!(c.distinct_count(), 3);
+        assert_eq!(c.data_type(), DataType::Categorical);
+        assert_eq!(c.min_scalar(), None);
+        assert_eq!(c.get(1), Value::from("AA"));
+        assert!(c.numbers().is_empty());
+    }
+
+    #[test]
+    fn temporal_column_stats() {
+        let a = parse_timestamp("2015-01-01").unwrap();
+        let b = parse_timestamp("2015-06-01").unwrap();
+        let c = Column::temporal("t", [b, a, b]);
+        assert_eq!(c.distinct_count(), 2);
+        assert_eq!(c.data_type(), DataType::Temporal);
+        assert_eq!(c.min_scalar(), Some(a.unix_seconds() as f64));
+        assert_eq!(c.max_scalar(), Some(b.unix_seconds() as f64));
+        assert_eq!(c.timestamps().len(), 3);
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::numeric("e", []);
+        assert!(c.is_empty());
+        assert_eq!(c.unique_ratio(), 0.0);
+        assert_eq!(c.min_scalar(), None);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let c = Column::new("n", ColumnData::Numeric(vec![None, None]));
+        assert_eq!(c.distinct_count(), 0);
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.max_scalar(), None);
+        assert!(c.get(0).is_null());
+    }
+}

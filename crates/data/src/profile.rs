@@ -1,0 +1,258 @@
+//! Column profiling: the summary a data-exploration tool shows before any
+//! chart is drawn — quantiles, dispersion, shape, and top categories.
+//! Backs the CLI's `inspect` subcommand and available to library users.
+
+use crate::column::{Column, ColumnData};
+use crate::stats;
+use crate::value::DataType;
+use std::collections::HashMap;
+
+/// Numeric distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericProfile {
+    pub count: usize,
+    pub mean: f64,
+    pub stddev: f64,
+    pub min: f64,
+    /// 25th / 50th / 75th percentiles.
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    /// Fisher skewness (0 for symmetric data; undefined → 0).
+    pub skewness: f64,
+    /// Count of points outside the 1.5·IQR Tukey fences.
+    pub outliers: usize,
+}
+
+/// Categorical summary: the most frequent values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoricalProfile {
+    pub count: usize,
+    pub distinct: usize,
+    /// `(value, occurrences)` sorted by frequency descending, capped.
+    pub top: Vec<(String, usize)>,
+}
+
+/// The profile of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnProfile {
+    Numeric(NumericProfile),
+    Categorical(CategoricalProfile),
+    /// Temporal columns profile their span as Unix-second numerics.
+    Temporal(NumericProfile),
+    /// All-null or empty column.
+    Empty,
+}
+
+/// Linear-interpolated quantile of an already **sorted** slice, `q ∈ [0,1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+fn numeric_profile(values: &[f64]) -> Option<NumericProfile> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mean = stats::mean(&sorted);
+    let sd = stats::stddev(&sorted);
+    let q1 = quantile_sorted(&sorted, 0.25);
+    let median = quantile_sorted(&sorted, 0.5);
+    let q3 = quantile_sorted(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let (lo_fence, hi_fence) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let outliers = sorted
+        .iter()
+        .filter(|&&x| x < lo_fence || x > hi_fence)
+        .count();
+    let skewness = if sd > 1e-12 {
+        sorted
+            .iter()
+            .map(|x| ((x - mean) / sd).powi(3))
+            .sum::<f64>()
+            / sorted.len() as f64
+    } else {
+        0.0
+    };
+    Some(NumericProfile {
+        count: sorted.len(),
+        mean,
+        stddev: sd,
+        min: sorted[0],
+        q1,
+        median,
+        q3,
+        max: *sorted.last().expect("non-empty"),
+        skewness,
+        outliers,
+    })
+}
+
+/// Maximum categories listed in a categorical profile.
+pub const TOP_CATEGORIES: usize = 5;
+
+/// Profile a column according to its type.
+pub fn profile_column(column: &Column) -> ColumnProfile {
+    match column.data() {
+        ColumnData::Numeric(_) => {
+            numeric_profile(&column.numbers()).map_or(ColumnProfile::Empty, ColumnProfile::Numeric)
+        }
+        ColumnData::Temporal(_) => {
+            let secs: Vec<f64> = column
+                .timestamps()
+                .iter()
+                .map(|t| t.unix_seconds() as f64)
+                .collect();
+            numeric_profile(&secs).map_or(ColumnProfile::Empty, ColumnProfile::Temporal)
+        }
+        ColumnData::Text(vals) => {
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for v in vals.iter().flatten() {
+                *counts.entry(v.as_str()).or_insert(0) += 1;
+            }
+            if counts.is_empty() {
+                return ColumnProfile::Empty;
+            }
+            let count: usize = counts.values().sum();
+            let distinct = counts.len();
+            let mut top: Vec<(String, usize)> =
+                counts.into_iter().map(|(v, c)| (v.to_owned(), c)).collect();
+            top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            top.truncate(TOP_CATEGORIES);
+            ColumnProfile::Categorical(CategoricalProfile {
+                count,
+                distinct,
+                top,
+            })
+        }
+    }
+}
+
+impl ColumnProfile {
+    /// One-line rendering for terminal output.
+    pub fn summary_line(&self, dtype: DataType) -> String {
+        match self {
+            ColumnProfile::Numeric(p) | ColumnProfile::Temporal(p) => format!(
+                "{dtype}  n={}  mean={:.4}  sd={:.4}  min={:.4}  q1={:.4}  med={:.4}  q3={:.4}  max={:.4}  skew={:+.2}  outliers={}",
+                p.count, p.mean, p.stddev, p.min, p.q1, p.median, p.q3, p.max, p.skewness, p.outliers
+            ),
+            ColumnProfile::Categorical(p) => {
+                let tops: Vec<String> =
+                    p.top.iter().map(|(v, c)| format!("{v}×{c}")).collect();
+                format!("{dtype}  n={}  distinct={}  top: {}", p.count, p.distinct, tops.join(", "))
+            }
+            ColumnProfile::Empty => format!("{dtype}  (empty)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::parse_timestamp;
+
+    #[test]
+    fn quantiles_hand_computed() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 3.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 0.25), 2.0);
+        // Interpolation between ranks.
+        assert_eq!(quantile_sorted(&[0.0, 10.0], 0.5), 5.0);
+        assert_eq!(quantile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn numeric_profile_statistics() {
+        let c = Column::numeric("v", (1..=100).map(f64::from));
+        let ColumnProfile::Numeric(p) = profile_column(&c) else {
+            panic!()
+        };
+        assert_eq!(p.count, 100);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.max, 100.0);
+        assert!((p.mean - 50.5).abs() < 1e-12);
+        assert!((p.median - 50.5).abs() < 1e-9);
+        assert!(p.skewness.abs() < 0.01, "uniform ramp is symmetric");
+        assert_eq!(p.outliers, 0);
+    }
+
+    #[test]
+    fn outliers_detected_by_tukey_fences() {
+        let mut vals: Vec<f64> = (1..=50).map(f64::from).collect();
+        vals.push(1_000.0);
+        vals.push(-1_000.0);
+        let ColumnProfile::Numeric(p) = profile_column(&Column::numeric("v", vals)) else {
+            panic!()
+        };
+        assert_eq!(p.outliers, 2);
+    }
+
+    #[test]
+    fn skew_sign_matches_tail() {
+        let right_tail: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).exp()).collect();
+        let ColumnProfile::Numeric(p) = profile_column(&Column::numeric("v", right_tail)) else {
+            panic!()
+        };
+        assert!(
+            p.skewness > 1.0,
+            "exponential data is right-skewed: {}",
+            p.skewness
+        );
+    }
+
+    #[test]
+    fn categorical_profile_top_values() {
+        let c = Column::text("c", ["a", "b", "a", "c", "a", "b"]);
+        let ColumnProfile::Categorical(p) = profile_column(&c) else {
+            panic!()
+        };
+        assert_eq!(p.count, 6);
+        assert_eq!(p.distinct, 3);
+        assert_eq!(p.top[0], ("a".to_owned(), 3));
+        assert_eq!(p.top[1], ("b".to_owned(), 2));
+    }
+
+    #[test]
+    fn temporal_profile_spans_seconds() {
+        let ts: Vec<_> = ["2015-01-01", "2015-12-31"]
+            .iter()
+            .map(|s| parse_timestamp(s).unwrap())
+            .collect();
+        let c = Column::temporal("t", ts);
+        let ColumnProfile::Temporal(p) = profile_column(&c) else {
+            panic!()
+        };
+        assert_eq!(p.count, 2);
+        assert!(p.max > p.min);
+    }
+
+    #[test]
+    fn empty_columns_profile_empty() {
+        let c = Column::new("e", ColumnData::Numeric(vec![None, None]));
+        assert_eq!(profile_column(&c), ColumnProfile::Empty);
+        let c = Column::text("t", Vec::<String>::new());
+        assert_eq!(profile_column(&c), ColumnProfile::Empty);
+    }
+
+    #[test]
+    fn summary_lines_render() {
+        let c = Column::numeric("v", [1.0, 2.0, 3.0]);
+        let line = profile_column(&c).summary_line(DataType::Numerical);
+        assert!(line.contains("med="));
+        let c = Column::text("c", ["x", "x", "y"]);
+        let line = profile_column(&c).summary_line(DataType::Categorical);
+        assert!(line.contains("top: x×2, y×1"));
+    }
+}

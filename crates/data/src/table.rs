@@ -1,0 +1,305 @@
+//! The relational table `D` over scheme `R(A_1, …, A_m)` (§II-A).
+
+use crate::column::{Column, ColumnData};
+use crate::value::Value;
+use std::fmt;
+
+/// Errors raised while constructing or accessing tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Columns passed to [`Table::new`] had differing lengths.
+    RaggedColumns {
+        expected: usize,
+        column: String,
+        got: usize,
+    },
+    /// Two columns share a name.
+    DuplicateColumn(String),
+    /// A referenced column does not exist.
+    NoSuchColumn(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RaggedColumns {
+                expected,
+                column,
+                got,
+            } => write!(
+                f,
+                "column {column:?} has {got} rows but the table has {expected}"
+            ),
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column name {name:?}"),
+            TableError::NoSuchColumn(name) => write!(f, "no such column {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// An immutable relational table: a name plus equally sized columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Build a table, validating that all columns have equal length and
+    /// unique names.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Result<Self, TableError> {
+        let rows = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            if c.len() != rows {
+                return Err(TableError::RaggedColumns {
+                    expected: rows,
+                    column: c.name().to_owned(),
+                    got: c.len(),
+                });
+            }
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name() == c.name()) {
+                return Err(TableError::DuplicateColumn(c.name().to_owned()));
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            columns,
+            rows,
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tuples.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of attributes, `m` in the paper.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn column(&self, index: usize) -> Option<&Column> {
+        self.columns.get(index)
+    }
+
+    /// Look up a column by name (exact match).
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name() == name)
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// The cell at (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Iterate over rows as value vectors (mainly for display/tests; hot
+    /// paths should use the columnar accessors).
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.rows).map(move |r| self.columns.iter().map(|c| c.get(r)).collect())
+    }
+
+    /// Project onto a subset of columns (by name, in the given order).
+    /// Unknown names produce an error.
+    pub fn select_columns(&self, names: &[&str]) -> Result<Table, TableError> {
+        let columns: Result<Vec<Column>, TableError> = names
+            .iter()
+            .map(|n| {
+                self.column_by_name(n)
+                    .cloned()
+                    .ok_or_else(|| TableError::NoSuchColumn((*n).to_owned()))
+            })
+            .collect();
+        Table::new(self.name.clone(), columns?)
+    }
+
+    /// Keep only the rows where `predicate(row_index)` holds — the subset
+    /// side of SeeDB-style subset-vs-whole comparisons, and general
+    /// slicing for examples and tests.
+    pub fn filter_rows(&self, predicate: impl Fn(usize) -> bool) -> Table {
+        let keep: Vec<usize> = (0..self.rows).filter(|&r| predicate(r)).collect();
+        let columns: Vec<Column> = self
+            .columns
+            .iter()
+            .map(|c| {
+                let data = match c.data() {
+                    ColumnData::Numeric(v) => {
+                        ColumnData::Numeric(keep.iter().map(|&r| v[r]).collect())
+                    }
+                    ColumnData::Text(v) => {
+                        ColumnData::Text(keep.iter().map(|&r| v[r].clone()).collect())
+                    }
+                    ColumnData::Temporal(v) => {
+                        ColumnData::Temporal(keep.iter().map(|&r| v[r]).collect())
+                    }
+                };
+                Column::new(c.name().to_owned(), data)
+            })
+            .collect();
+        Table::new(self.name.clone(), columns).expect("filtered columns stay aligned")
+    }
+
+    /// A short human-readable schema summary, e.g.
+    /// `flights(scheduled: Tem, carrier: Cat, delay: Num) [99527 rows]`.
+    pub fn schema_string(&self) -> String {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| format!("{}: {}", c.name(), c.data_type()))
+            .collect();
+        format!("{}({}) [{} rows]", self.name, cols.join(", "), self.rows)
+    }
+}
+
+/// Convenience builder for assembling tables column by column.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+        }
+    }
+
+    pub fn column(mut self, column: Column) -> Self {
+        self.columns.push(column);
+        self
+    }
+
+    pub fn numeric(self, name: impl Into<String>, values: impl IntoIterator<Item = f64>) -> Self {
+        self.column(Column::numeric(name, values))
+    }
+
+    pub fn text<S: Into<String>>(
+        self,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.column(Column::text(name, values))
+    }
+
+    pub fn data(self, name: impl Into<String>, data: ColumnData) -> Self {
+        self.column(Column::new(name, data))
+    }
+
+    pub fn build(self) -> Result<Table, TableError> {
+        Table::new(self.name, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        TableBuilder::new("t")
+            .text("carrier", ["UA", "AA", "UA"])
+            .numeric("delay", [1.0, 2.0, 3.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = sample();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column_count(), 2);
+        assert_eq!(
+            t.column_by_name("delay").unwrap().numbers(),
+            vec![1.0, 2.0, 3.0]
+        );
+        assert_eq!(t.column_index("carrier"), Some(0));
+        assert_eq!(t.column_index("nope"), None);
+        assert_eq!(t.value(1, 0), Value::from("AA"));
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let err = TableBuilder::new("t")
+            .numeric("a", [1.0])
+            .numeric("b", [1.0, 2.0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TableError::RaggedColumns { .. }));
+        assert!(err.to_string().contains("\"b\""));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = TableBuilder::new("t")
+            .numeric("a", [1.0])
+            .numeric("a", [2.0])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TableError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn empty_table_ok() {
+        let t = Table::new("empty", vec![]).unwrap();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.column_count(), 0);
+    }
+
+    #[test]
+    fn row_iteration() {
+        let t = sample();
+        let rows: Vec<Vec<Value>> = t.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec![Value::from("UA"), Value::Number(3.0)]);
+    }
+
+    #[test]
+    fn schema_string() {
+        assert_eq!(
+            sample().schema_string(),
+            "t(carrier: Cat, delay: Num) [3 rows]"
+        );
+    }
+
+    #[test]
+    fn select_columns_projects_and_reorders() {
+        let t = sample();
+        let p = t.select_columns(&["delay", "carrier"]).unwrap();
+        assert_eq!(p.column_count(), 2);
+        assert_eq!(p.column(0).unwrap().name(), "delay");
+        assert_eq!(p.row_count(), 3);
+        assert!(matches!(
+            t.select_columns(&["nope"]),
+            Err(TableError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn filter_rows_keeps_alignment() {
+        let t = sample();
+        let f = t.filter_rows(|r| t.value(r, 0) == Value::from("UA"));
+        assert_eq!(f.row_count(), 2);
+        assert_eq!(f.column_by_name("delay").unwrap().numbers(), vec![1.0, 3.0]);
+        // Empty filter yields a valid zero-row table.
+        let empty = t.filter_rows(|_| false);
+        assert_eq!(empty.row_count(), 0);
+        assert_eq!(empty.column_count(), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Cell values and the three semantic data types DeepEye reasons about.
+
+use crate::temporal::Timestamp;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The semantic type of a column (§III feature (5)).
+///
+/// The paper restricts attention to three types: *categorical* columns
+/// contain values from a fixed vocabulary (e.g. carriers), *numerical*
+/// columns contain numbers (e.g. delays), and *temporal* columns contain
+/// dates or times (e.g. scheduled departure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    Categorical,
+    Numerical,
+    Temporal,
+}
+
+impl DataType {
+    /// Paper abbreviation: `Cat`, `Num`, `Tem`.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            DataType::Categorical => "Cat",
+            DataType::Numerical => "Num",
+            DataType::Temporal => "Tem",
+        }
+    }
+
+    pub const ALL: [DataType; 3] = [
+        DataType::Categorical,
+        DataType::Numerical,
+        DataType::Temporal,
+    ];
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// One cell of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Number(f64),
+    Text(String),
+    Time(Timestamp),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The numeric content, if any.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_time(&self) -> Option<Timestamp> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used by ORDER BY: nulls first, then by natural order;
+    /// mixed types compare by type tag so sorting is always well defined.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Number(_) => 1,
+                Time(_) => 2,
+                Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Number(a), Number(b)) => a.total_cmp(b),
+            (Time(a), Time(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Number(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Text(s) => f.write_str(s),
+            Value::Time(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        if x.is_nan() {
+            Value::Null
+        } else {
+            Value::Number(x)
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<Timestamp> for Value {
+    fn from(t: Timestamp) -> Self {
+        Value::Time(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::parse_timestamp;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Number(3.5).as_number(), Some(3.5));
+        assert_eq!(Value::from("x").as_text(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert!(Value::from(f64::NAN).is_null());
+        let t = parse_timestamp("2015-01-01").unwrap();
+        assert_eq!(Value::from(t).as_time(), Some(t));
+        assert_eq!(Value::Null.as_number(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Number(3.0).to_string(), "3");
+        assert_eq!(Value::Number(3.25).to_string(), "3.25");
+        assert_eq!(Value::from("abc").to_string(), "abc");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+
+    #[test]
+    fn total_cmp_orders_within_and_across_types() {
+        let mut vals = vec![
+            Value::from("b"),
+            Value::Number(2.0),
+            Value::Null,
+            Value::from("a"),
+            Value::Number(-1.0),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Number(-1.0),
+                Value::Number(2.0),
+                Value::from("a"),
+                Value::from("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn datatype_abbrevs() {
+        assert_eq!(DataType::Categorical.abbrev(), "Cat");
+        assert_eq!(DataType::Numerical.to_string(), "Num");
+        assert_eq!(DataType::Temporal.abbrev(), "Tem");
+    }
+}

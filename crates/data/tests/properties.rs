@@ -1,0 +1,194 @@
+//! Property-based tests for the data substrate.
+
+use deepeye_data::stats;
+use deepeye_data::temporal::{Civil, TimeUnit, Timestamp};
+use deepeye_data::{correlation, detect_type, parse_column, trend_of_series, Column, DataType};
+use proptest::prelude::*;
+
+fn civil_strategy() -> impl Strategy<Value = Civil> {
+    (1900i32..2100, 1u8..=12, 1u8..=28, 0u8..24, 0u8..60, 0u8..60)
+        .prop_map(|(y, mo, d, h, mi, s)| Civil::new(y, mo, d, h, mi, s).unwrap())
+}
+
+proptest! {
+    /// Civil → Timestamp → Civil is the identity.
+    #[test]
+    fn civil_round_trip(c in civil_strategy()) {
+        let t = Timestamp::from_civil(c);
+        prop_assert_eq!(t.civil(), c);
+    }
+
+    /// Truncation is idempotent, never moves forward, and is monotone.
+    #[test]
+    fn truncate_laws(c1 in civil_strategy(), c2 in civil_strategy(), unit_idx in 0usize..7) {
+        let unit = TimeUnit::ALL[unit_idx];
+        let (a, b) = (Timestamp::from_civil(c1), Timestamp::from_civil(c2));
+        let (ta, tb) = (a.truncate(unit), b.truncate(unit));
+        prop_assert_eq!(ta.truncate(unit), ta);
+        prop_assert!(ta <= a);
+        if a <= b {
+            prop_assert!(ta <= tb);
+        }
+    }
+
+    /// Timestamp ordering agrees with second counts.
+    #[test]
+    fn timestamp_order(s1 in -4_000_000_000i64..4_000_000_000, s2 in -4_000_000_000i64..4_000_000_000) {
+        let (a, b) = (Timestamp::from_unix_seconds(s1), Timestamp::from_unix_seconds(s2));
+        prop_assert_eq!(a.cmp(&b), s1.cmp(&s2));
+    }
+
+    /// Type detection is total and parsing never changes the column length.
+    #[test]
+    fn detect_parse_total(cells in proptest::collection::vec("[a-z0-9./: -]{0,12}", 0..40)) {
+        let ty = detect_type(&cells);
+        let data = parse_column(&cells, ty);
+        prop_assert_eq!(data.len(), cells.len());
+        prop_assert_eq!(data.data_type(), ty);
+    }
+
+    /// Numeric strings of plain integers are never detected as categorical.
+    #[test]
+    fn integers_detected_numeric_or_temporal(nums in proptest::collection::vec(-10_000i64..10_000, 1..50)) {
+        let cells: Vec<String> = nums.iter().map(|n| n.to_string()).collect();
+        let ty = detect_type(&cells);
+        prop_assert_ne!(ty, DataType::Categorical);
+    }
+
+    /// distinct_count is at most the length and unique_ratio is in [0,1].
+    #[test]
+    fn distinct_bounds(vals in proptest::collection::vec(-100i64..100, 0..100)) {
+        let col = Column::numeric("x", vals.iter().map(|&v| v as f64));
+        prop_assert!(col.distinct_count() <= col.len());
+        let r = col.unique_ratio();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// min/max scalars bracket every value.
+    #[test]
+    fn min_max_bracket(vals in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let col = Column::numeric("x", vals.iter().copied());
+        let lo = col.min_scalar().unwrap();
+        let hi = col.max_scalar().unwrap();
+        prop_assert!(lo <= hi);
+        for v in &vals {
+            prop_assert!(lo <= *v && *v <= hi);
+        }
+    }
+
+    /// Correlation coefficients always land in [-1, 1] and are finite.
+    #[test]
+    fn correlation_bounded(
+        xs in proptest::collection::vec(-1e4f64..1e4, 0..60),
+        ys in proptest::collection::vec(-1e4f64..1e4, 0..60),
+    ) {
+        let c = correlation(&xs, &ys);
+        prop_assert!(c.coefficient.is_finite());
+        prop_assert!((-1.0..=1.0).contains(&c.coefficient));
+        prop_assert!((0.0..=1.0).contains(&c.strength()));
+    }
+
+    /// Correlation is symmetric in absolute strength for the linear model
+    /// when inputs are equal-length (swap x and y).
+    #[test]
+    fn perfect_line_always_detected(b in 1i32..50, a in -100i32..100) {
+        let xs: Vec<f64> = (1..40).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f64::from(a) + f64::from(b) * x).collect();
+        let c = correlation(&xs, &ys);
+        prop_assert!(c.strength() > 0.999);
+    }
+
+    /// Trend fit is bounded and trend of a constant-free linear ramp holds.
+    #[test]
+    fn trend_bounded(ys in proptest::collection::vec(-1e4f64..1e4, 0..60)) {
+        let t = trend_of_series(&ys);
+        prop_assert!((0.0..=1.0).contains(&t.fit));
+    }
+
+    /// Entropy of k equal weights is ln k; normalized entropy in [0,1].
+    #[test]
+    fn entropy_properties(w in proptest::collection::vec(0.0f64..100.0, 0..30)) {
+        let e = stats::entropy(&w);
+        prop_assert!(e >= 0.0 && e.is_finite());
+        let ne = stats::normalized_entropy(&w);
+        prop_assert!((0.0..=1.0).contains(&ne));
+    }
+
+    /// The CSV record parser never panics on arbitrary input, and a
+    /// field-quoting round trip through it is lossless.
+    #[test]
+    fn csv_parser_total(input in ".{0,200}") {
+        let _ = deepeye_data::csv::parse_records(&input, ',');
+    }
+
+    /// Any grid of arbitrary field strings survives a write-then-parse
+    /// round trip when fields are quoted.
+    #[test]
+    fn csv_quote_round_trip(
+        grid in proptest::collection::vec(
+            proptest::collection::vec("[ -~]{0,12}", 1..5),
+            1..6,
+        ),
+    ) {
+        let width = grid[0].len();
+        let grid: Vec<Vec<String>> =
+            grid.into_iter().map(|mut r| { r.resize(width, String::new()); r }).collect();
+        let text: String = grid
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|f| format!("\"{}\"", f.replace('"', "\"\"")))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        match deepeye_data::csv::parse_records(&text, ',') {
+            Ok(parsed) => {
+                // Fully-empty records are dropped by design; compare the
+                // surviving rows against the non-degenerate originals.
+                let kept: Vec<&Vec<String>> = grid
+                    .iter()
+                    .filter(|r| !(r.len() == 1 && r[0].is_empty()))
+                    .collect();
+                prop_assert_eq!(kept.len(), parsed.len());
+                for (orig, got) in kept.iter().zip(&parsed) {
+                    prop_assert_eq!(*orig, got);
+                }
+            }
+            Err(deepeye_data::CsvError::Empty) => {
+                // Only possible when every row was a single empty field.
+                prop_assert!(grid.iter().all(|r| r.len() == 1 && r[0].is_empty()));
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// Table filtering preserves schema and row predicates compose.
+    #[test]
+    fn filter_rows_laws(vals in proptest::collection::vec(-100i64..100, 0..60)) {
+        let t = deepeye_data::TableBuilder::new("t")
+            .numeric("v", vals.iter().map(|&v| v as f64))
+            .build()
+            .unwrap();
+        let pos = t.filter_rows(|r| t.value(r, 0).as_number().unwrap_or(0.0) > 0.0);
+        prop_assert_eq!(pos.column_count(), 1);
+        let expected = vals.iter().filter(|&&v| v > 0).count();
+        prop_assert_eq!(pos.row_count(), expected);
+        for x in pos.column(0).unwrap().numbers() {
+            prop_assert!(x > 0.0);
+        }
+    }
+
+    /// SUM conservation for quadratic fit residuals: fitted quadratic on a
+    /// true quadratic is exact.
+    #[test]
+    fn quadratic_exact(c0 in -10f64..10.0, c1 in -10f64..10.0, c2 in -3f64..3.0) {
+        let xs: Vec<f64> = (0..25).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x + c2 * x * x).collect();
+        let (f0, f1, f2) = stats::quadratic_fit(&xs, &ys);
+        prop_assert!((f0 - c0).abs() < 1e-5 * (1.0 + c0.abs()));
+        prop_assert!((f1 - c1).abs() < 1e-5 * (1.0 + c1.abs()));
+        prop_assert!((f2 - c2).abs() < 1e-5 * (1.0 + c2.abs()));
+    }
+}

@@ -1,0 +1,343 @@
+//! The experiment corpus: 42 seeded synthetic datasets standing in for the
+//! paper's 42 real-world tables (Table III), with the 10 held-out test
+//! datasets X1–X10 matching Table IV's names, tuple counts, and column
+//! counts, and 32 training datasets.
+
+use crate::flight::flight_table;
+use crate::synth::{year_start, Synth};
+use deepeye_data::{Column, Table, TableBuilder};
+use rand::Rng;
+
+/// A dataset's generation parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusSpec {
+    pub name: String,
+    pub rows: usize,
+    pub cols: usize,
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    fn new(name: &str, rows: usize, cols: usize, seed: u64) -> Self {
+        CorpusSpec {
+            name: name.to_owned(),
+            rows,
+            cols,
+            seed,
+        }
+    }
+
+    /// Scale the row count (for fast tests); at least 3 rows survive.
+    pub fn scaled(&self, scale: f64) -> CorpusSpec {
+        CorpusSpec {
+            rows: ((self.rows as f64 * scale) as usize).max(3),
+            ..self.clone()
+        }
+    }
+}
+
+/// The 10 testing datasets of Table IV.
+pub fn test_specs() -> Vec<CorpusSpec> {
+    vec![
+        CorpusSpec::new("Hollywood's Stories", 75, 8, 101),
+        CorpusSpec::new("Foreign Visitor Arrivals", 172, 4, 102),
+        CorpusSpec::new("McDonald's Menu", 263, 23, 103),
+        CorpusSpec::new("Happiness Rank", 316, 12, 104),
+        CorpusSpec::new("ZHVI Summary", 1_749, 13, 105),
+        CorpusSpec::new("NFL Player Statistics", 4_626, 25, 106),
+        CorpusSpec::new("Airbnb Summary", 6_001, 9, 107),
+        CorpusSpec::new("Top Baby Names in US", 22_037, 6, 108),
+        CorpusSpec::new("Adult", 32_561, 14, 109),
+        CorpusSpec::new("FlyDelay", 99_527, 6, 110),
+    ]
+}
+
+/// The 32 training datasets. Sizes span Table III's ranges (3–~20k tuples,
+/// 2–25 columns) across several synthetic domains.
+pub fn training_specs() -> Vec<CorpusSpec> {
+    let domains = [
+        "real estate",
+        "transit",
+        "census",
+        "retail",
+        "weather",
+        "sports",
+        "energy",
+        "health",
+    ];
+    let mut specs = Vec::with_capacity(32);
+    // One pathological tiny table (Table III's minimum is 3 tuples).
+    specs.push(CorpusSpec::new("tiny summary", 3, 3, 200));
+    let mut rng_rows = [
+        18, 42, 90, 150, 210, 260, 340, 420, 520, 640, 780, 900, 1_100, 1_300, 1_600, 1_900, 2_200,
+        2_600, 3_000, 3_400, 1_200, 1_500, 1_700, 1_900, 2_100, 2_400, 2_700, 3_000, 3_300, 3_600,
+        4_000,
+    ]
+    .into_iter();
+    let cols = [
+        2, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 3, 5,
+        7, 9, 11, 13, 15, 17,
+    ];
+    for (i, &c) in cols.iter().enumerate() {
+        let rows = rng_rows.next().expect("31 row sizes for 31 specs");
+        let domain = domains[i % domains.len()];
+        specs.push(CorpusSpec::new(
+            &format!("{domain} survey {i:02}"),
+            rows,
+            c,
+            300 + i as u64,
+        ));
+    }
+    specs
+}
+
+/// Build the table for a spec. `FlyDelay` uses the structured flight
+/// generator; everything else uses the generic mixed-type synthesizer.
+pub fn build_table(spec: &CorpusSpec) -> Table {
+    if spec.name == "FlyDelay" {
+        return flight_table(spec.seed, spec.rows);
+    }
+    let mut s = Synth::new(spec.seed);
+    let rows = spec.rows.max(1);
+    let cols = spec.cols.max(2);
+
+    // Type plan: at least one categorical; a temporal column for most
+    // datasets with ≥4 columns; the rest numeric with varied structure.
+    let n_cat = 1 + s.rng().gen_range(0..=(cols / 4));
+    let has_temporal = cols >= 4 && s.rng().gen_bool(0.7);
+    let n_tem = usize::from(has_temporal);
+    let n_num = cols.saturating_sub(n_cat + n_tem).max(1);
+    let n_cat = cols - n_tem - n_num; // re-balance so counts sum exactly
+
+    // Real-world datasets differ wildly in magnitude (unit prices vs
+    // populations vs percentages); give each dataset its own value scale so
+    // the corpus is as scale-heterogeneous as real data. This matters for
+    // the ML experiments: the 14 features include raw min/max, and a model
+    // trained on one scale must cope with others.
+    let value_scale = 10f64.powf(s.rng().gen_range(-1.0..4.0));
+
+    let mut builder = TableBuilder::new(&spec.name);
+    let mut numeric_history: Vec<Vec<f64>> = Vec::new();
+
+    for i in 0..n_cat {
+        let k = s.rng().gen_range(2..=18.min(rows.max(2)));
+        let skew = s.rng().gen_range(0.5..1.6);
+        builder = builder.column(s.categorical_generic(&format!("category_{i}"), rows, k, skew));
+    }
+    if n_tem > 0 {
+        let year = s.rng().gen_range(2000..2016);
+        let step = *[3_600i64, 86_400, 7 * 86_400, 30 * 86_400]
+            .get(s.rng().gen_range(0..4))
+            .expect("index in range");
+        builder = builder.column(s.temporal("recorded", rows, year_start(year), step, step / 4));
+    }
+    for i in 0..n_num {
+        let roll: f64 = s.rng().gen_range(0.0..1.0);
+        let col: Column = if roll < 0.25 && !numeric_history.is_empty() {
+            // Correlate with an earlier numeric column → scatter stories.
+            let base_idx = s.rng().gen_range(0..numeric_history.len());
+            let slope =
+                s.rng().gen_range(0.5..3.0) * if s.rng().gen_bool(0.5) { 1.0 } else { -1.0 };
+            let base = numeric_history[base_idx].clone();
+            let noise = s.rng().gen_range(0.05..0.8) * deepeye_data::stats::stddev(&base).max(1.0);
+            s.correlated(&format!("metric_{i}"), &base, slope, 10.0, noise)
+        } else if roll < 0.45 {
+            // Trending series → line stories.
+            let (start, per_row, noise) = (
+                s.rng().gen_range(0.0..50.0),
+                s.rng().gen_range(0.01..0.5),
+                s.rng().gen_range(0.5..5.0),
+            );
+            s.trending(&format!("metric_{i}"), rows, start, per_row, noise)
+        } else if roll < 0.6 {
+            let (level, amp, period, noise) = (
+                s.rng().gen_range(20.0..100.0),
+                s.rng().gen_range(5.0..30.0),
+                s.rng().gen_range(10.0..80.0),
+                s.rng().gen_range(0.5..4.0),
+            );
+            s.seasonal(&format!("metric_{i}"), rows, level, amp, period, noise)
+        } else if roll < 0.8 {
+            let signed = s.rng().gen_bool(0.15);
+            let mu = if signed {
+                s.rng().gen_range(-20.0..20.0)
+            } else {
+                s.rng().gen_range(30.0..120.0)
+            };
+            let sigma = s.rng().gen_range(1.0..15.0);
+            s.gaussian(&format!("metric_{i}"), rows, mu, sigma)
+        } else {
+            let mu = s.rng().gen_range(1.0..4.0);
+            s.lognormal(&format!("metric_{i}"), rows, mu, 0.6)
+        };
+        // Apply the dataset's value scale (correlations are preserved).
+        let col = {
+            let name = col.name().to_owned();
+            match col.data() {
+                deepeye_data::ColumnData::Numeric(v) => deepeye_data::Column::new(
+                    name,
+                    deepeye_data::ColumnData::Numeric(
+                        v.iter().map(|x| x.map(|x| x * value_scale)).collect(),
+                    ),
+                ),
+                _ => col,
+            }
+        };
+        numeric_history.push(col.numbers());
+        // A light sprinkle of nulls in one in four numeric columns.
+        let col = if s.rng().gen_bool(0.25) {
+            s.with_nulls(col, 0.02)
+        } else {
+            col
+        };
+        builder = builder.column(col);
+    }
+
+    builder
+        .build()
+        .expect("synthesized columns are equal-length")
+}
+
+/// Build all test tables at the given row scale (1.0 = paper scale).
+pub fn test_tables(scale: f64) -> Vec<Table> {
+    test_specs()
+        .iter()
+        .map(|s| build_table(&s.scaled(scale)))
+        .collect()
+}
+
+/// Build all training tables at the given row scale.
+pub fn training_tables(scale: f64) -> Vec<Table> {
+    training_specs()
+        .iter()
+        .map(|s| build_table(&s.scaled(scale)))
+        .collect()
+}
+
+/// Aggregate statistics in the shape of the paper's Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    pub datasets: usize,
+    pub min_tuples: usize,
+    pub max_tuples: usize,
+    pub avg_tuples: f64,
+    pub min_columns: usize,
+    pub max_columns: usize,
+    pub temporal_columns: usize,
+    pub categorical_columns: usize,
+    pub numerical_columns: usize,
+}
+
+/// Compute Table III-style statistics over a set of tables.
+pub fn corpus_stats(tables: &[Table]) -> CorpusStats {
+    use deepeye_data::DataType;
+    let mut stats = CorpusStats {
+        datasets: tables.len(),
+        min_tuples: usize::MAX,
+        max_tuples: 0,
+        avg_tuples: 0.0,
+        min_columns: usize::MAX,
+        max_columns: 0,
+        temporal_columns: 0,
+        categorical_columns: 0,
+        numerical_columns: 0,
+    };
+    for t in tables {
+        stats.min_tuples = stats.min_tuples.min(t.row_count());
+        stats.max_tuples = stats.max_tuples.max(t.row_count());
+        stats.avg_tuples += t.row_count() as f64;
+        stats.min_columns = stats.min_columns.min(t.column_count());
+        stats.max_columns = stats.max_columns.max(t.column_count());
+        for c in t.columns() {
+            match c.data_type() {
+                DataType::Temporal => stats.temporal_columns += 1,
+                DataType::Categorical => stats.categorical_columns += 1,
+                DataType::Numerical => stats.numerical_columns += 1,
+            }
+        }
+    }
+    if !tables.is_empty() {
+        stats.avg_tuples /= tables.len() as f64;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_shape() {
+        let specs = test_specs();
+        assert_eq!(specs.len(), 10);
+        assert_eq!(specs[9].name, "FlyDelay");
+        assert_eq!(specs[9].rows, 99_527);
+        assert_eq!(specs[2].cols, 23); // McDonald's Menu
+        assert_eq!(specs[5].cols, 25); // NFL
+    }
+
+    #[test]
+    fn training_set_has_32() {
+        let specs = training_specs();
+        assert_eq!(specs.len(), 32);
+        assert!(
+            specs.iter().any(|s| s.rows == 3),
+            "Table III minimum of 3 tuples"
+        );
+        assert!(specs.iter().all(|s| (2..=25).contains(&s.cols)));
+        // Unique names.
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    fn build_matches_spec() {
+        for spec in training_specs().iter().take(6) {
+            let t = build_table(spec);
+            assert_eq!(t.row_count(), spec.rows, "{}", spec.name);
+            assert_eq!(t.column_count(), spec.cols, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = &test_specs()[0].scaled(1.0);
+        assert_eq!(build_table(spec), build_table(spec));
+    }
+
+    #[test]
+    fn scaled_specs_shrink() {
+        let spec = test_specs()[9].scaled(0.01);
+        let t = build_table(&spec);
+        assert_eq!(t.row_count(), 995);
+        assert_eq!(t.column_count(), 6);
+    }
+
+    #[test]
+    fn corpus_mixes_types() {
+        let tables = training_tables(0.05);
+        let stats = corpus_stats(&tables);
+        assert_eq!(stats.datasets, 32);
+        assert!(stats.categorical_columns > 10);
+        assert!(stats.numerical_columns > 50);
+        assert!(stats.temporal_columns > 5);
+        assert!(stats.min_columns >= 2 && stats.max_columns <= 25);
+    }
+
+    #[test]
+    fn full_corpus_stats_match_table_iii_ranges() {
+        // Spec-level check (no table building needed at full scale).
+        let all: Vec<CorpusSpec> = training_specs().into_iter().chain(test_specs()).collect();
+        assert_eq!(all.len(), 42);
+        let min = all.iter().map(|s| s.rows).min().unwrap();
+        let max = all.iter().map(|s| s.rows).max().unwrap();
+        let avg = all.iter().map(|s| s.rows).sum::<usize>() as f64 / 42.0;
+        assert_eq!(min, 3);
+        assert_eq!(max, 99_527);
+        // Paper: average 3,381. The Table IV test sets alone force a floor
+        // of ~3,984 (167,327 tuples / 42), so we land just above it.
+        assert!((3_900.0..=5_500.0).contains(&avg), "avg {avg}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Crowdsourced-comparison simulation and aggregation.
+//!
+//! The paper built its ranking ground truth by asking 100 students for
+//! 285,236 pairwise comparisons and merging them into a total order with
+//! crowdsourced top-k techniques (its refs [16, 17]). This module
+//! reproduces that pipeline: simulate noisy annotators who compare chart
+//! pairs (more disagreement the closer the true scores), then merge the
+//! comparisons back into a total order with Borda counting or iterative
+//! Copeland refinement — so experiments can use *merged-judgment* ground
+//! truth rather than reading the oracle's scores directly.
+
+use crate::oracle::PerceptionOracle;
+use deepeye_core::VisNode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One simulated pairwise judgment: annotator `worker` preferred `winner`
+/// over `loser`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparison {
+    pub worker: usize,
+    pub winner: usize,
+    pub loser: usize,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrowdConfig {
+    /// Number of simulated annotators.
+    pub workers: usize,
+    /// Comparisons requested per worker.
+    pub comparisons_per_worker: usize,
+    /// Bradley–Terry-style temperature: higher = noisier judgments.
+    pub temperature: f64,
+    pub seed: u64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            workers: 100,
+            comparisons_per_worker: 40,
+            temperature: 8.0,
+            seed: 77,
+        }
+    }
+}
+
+/// Simulate pairwise comparisons over a node set: each judgment follows a
+/// Bradley–Terry model on the oracle's latent scores, so near-ties are
+/// noisy and clear gaps are near-deterministic — like real annotators.
+pub fn simulate_comparisons(
+    nodes: &[VisNode],
+    oracle: &PerceptionOracle,
+    config: &CrowdConfig,
+) -> Vec<Comparison> {
+    let n = nodes.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let scores: Vec<f64> = nodes.iter().map(|nd| oracle.score(nd)).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.workers * config.comparisons_per_worker);
+    for worker in 0..config.workers {
+        for _ in 0..config.comparisons_per_worker {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            let p_a = 1.0 / (1.0 + ((scores[b] - scores[a]) / config.temperature).exp());
+            let (winner, loser) = if rng.gen_bool(p_a.clamp(0.0, 1.0)) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            out.push(Comparison {
+                worker,
+                winner,
+                loser,
+            });
+        }
+    }
+    out
+}
+
+/// Merge comparisons by Borda count: each win is one point; ties break by
+/// index. Returns the merged order, best first.
+pub fn merge_borda(n: usize, comparisons: &[Comparison]) -> Vec<usize> {
+    let mut wins = vec![0usize; n];
+    for c in comparisons {
+        if c.winner < n {
+            wins[c.winner] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(a.cmp(&b)));
+    order
+}
+
+/// Merge comparisons with an iterative rating model (Elo-like batch
+/// updates over several passes): more robust than Borda when sampling is
+/// uneven because it weights wins by opponent strength. Returns the
+/// merged order, best first.
+pub fn merge_iterative(n: usize, comparisons: &[Comparison], passes: usize) -> Vec<usize> {
+    let mut rating = vec![0.0f64; n];
+    let k = 1.0;
+    for _ in 0..passes.max(1) {
+        for c in comparisons {
+            if c.winner >= n || c.loser >= n {
+                continue;
+            }
+            let expect_w = 1.0 / (1.0 + ((rating[c.loser] - rating[c.winner]) / 4.0).exp());
+            let delta = k * (1.0 - expect_w);
+            rating[c.winner] += delta;
+            rating[c.loser] -= delta;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| rating[b].total_cmp(&rating[a]).then(a.cmp(&b)));
+    order
+}
+
+/// Kendall tau-a rank correlation between two orders of the same items,
+/// in [-1, 1]. Used to validate that merged crowd orders recover the
+/// latent ranking.
+pub fn kendall_tau(order_a: &[usize], order_b: &[usize]) -> f64 {
+    let n = order_a.len();
+    assert_eq!(n, order_b.len(), "orders must cover the same items");
+    if n < 2 {
+        return 1.0;
+    }
+    let mut pos_a = vec![0usize; n];
+    let mut pos_b = vec![0usize; n];
+    for (p, &i) in order_a.iter().enumerate() {
+        pos_a[i] = p;
+    }
+    for (p, &i) in order_b.iter().enumerate() {
+        pos_b[i] = p;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let a = pos_a[i].cmp(&pos_a[j]);
+            let b = pos_b[i].cmp(&pos_b[j]);
+            if a == b {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (concordant + discordant) as f64
+}
+
+/// The full ground-truth pipeline for one dataset's nodes: simulate the
+/// crowd, merge with the iterative model, return the merged total order.
+pub fn crowd_total_order(
+    nodes: &[VisNode],
+    oracle: &PerceptionOracle,
+    config: &CrowdConfig,
+) -> Vec<usize> {
+    let comparisons = simulate_comparisons(nodes, oracle, config);
+    merge_iterative(nodes.len(), &comparisons, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::flight_table;
+    use deepeye_core::DeepEye;
+
+    fn sample_nodes(count: usize) -> Vec<VisNode> {
+        let t = flight_table(21, 1_200);
+        let mut nodes = DeepEye::with_defaults().candidates(&t);
+        nodes.truncate(count);
+        nodes
+    }
+
+    #[test]
+    fn simulation_respects_score_gaps() {
+        let nodes = sample_nodes(20);
+        let oracle = PerceptionOracle::default();
+        let config = CrowdConfig {
+            workers: 60,
+            comparisons_per_worker: 50,
+            ..Default::default()
+        };
+        let comparisons = simulate_comparisons(&nodes, &oracle, &config);
+        assert_eq!(comparisons.len(), 3_000);
+        // The best- and worst-scoring nodes should win/lose most matchups.
+        let scores: Vec<f64> = nodes.iter().map(|n| oracle.score(n)).collect();
+        let best = (0..nodes.len())
+            .max_by(|&a, &b| scores[a].total_cmp(&scores[b]))
+            .unwrap();
+        let (mut wins, mut games) = (0usize, 0usize);
+        for c in &comparisons {
+            if c.winner == best {
+                wins += 1;
+                games += 1;
+            } else if c.loser == best {
+                games += 1;
+            }
+        }
+        assert!(games > 0);
+        assert!(
+            wins as f64 / games as f64 > 0.6,
+            "best node should win most comparisons ({wins}/{games})"
+        );
+    }
+
+    #[test]
+    fn merges_recover_latent_order() {
+        let nodes = sample_nodes(15);
+        let oracle = PerceptionOracle::default();
+        let scores: Vec<f64> = nodes.iter().map(|n| oracle.score(n)).collect();
+        let mut latent: Vec<usize> = (0..nodes.len()).collect();
+        latent.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+
+        let config = CrowdConfig {
+            workers: 100,
+            comparisons_per_worker: 80,
+            ..Default::default()
+        };
+        let comparisons = simulate_comparisons(&nodes, &oracle, &config);
+        let borda = merge_borda(nodes.len(), &comparisons);
+        let iterative = merge_iterative(nodes.len(), &comparisons, 3);
+        let tau_b = kendall_tau(&borda, &latent);
+        let tau_i = kendall_tau(&iterative, &latent);
+        assert!(tau_b > 0.6, "Borda tau {tau_b}");
+        assert!(tau_i > 0.6, "iterative tau {tau_i}");
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let a = vec![0usize, 1, 2, 3];
+        let b = vec![3usize, 2, 1, 0];
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        assert_eq!(kendall_tau(&a, &b), -1.0);
+        assert_eq!(kendall_tau(&[], &[]), 1.0);
+        assert_eq!(kendall_tau(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let oracle = PerceptionOracle::default();
+        let config = CrowdConfig::default();
+        assert!(simulate_comparisons(&[], &oracle, &config).is_empty());
+        let one = sample_nodes(1);
+        assert!(simulate_comparisons(&one, &oracle, &config).is_empty());
+        assert_eq!(merge_borda(0, &[]), Vec::<usize>::new());
+        assert_eq!(merge_iterative(3, &[], 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn determinism() {
+        let nodes = sample_nodes(10);
+        let oracle = PerceptionOracle::default();
+        let config = CrowdConfig::default();
+        assert_eq!(
+            simulate_comparisons(&nodes, &oracle, &config),
+            simulate_comparisons(&nodes, &oracle, &config)
+        );
+        assert_eq!(
+            crowd_total_order(&nodes, &oracle, &config),
+            crowd_total_order(&nodes, &oracle, &config)
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! The flight-delay table of the paper's running example (Table I /
+//! dataset X10 "FlyDelay": 99,527 tuples, 6 columns).
+//!
+//! The synthetic generator reproduces the structure the paper's figures
+//! rely on:
+//!
+//! - departure delay follows an hour-of-day pattern with a relative high
+//!   around 11:00 and a peak around 19:00 (Example 8 / Figure 1(c)), but no
+//!   day-of-year structure (so Figure 1(d), the per-day average, is "bad");
+//! - arrival delay correlates strongly with departure delay, with a
+//!   per-carrier offset (the carrier "OO is bad" story of Figure 1(a));
+//! - passengers depend on destination popularity (Figure 1(b)).
+
+use crate::synth::{year_start, Synth};
+use deepeye_data::{Column, Table, TableBuilder, Timestamp};
+use rand::Rng;
+
+/// Row count of the paper's FlyDelay dataset.
+pub const FLIGHT_ROWS: usize = 99_527;
+
+pub const CARRIERS: [&str; 5] = ["UA", "AA", "MQ", "OO", "DL"];
+pub const DESTINATIONS: [&str; 10] = [
+    "New York",
+    "Los Angeles",
+    "San Francisco",
+    "Atlanta",
+    "Denver",
+    "Boston",
+    "Seattle",
+    "Miami",
+    "Dallas",
+    "Phoenix",
+];
+
+/// Mean extra departure delay (minutes) per carrier — OO is the bad one.
+const CARRIER_DELAY: [f64; 5] = [2.0, 4.0, 6.0, 14.0, 1.0];
+
+/// Hour-of-day delay curve: low overnight, relative high ~11:00, dip, then
+/// the daily peak ~19:00.
+fn hourly_delay(hour: u8) -> f64 {
+    match hour {
+        0..=5 => 1.0,
+        6..=8 => 4.0,
+        9..=10 => 8.0,
+        11 => 12.0,
+        12..=14 => 7.0,
+        15..=17 => 12.0,
+        18 => 18.0,
+        19 => 22.0,
+        20 => 18.0,
+        21 => 12.0,
+        _ => 6.0,
+    }
+}
+
+/// Generate a flight table with `rows` tuples (use [`FLIGHT_ROWS`] for the
+/// paper-scale dataset; smaller values keep examples fast).
+pub fn flight_table(seed: u64, rows: usize) -> Table {
+    let mut s = Synth::new(seed);
+    let start = year_start(2015).unix_seconds();
+    let seconds_per_year = 365 * 86_400i64;
+
+    let mut scheduled: Vec<Timestamp> = Vec::with_capacity(rows);
+    let mut carriers: Vec<&str> = Vec::with_capacity(rows);
+    let mut destinations: Vec<&str> = Vec::with_capacity(rows);
+    let mut departure: Vec<f64> = Vec::with_capacity(rows);
+    let mut arrival: Vec<f64> = Vec::with_capacity(rows);
+    let mut passengers: Vec<f64> = Vec::with_capacity(rows);
+
+    for i in 0..rows {
+        // Spread departures over the year, biased toward daytime hours.
+        let day = (i as i64 * seconds_per_year / rows.max(1) as i64) / 86_400;
+        let hour: u8 = {
+            let r: f64 = s.rng().gen_range(0.0..1.0);
+            // Daytime-heavy hour distribution.
+            ((6.0 + 17.0 * r.powf(0.7)) as u8).min(23)
+        };
+        let minute: u8 = s.rng().gen_range(0..60);
+        let ts = Timestamp::from_unix_seconds(
+            start + day * 86_400 + i64::from(hour) * 3_600 + i64::from(minute) * 60,
+        );
+        scheduled.push(ts);
+
+        let carrier_idx = s.zipf(CARRIERS.len(), 0.7);
+        carriers.push(CARRIERS[carrier_idx]);
+        let dest_idx = s.zipf(DESTINATIONS.len(), 0.9);
+        destinations.push(DESTINATIONS[dest_idx]);
+
+        // Departure delay: hour pattern + carrier effect + heavy noise.
+        // No day-of-year term → per-day averages carry no story.
+        let dep = hourly_delay(hour) + CARRIER_DELAY[carrier_idx] + 8.0 * s.normal();
+        departure.push(dep.round());
+
+        // Arrival delay tracks departure delay (the Figure 1(a) story).
+        let arr = 0.9 * dep + 2.0 + 4.0 * s.normal();
+        arrival.push(arr.round());
+
+        // Passengers by destination popularity with seasonal demand.
+        let base = 220.0 - 14.0 * dest_idx as f64;
+        let season = 30.0 * (2.0 * std::f64::consts::PI * day as f64 / 365.0).sin();
+        let pax = (base + season + 25.0 * s.normal()).clamp(20.0, 400.0);
+        passengers.push(pax.round());
+    }
+
+    TableBuilder::new("FlyDelay")
+        .column(Column::temporal("scheduled", scheduled))
+        .text("carrier", carriers)
+        .text("destination", destinations)
+        .numeric("departure delay", departure)
+        .numeric("arrival delay", arrival)
+        .numeric("passengers", passengers)
+        .build()
+        .expect("flight table construction cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepeye_data::{correlation, trend_of_series, DataType, TimeUnit};
+    use deepeye_query::{
+        execute, Aggregate, BinStrategy, ChartType, SortOrder, Transform, VisQuery,
+    };
+
+    fn small() -> Table {
+        flight_table(42, 8_000)
+    }
+
+    #[test]
+    fn schema_matches_paper() {
+        let t = small();
+        assert_eq!(t.column_count(), 6);
+        assert_eq!(
+            t.column_by_name("scheduled").unwrap().data_type(),
+            DataType::Temporal
+        );
+        assert_eq!(
+            t.column_by_name("carrier").unwrap().data_type(),
+            DataType::Categorical
+        );
+        assert_eq!(
+            t.column_by_name("departure delay").unwrap().data_type(),
+            DataType::Numerical
+        );
+        assert_eq!(t.column_by_name("carrier").unwrap().distinct_count(), 5);
+    }
+
+    #[test]
+    fn departure_arrival_correlated_like_figure_1a() {
+        let t = small();
+        let dep = t.column_by_name("departure delay").unwrap().numbers();
+        let arr = t.column_by_name("arrival delay").unwrap().numbers();
+        let c = correlation(&dep, &arr);
+        assert!(c.strength() > 0.7, "corr {}", c.strength());
+    }
+
+    #[test]
+    fn hourly_average_has_trend_daily_does_not() {
+        // The Figure 1(c) vs 1(d) contrast from Example 1.
+        let t = small();
+        let by_hour = execute(
+            &t,
+            &VisQuery {
+                chart: ChartType::Line,
+                x: "scheduled".into(),
+                y: Some("departure delay".into()),
+                transform: Transform::Bin(BinStrategy::Unit(TimeUnit::Hour)),
+                aggregate: Aggregate::Avg,
+                order: SortOrder::ByX,
+            },
+        )
+        .unwrap();
+        // Periodic hour-of-day bins: at most 24 buckets, with a clear
+        // daily pattern (the Figure 1(c) story).
+        assert!(by_hour.series.len() <= 24, "hour bins are hour-of-day");
+        let profile = by_hour.series.y_values();
+        let trend = trend_of_series(&profile);
+        assert!(
+            trend.follows_distribution,
+            "hour-of-day profile should follow a distribution (fit {})",
+            trend.fit
+        );
+
+        let by_day = execute(
+            &t,
+            &VisQuery {
+                chart: ChartType::Line,
+                x: "scheduled".into(),
+                y: Some("departure delay".into()),
+                transform: Transform::Bin(BinStrategy::Unit(TimeUnit::Day)),
+                aggregate: Aggregate::Avg,
+                order: SortOrder::ByX,
+            },
+        )
+        .unwrap();
+        let daily = by_day.series.y_values();
+        let daily_trend = trend_of_series(&daily);
+        assert!(
+            !daily_trend.follows_distribution,
+            "per-day averages should be structureless (fit {})",
+            daily_trend.fit
+        );
+    }
+
+    #[test]
+    fn oo_is_the_worst_carrier() {
+        let t = small();
+        let chart = execute(
+            &t,
+            &VisQuery {
+                chart: ChartType::Bar,
+                x: "carrier".into(),
+                y: Some("departure delay".into()),
+                transform: Transform::Group,
+                aggregate: Aggregate::Avg,
+                order: SortOrder::ByY,
+            },
+        )
+        .unwrap();
+        if let deepeye_query::Series::Keyed(pairs) = &chart.series {
+            assert_eq!(
+                pairs[0].0.to_string(),
+                "OO",
+                "worst carrier first: {pairs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_scalable() {
+        assert_eq!(flight_table(1, 500), flight_table(1, 500));
+        assert_ne!(flight_table(1, 500), flight_table(2, 500));
+        let t = flight_table(3, 100);
+        assert_eq!(t.row_count(), 100);
+    }
+}

@@ -1,0 +1,45 @@
+//! # deepeye-datagen
+//!
+//! Experiment substrate for the DeepEye reproduction. The paper evaluates
+//! on 42 real-world datasets with 100-student annotations and 9 public use
+//! cases — none redistributable — so this crate synthesizes statistically
+//! matched stand-ins (see DESIGN.md §3 for the substitution argument):
+//!
+//! - [`corpus`] — the 42-dataset corpus: X1–X10 test sets matching Table
+//!   IV plus 32 training sets spanning Table III's ranges;
+//! - [`flight`] — the structured FlyDelay table behind the paper's running
+//!   example (hourly delay pattern, carrier effects, correlated delays);
+//! - [`oracle`] — the perception oracle that stands in for the human
+//!   annotators (deterministic scores, noisy labels, merged rankings);
+//! - [`usecases`] — D1–D9 analogues with editorially chosen "published"
+//!   charts for the coverage experiment (Table VI);
+//! - [`labels`] — glue that turns tables + oracle into recognition
+//!   examples and ranking groups;
+//! - [`synth`] — the seeded column generators underneath it all.
+
+pub mod corpus;
+pub mod crowd;
+pub mod flight;
+pub mod labels;
+pub mod oracle;
+pub mod synth;
+pub mod usecases;
+
+pub use corpus::{
+    build_table, corpus_stats, test_specs, test_tables, training_specs, training_tables,
+    CorpusSpec, CorpusStats,
+};
+pub use crowd::{
+    crowd_total_order, kendall_tau, merge_borda, merge_iterative, simulate_comparisons, Comparison,
+    CrowdConfig,
+};
+pub use flight::{flight_table, CARRIERS, DESTINATIONS, FLIGHT_ROWS};
+pub use labels::{
+    candidate_nodes, combo_crowd_ranking_example, combo_crowd_ranking_examples,
+    combo_evaluation_nodes, combo_recognition_examples, combos_of, crowd_ranking_example,
+    crowd_ranking_examples, dense_relevance, evaluation_nodes, ranking_example, ranking_examples,
+    recognition_examples, Combo, EvalNode, MAX_TRAINING_GROUP,
+};
+pub use oracle::PerceptionOracle;
+pub use synth::{year_start, Synth};
+pub use usecases::{coverage_k, use_cases, UseCase};

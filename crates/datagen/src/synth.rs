@@ -1,0 +1,289 @@
+//! Synthetic column generators.
+//!
+//! The paper's 42 real-world datasets are not redistributable, so the
+//! corpus is synthesized with matching marginal statistics (tuple counts,
+//! column counts, type mix) and realistic cross-column structure: skewed
+//! categoricals, trending/seasonal/correlated numerics, and regular or
+//! jittered temporal columns. Everything is seeded and deterministic.
+
+use deepeye_data::{Civil, Column, ColumnData, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator context.
+pub struct Synth {
+    rng: StdRng,
+}
+
+impl Synth {
+    pub fn new(seed: u64) -> Self {
+        Synth {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Standard normal via Box–Muller (rand 0.8 without rand_distr).
+    pub fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Zipf-ish skewed index in `0..k`: probability ∝ 1/(i+1)^s.
+    pub fn zipf(&mut self, k: usize, s: f64) -> usize {
+        debug_assert!(k > 0);
+        let weights: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = self.rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        k - 1
+    }
+
+    /// Categorical column: `rows` draws from `vocab` with Zipf skew `s`.
+    pub fn categorical(&mut self, name: &str, rows: usize, vocab: &[&str], s: f64) -> Column {
+        let values: Vec<String> = (0..rows)
+            .map(|_| vocab[self.zipf(vocab.len(), s)].to_owned())
+            .collect();
+        Column::text(name, values)
+    }
+
+    /// Generic categorical vocabulary `{prefix}0 … {prefix}{k-1}`.
+    pub fn categorical_generic(&mut self, name: &str, rows: usize, k: usize, s: f64) -> Column {
+        let vocab: Vec<String> = (0..k).map(|i| format!("{name}_{i}")).collect();
+        let refs: Vec<&str> = vocab.iter().map(String::as_str).collect();
+        self.categorical(name, rows, &refs, s)
+    }
+
+    /// Uniform numeric column in `[lo, hi)`.
+    pub fn uniform(&mut self, name: &str, rows: usize, lo: f64, hi: f64) -> Column {
+        Column::numeric(name, (0..rows).map(|_| self.rng.gen_range(lo..hi)))
+    }
+
+    /// Normal numeric column.
+    pub fn gaussian(&mut self, name: &str, rows: usize, mu: f64, sigma: f64) -> Column {
+        let vals: Vec<f64> = (0..rows).map(|_| mu + sigma * self.normal()).collect();
+        Column::numeric(name, vals)
+    }
+
+    /// Log-normal numeric column (e.g. prices, incomes).
+    pub fn lognormal(&mut self, name: &str, rows: usize, mu: f64, sigma: f64) -> Column {
+        let vals: Vec<f64> = (0..rows)
+            .map(|_| (mu + sigma * self.normal()).exp())
+            .collect();
+        Column::numeric(name, vals)
+    }
+
+    /// Numeric column linearly correlated with `base`:
+    /// `y = intercept + slope·x + noise`.
+    pub fn correlated(
+        &mut self,
+        name: &str,
+        base: &[f64],
+        slope: f64,
+        intercept: f64,
+        noise_sigma: f64,
+    ) -> Column {
+        let vals: Vec<f64> = base
+            .iter()
+            .map(|&x| intercept + slope * x + noise_sigma * self.normal())
+            .collect();
+        Column::numeric(name, vals)
+    }
+
+    /// Trending series over the row index with additive noise: captures
+    /// "grows over time" columns.
+    pub fn trending(
+        &mut self,
+        name: &str,
+        rows: usize,
+        start: f64,
+        per_row: f64,
+        noise_sigma: f64,
+    ) -> Column {
+        let vals: Vec<f64> = (0..rows)
+            .map(|i| start + per_row * i as f64 + noise_sigma * self.normal())
+            .collect();
+        Column::numeric(name, vals)
+    }
+
+    /// Seasonal series: `amp·sin(2π·i/period) + level + noise`.
+    pub fn seasonal(
+        &mut self,
+        name: &str,
+        rows: usize,
+        level: f64,
+        amp: f64,
+        period: f64,
+        noise_sigma: f64,
+    ) -> Column {
+        let vals: Vec<f64> = (0..rows)
+            .map(|i| {
+                level
+                    + amp * (2.0 * std::f64::consts::PI * i as f64 / period).sin()
+                    + noise_sigma * self.normal()
+            })
+            .collect();
+        Column::numeric(name, vals)
+    }
+
+    /// Temporal column of `rows` evenly spaced timestamps starting at
+    /// `start`, with `step_seconds` spacing and ±`jitter_seconds` noise.
+    pub fn temporal(
+        &mut self,
+        name: &str,
+        rows: usize,
+        start: Timestamp,
+        step_seconds: i64,
+        jitter_seconds: i64,
+    ) -> Column {
+        let vals: Vec<Timestamp> = (0..rows)
+            .map(|i| {
+                let jitter = if jitter_seconds > 0 {
+                    self.rng.gen_range(-jitter_seconds..=jitter_seconds)
+                } else {
+                    0
+                };
+                Timestamp::from_unix_seconds(
+                    start.unix_seconds() + i as i64 * step_seconds + jitter,
+                )
+            })
+            .collect();
+        Column::temporal(name, vals)
+    }
+
+    /// Column with a fraction of null cells (dirty-data realism).
+    pub fn with_nulls(&mut self, column: Column, null_rate: f64) -> Column {
+        let name = column.name().to_owned();
+        let data = match column.data().clone() {
+            ColumnData::Numeric(v) => ColumnData::Numeric(
+                v.into_iter()
+                    .map(|x| {
+                        if self.rng.gen_bool(null_rate) {
+                            None
+                        } else {
+                            x
+                        }
+                    })
+                    .collect(),
+            ),
+            ColumnData::Text(v) => ColumnData::Text(
+                v.into_iter()
+                    .map(|x| {
+                        if self.rng.gen_bool(null_rate) {
+                            None
+                        } else {
+                            x
+                        }
+                    })
+                    .collect(),
+            ),
+            ColumnData::Temporal(v) => ColumnData::Temporal(
+                v.into_iter()
+                    .map(|x| {
+                        if self.rng.gen_bool(null_rate) {
+                            None
+                        } else {
+                            x
+                        }
+                    })
+                    .collect(),
+            ),
+        };
+        Column::new(name, data)
+    }
+}
+
+/// Midnight on Jan 1 of `year`.
+pub fn year_start(year: i32) -> Timestamp {
+    Timestamp::from_civil(Civil::date(year, 1, 1).expect("valid date"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepeye_data::{correlation, DataType};
+
+    #[test]
+    fn determinism() {
+        let mut a = Synth::new(7);
+        let mut b = Synth::new(7);
+        assert_eq!(a.uniform("x", 20, 0.0, 1.0), b.uniform("x", 20, 0.0, 1.0));
+        let mut c = Synth::new(8);
+        assert_ne!(a.uniform("x", 20, 0.0, 1.0), c.uniform("x", 20, 0.0, 1.0));
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut s = Synth::new(1);
+        let mut counts = [0usize; 5];
+        for _ in 0..5000 {
+            counts[s.zipf(5, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[4] * 2, "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut s = Synth::new(2);
+        let c = s.gaussian("g", 20_000, 10.0, 2.0);
+        let vals = c.numbers();
+        let mean = deepeye_data::stats::mean(&vals);
+        let sd = deepeye_data::stats::stddev(&vals);
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((sd - 2.0).abs() < 0.1, "sd {sd}");
+    }
+
+    #[test]
+    fn correlated_column_correlates() {
+        let mut s = Synth::new(3);
+        let base = s.uniform("x", 500, 0.0, 100.0);
+        let xs = base.numbers();
+        let y = s.correlated("y", &xs, 2.0, 5.0, 4.0);
+        let c = correlation(&xs, &y.numbers());
+        assert!(c.strength() > 0.9, "corr {}", c.strength());
+    }
+
+    #[test]
+    fn trending_column_trends() {
+        let mut s = Synth::new(4);
+        let c = s.trending("t", 200, 0.0, 1.0, 2.0);
+        let t = deepeye_data::trend_of_series(&c.numbers());
+        assert!(t.follows_distribution);
+    }
+
+    #[test]
+    fn temporal_column_is_sorted_without_jitter() {
+        let mut s = Synth::new(5);
+        let c = s.temporal("when", 100, year_start(2015), 3600, 0);
+        let ts = c.timestamps();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(c.data_type(), DataType::Temporal);
+    }
+
+    #[test]
+    fn nulls_injected_at_rate() {
+        let mut s = Synth::new(6);
+        let c = s.uniform("x", 10_000, 0.0, 1.0);
+        let c = s.with_nulls(c, 0.1);
+        let rate = c.null_count() as f64 / c.len() as f64;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn categorical_vocab_respected() {
+        let mut s = Synth::new(9);
+        let c = s.categorical("carrier", 100, &["UA", "AA"], 1.0);
+        assert!(c.distinct_count() <= 2);
+        assert_eq!(c.len(), 100);
+    }
+}

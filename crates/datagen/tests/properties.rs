@@ -1,0 +1,104 @@
+//! Property-based tests for the experiment substrate.
+
+use deepeye_datagen::{
+    build_table, kendall_tau, merge_borda, merge_iterative, CorpusSpec, PerceptionOracle, Synth,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The generic synthesizer honors any (rows, cols) spec and is
+    /// deterministic per seed.
+    #[test]
+    fn synthesizer_honors_spec(rows in 1usize..200, cols in 2usize..12, seed in 0u64..500) {
+        let spec = CorpusSpec { name: "prop".into(), rows, cols, seed };
+        let a = build_table(&spec);
+        prop_assert_eq!(a.row_count(), rows);
+        prop_assert_eq!(a.column_count(), cols);
+        let b = build_table(&spec);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Zipf draws stay in range for any k.
+    #[test]
+    fn zipf_in_range(k in 1usize..40, s in 0.1f64..2.5, seed in 0u64..100) {
+        let mut synth = Synth::new(seed);
+        for _ in 0..50 {
+            prop_assert!(synth.zipf(k, s) < k);
+        }
+    }
+
+    /// Merging any comparison multiset yields a permutation.
+    #[test]
+    fn merges_are_permutations(
+        n in 1usize..30,
+        pairs in proptest::collection::vec((0usize..30, 0usize..30), 0..200),
+    ) {
+        let comparisons: Vec<deepeye_datagen::Comparison> = pairs
+            .into_iter()
+            .filter(|(a, b)| a != b && *a < n && *b < n)
+            .map(|(winner, loser)| deepeye_datagen::Comparison { worker: 0, winner, loser })
+            .collect();
+        for order in [merge_borda(n, &comparisons), merge_iterative(n, &comparisons, 2)] {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    /// Kendall tau is symmetric, bounded, and 1 on identical orders.
+    #[test]
+    fn kendall_tau_laws(perm_seed in 0u64..1000, n in 2usize..25) {
+        let shuffle = |seed: u64| {
+            let mut v: Vec<usize> = (0..n).collect();
+            let mut state = seed | 1;
+            for i in (1..n).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                v.swap(i, (state as usize) % (i + 1));
+            }
+            v
+        };
+        let a = shuffle(perm_seed);
+        let b = shuffle(perm_seed ^ 0x5555);
+        let t_ab = kendall_tau(&a, &b);
+        let t_ba = kendall_tau(&b, &a);
+        prop_assert!((t_ab - t_ba).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&t_ab));
+        prop_assert_eq!(kendall_tau(&a, &a), 1.0);
+    }
+}
+
+/// Oracle scores are deterministic, bounded, and label noise respects the
+/// configured rate across a candidate population.
+#[test]
+fn oracle_bounds_over_population() {
+    let table = build_table(&CorpusSpec {
+        name: "o".into(),
+        rows: 120,
+        cols: 6,
+        seed: 9,
+    });
+    let nodes = deepeye_datagen::candidate_nodes(&table);
+    assert!(!nodes.is_empty());
+    let oracle = PerceptionOracle::default();
+    for n in &nodes {
+        let s = oracle.score(n);
+        assert!((0.0..=100.0).contains(&s));
+        assert!(oracle.base_score(n) <= 100.0);
+        assert_eq!(oracle.label(n), oracle.label(n));
+        assert!((0.0..=3.0).contains(&oracle.relevance(n)));
+    }
+    // Different seeds give different column-interest profiles.
+    let other = PerceptionOracle::new(999);
+    let diff = nodes
+        .iter()
+        .filter(|n| (oracle.score(n) - other.score(n)).abs() > 1e-9)
+        .count();
+    assert!(
+        diff > nodes.len() / 4,
+        "seeds should change scores ({diff})"
+    );
+}

@@ -1,0 +1,236 @@
+//! Gaussian naive Bayes classifier — the paper's "Bayes" baseline in the
+//! recognition experiments (Figure 10, Tables VII–VIII).
+
+use crate::dataset::Dataset;
+
+/// Signed log compression for heavy-tailed features: Gaussian class
+/// models are hopeless on raw magnitudes spanning many decades (tuple
+/// counts from 3 to 10^5, values scaled per dataset), so features pass
+/// through `sign(x)·ln(1+|x|)` first — standard practice for naive Bayes
+/// on skewed numeric data.
+fn compress(x: f64) -> f64 {
+    x.signum() * x.abs().ln_1p()
+}
+
+fn compress_row(row: &[f64]) -> Vec<f64> {
+    row.iter().map(|&x| compress(x)).collect()
+}
+
+/// Per-class Gaussian model: feature means and variances plus a log prior.
+#[derive(Debug, Clone, PartialEq)]
+struct ClassModel {
+    log_prior: f64,
+    means: Vec<f64>,
+    variances: Vec<f64>,
+}
+
+/// Gaussian naive Bayes with variance smoothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianNb {
+    positive: ClassModel,
+    negative: ClassModel,
+}
+
+/// Variance floor (relative to the largest feature variance) to avoid
+/// divisions by zero for constant features, mirroring scikit-learn's
+/// `var_smoothing`.
+const VAR_SMOOTHING: f64 = 1e-9;
+
+fn fit_class(rows: &[&Vec<f64>], width: usize, prior: f64, floor: f64) -> ClassModel {
+    let n = rows.len().max(1) as f64;
+    let mut means = vec![0.0; width];
+    for row in rows {
+        for (m, x) in means.iter_mut().zip(row.iter()) {
+            *m += x;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut variances = vec![0.0; width];
+    for row in rows {
+        for ((v, m), x) in variances.iter_mut().zip(&means).zip(row.iter()) {
+            *v += (x - m) * (x - m);
+        }
+    }
+    for v in &mut variances {
+        *v = *v / n + floor;
+    }
+    ClassModel {
+        log_prior: prior.max(1e-12).ln(),
+        means,
+        variances,
+    }
+}
+
+impl ClassModel {
+    fn log_likelihood(&self, row: &[f64]) -> f64 {
+        let mut ll = self.log_prior;
+        for ((x, m), v) in row.iter().zip(&self.means).zip(&self.variances) {
+            ll += -0.5 * ((x - m) * (x - m) / v + (2.0 * std::f64::consts::PI * v).ln());
+        }
+        ll
+    }
+}
+
+impl GaussianNb {
+    /// Fit both class models. An absent class gets a tiny prior so
+    /// prediction still works.
+    pub fn fit(data: &Dataset) -> Self {
+        let width = data.width();
+        let compressed: Vec<Vec<f64>> = data.features().iter().map(|r| compress_row(r)).collect();
+        let pos_rows: Vec<&Vec<f64>> = compressed
+            .iter()
+            .zip(data.labels())
+            .filter_map(|(r, &l)| l.then_some(r))
+            .collect();
+        let neg_rows: Vec<&Vec<f64>> = compressed
+            .iter()
+            .zip(data.labels())
+            .filter_map(|(r, &l)| (!l).then_some(r))
+            .collect();
+        let n = data.len().max(1) as f64;
+        // Global variance scale for the smoothing floor.
+        let all_var = {
+            let mut means = vec![0.0; width];
+            for r in &compressed {
+                for (m, x) in means.iter_mut().zip(r) {
+                    *m += x;
+                }
+            }
+            for m in &mut means {
+                *m /= n;
+            }
+            let mut max_v: f64 = 0.0;
+            for f in 0..width {
+                let v: f64 = compressed
+                    .iter()
+                    .map(|r| (r[f] - means[f]).powi(2))
+                    .sum::<f64>()
+                    / n;
+                max_v = max_v.max(v);
+            }
+            max_v.max(1.0)
+        };
+        let floor = VAR_SMOOTHING * all_var;
+        GaussianNb {
+            positive: fit_class(&pos_rows, width, pos_rows.len() as f64 / n, floor),
+            negative: fit_class(&neg_rows, width, neg_rows.len() as f64 / n, floor),
+        }
+    }
+
+    /// Log-odds of the positive class.
+    pub fn decision(&self, row: &[f64]) -> f64 {
+        let z = compress_row(row);
+        self.positive.log_likelihood(&z) - self.negative.log_likelihood(&z)
+    }
+
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.decision(row) >= 0.0
+    }
+
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<bool> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// `(positive, negative)` class parts for persistence:
+    /// `(log_prior, means, variances)` each.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn persist_parts(&self) -> ((f64, Vec<f64>, Vec<f64>), (f64, Vec<f64>, Vec<f64>)) {
+        let part = |c: &ClassModel| (c.log_prior, c.means.clone(), c.variances.clone());
+        (part(&self.positive), part(&self.negative))
+    }
+
+    /// Rebuild from persisted class parts.
+    pub(crate) fn from_persist_parts(
+        pos: (f64, Vec<f64>, Vec<f64>),
+        neg: (f64, Vec<f64>, Vec<f64>),
+    ) -> Self {
+        let model = |(log_prior, means, variances): (f64, Vec<f64>, Vec<f64>)| ClassModel {
+            log_prior,
+            means,
+            variances,
+        };
+        GaussianNb {
+            positive: model(pos),
+            negative: model(neg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blobs() -> Dataset {
+        // Two well-separated blobs (deterministic lattice jitter).
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            let j = (i as f64 * 0.37).sin() * 0.5;
+            features.push(vec![0.0 + j, 0.0 - j]);
+            labels.push(false);
+            features.push(vec![5.0 + j, 5.0 - j]);
+            labels.push(true);
+        }
+        Dataset::new(features, labels)
+    }
+
+    #[test]
+    fn separable_blobs_classified() {
+        let data = gaussian_blobs();
+        let nb = GaussianNb::fit(&data);
+        let preds = nb.predict_batch(data.features());
+        let errors = preds
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, a)| p != a)
+            .count();
+        assert_eq!(errors, 0);
+        assert!(nb.predict(&[4.8, 5.2]));
+        assert!(!nb.predict(&[0.3, -0.3]));
+    }
+
+    #[test]
+    fn decision_is_monotone_between_blobs() {
+        let nb = GaussianNb::fit(&gaussian_blobs());
+        let d0 = nb.decision(&[0.0, 0.0]);
+        let d5 = nb.decision(&[5.0, 5.0]);
+        assert!(d0 < 0.0 && d5 > 0.0);
+    }
+
+    #[test]
+    fn priors_break_ties() {
+        // Identical feature distribution; 80% positives → predict positive.
+        let data = Dataset::new(
+            vec![vec![1.0]; 10],
+            vec![true, true, true, true, true, true, true, true, false, false],
+        );
+        let nb = GaussianNb::fit(&data);
+        assert!(nb.predict(&[1.0]));
+    }
+
+    #[test]
+    fn constant_features_do_not_crash() {
+        let data = Dataset::new(
+            vec![
+                vec![3.0, 1.0],
+                vec![3.0, 2.0],
+                vec![3.0, 9.0],
+                vec![3.0, 10.0],
+            ],
+            vec![false, false, true, true],
+        );
+        let nb = GaussianNb::fit(&data);
+        assert!(nb.predict(&[3.0, 9.5]));
+        assert!(!nb.predict(&[3.0, 1.5]));
+        assert!(nb.decision(&[3.0, 5.0]).is_finite());
+    }
+
+    #[test]
+    fn single_class_training() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0]], vec![true, true]);
+        let nb = GaussianNb::fit(&data);
+        assert!(nb.predict(&[1.5]));
+    }
+}

@@ -1,0 +1,195 @@
+//! Dense feature matrices and label vectors for the classifiers.
+
+/// A dense supervised dataset: row-major feature matrix plus binary labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Build a dataset, panicking on ragged rows or mismatched label count
+    /// (training data is programmer-assembled; silent truncation would hide
+    /// bugs).
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<bool>) -> Self {
+        assert_eq!(features.len(), labels.len(), "feature/label count mismatch");
+        if let Some(first) = features.first() {
+            let width = first.len();
+            assert!(
+                features.iter().all(|row| row.len() == width),
+                "ragged feature rows"
+            );
+        }
+        Dataset { features, labels }
+    }
+
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per row (0 when empty).
+    pub fn width(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l).count() as f64 / self.len() as f64
+    }
+
+    /// Select a subset of rows by index.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+}
+
+/// Per-feature standardization (z-score) fitted on training data and
+/// reusable on test data — required by the SVM, harmless for trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit means and standard deviations per feature column.
+    pub fn fit(features: &[Vec<f64>]) -> Self {
+        let width = features.first().map_or(0, Vec::len);
+        let n = features.len().max(1) as f64;
+        let mut means = vec![0.0; width];
+        for row in features {
+            for (m, x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; width];
+        for row in features {
+            for ((s, m), x) in stds.iter_mut().zip(&means).zip(row) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave centered at zero
+            }
+        }
+        Standardizer { means, stds }
+    }
+
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect()
+    }
+
+    pub fn transform(&self, features: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        features.iter().map(|r| self.transform_row(r)).collect()
+    }
+
+    /// `(means, stds)` for persistence.
+    pub fn parts(&self) -> (Vec<f64>, Vec<f64>) {
+        (self.means.clone(), self.stds.clone())
+    }
+
+    /// Rebuild from persisted parts.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "means/stds width mismatch");
+        Standardizer { means, stds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![true, false]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert!(d.label(0));
+        assert_eq!(d.positive_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_labels_panic() {
+        Dataset::new(vec![vec![1.0]], vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![true, false]);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = Dataset::new(
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![true, false, true],
+        );
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.features(), &[vec![3.0], vec![1.0]]);
+        assert_eq!(s.labels(), &[true, true]);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        let s = Standardizer::fit(&rows);
+        let t = s.transform(&rows);
+        let mean0: f64 = t.iter().map(|r| r[0]).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-12);
+        // Constant feature stays finite (centered at zero).
+        assert!(t.iter().all(|r| r[1] == 0.0));
+    }
+
+    #[test]
+    fn standardizer_applies_to_new_rows() {
+        let rows = vec![vec![0.0], vec![10.0]];
+        let s = Standardizer::fit(&rows);
+        let out = s.transform_row(&[5.0]);
+        assert!(out[0].abs() < 1e-12); // 5 is the mean
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(vec![], vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.width(), 0);
+        assert_eq!(d.positive_rate(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # deepeye-ml
+//!
+//! Machine-learning substrate for DeepEye, built from scratch (the Rust
+//! ecosystem for learning-to-rank is thin). Provides the three binary
+//! classifiers the paper compares for visualization recognition — decision
+//! tree, naive Bayes, linear SVM (§III, §VI-B) — plus the LambdaMART
+//! learning-to-rank model used for visualization ranking/selection, and the
+//! evaluation metrics of §VI (precision / recall / F-measure, NDCG).
+//!
+//! ```
+//! use deepeye_ml::{Dataset, DecisionTree};
+//!
+//! let data = Dataset::new(
+//!     vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]],
+//!     vec![false, false, true, true],
+//! );
+//! let tree = DecisionTree::fit(&data);
+//! assert!(tree.predict(&[12.0]));
+//! assert!(!tree.predict(&[0.5]));
+//! ```
+
+pub mod bayes;
+pub mod dataset;
+pub mod ltr;
+pub mod metrics;
+pub mod persist;
+pub mod split;
+pub mod svm;
+pub mod tree;
+
+pub use bayes::GaussianNb;
+pub use dataset::{Dataset, Standardizer};
+pub use ltr::{LambdaMart, LambdaMartParams, QueryGroup};
+pub use metrics::{dcg_at, ndcg, ndcg_at, Confusion};
+pub use persist::PersistError;
+pub use split::{k_folds, stratified_split, train_test_split};
+pub use svm::{LinearSvm, SvmParams};
+pub use tree::{DecisionTree, RegressionTree, TreeParams};

@@ -1,0 +1,181 @@
+//! Evaluation metrics: precision / recall / F-measure for recognition
+//! (Figure 10, Tables VII–VIII) and NDCG for ranking quality (Figure 11).
+
+/// Binary-classification confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    pub true_positive: usize,
+    pub false_positive: usize,
+    pub true_negative: usize,
+    pub false_negative: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against gold labels.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(
+            predicted.len(),
+            actual.len(),
+            "prediction/label length mismatch"
+        );
+        let mut c = Confusion::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => c.true_positive += 1,
+                (true, false) => c.false_positive += 1,
+                (false, false) => c.true_negative += 1,
+                (false, true) => c.false_negative += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision of the positive class; 1 when nothing was predicted
+    /// positive (vacuous truth, standard IR convention).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positive + self.false_positive;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positive as f64 / denom as f64
+        }
+    }
+
+    /// Recall of the positive class; 1 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positive + self.false_negative;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positive as f64 / denom as f64
+        }
+    }
+
+    /// F-measure: harmonic mean of precision and recall.
+    pub fn f_measure(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total =
+            self.true_positive + self.false_positive + self.true_negative + self.false_negative;
+        if total == 0 {
+            1.0
+        } else {
+            (self.true_positive + self.true_negative) as f64 / total as f64
+        }
+    }
+}
+
+/// Discounted cumulative gain at `k` with the standard exponential gain
+/// `(2^rel − 1) / log2(i + 2)`.
+pub fn dcg_at(relevances: &[f64], k: usize) -> f64 {
+    relevances
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &rel)| (2f64.powf(rel) - 1.0) / (i as f64 + 2.0).log2())
+        .sum()
+}
+
+/// Normalized DCG at `k` ∈ [0, 1]; 1 for a perfect ranking (§VI-C cites
+/// NDCG as its ranking-quality measure). `relevances` is in *ranked order*
+/// — the relevance of the item placed first, second, ….
+pub fn ndcg_at(relevances: &[f64], k: usize) -> f64 {
+    let dcg = dcg_at(relevances, k);
+    let mut ideal: Vec<f64> = relevances.to_vec();
+    ideal.sort_by(|a, b| b.total_cmp(a));
+    let idcg = dcg_at(&ideal, k);
+    if idcg <= 0.0 {
+        // No relevant items at all: any ordering is perfect.
+        1.0
+    } else {
+        (dcg / idcg).clamp(0.0, 1.0)
+    }
+}
+
+/// NDCG over the full list.
+pub fn ndcg(relevances: &[f64]) -> f64 {
+    ndcg_at(relevances, relevances.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let c = Confusion::from_predictions(
+            &[true, true, false, false, true],
+            &[true, false, false, true, true],
+        );
+        assert_eq!(c.true_positive, 2);
+        assert_eq!(c.false_positive, 1);
+        assert_eq!(c.true_negative, 1);
+        assert_eq!(c.false_negative, 1);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f_measure() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_degenerate_confusion() {
+        let perfect = Confusion::from_predictions(&[true, false], &[true, false]);
+        assert_eq!(perfect.precision(), 1.0);
+        assert_eq!(perfect.recall(), 1.0);
+        assert_eq!(perfect.f_measure(), 1.0);
+        // All-negative predictions over all-negative gold: vacuously perfect.
+        let none = Confusion::from_predictions(&[false, false], &[false, false]);
+        assert_eq!(none.precision(), 1.0);
+        assert_eq!(none.recall(), 1.0);
+        // Empty input.
+        let empty = Confusion::from_predictions(&[], &[]);
+        assert_eq!(empty.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn dcg_hand_computed() {
+        // rel = [3, 2]: DCG = (2^3-1)/log2(2) + (2^2-1)/log2(3) = 7 + 3/1.585
+        let d = dcg_at(&[3.0, 2.0], 2);
+        let expected = 7.0 / 1.0 + 3.0 / 3f64.log2();
+        assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_is_one_for_ideal_order() {
+        assert_eq!(ndcg(&[3.0, 2.0, 1.0, 0.0]), 1.0);
+        assert_eq!(ndcg(&[]), 1.0);
+        assert_eq!(ndcg(&[0.0, 0.0]), 1.0); // nothing relevant
+    }
+
+    #[test]
+    fn ndcg_penalizes_inversions() {
+        let worst = ndcg(&[0.0, 1.0, 2.0, 3.0]);
+        let better = ndcg(&[3.0, 1.0, 2.0, 0.0]);
+        assert!(worst < better);
+        assert!(better < 1.0);
+        assert!(worst > 0.0);
+    }
+
+    #[test]
+    fn ndcg_at_k_truncates() {
+        // Only the first position counts at k=1.
+        assert_eq!(ndcg_at(&[3.0, 0.0, 0.0], 1), 1.0);
+        assert!(ndcg_at(&[0.0, 3.0], 1) < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_bounded() {
+        let r = [0.5, 2.5, 1.0, 0.0, 3.0];
+        let v = ndcg(&r);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

@@ -1,0 +1,456 @@
+//! Model persistence: a compact, versioned, line-oriented text format for
+//! every trained model in the crate, so pipelines can train once (the
+//! offline phase of the paper's Figure 4) and ship the models. Hand-rolled
+//! on purpose — the model space is closed and simple, and floats round-trip
+//! exactly via their bit patterns.
+
+use crate::bayes::GaussianNb;
+use crate::dataset::Standardizer;
+use crate::ltr::LambdaMart;
+use crate::svm::LinearSvm;
+use crate::tree::{DecisionTree, RegressionTree};
+use std::fmt;
+
+/// Errors raised while decoding a persisted model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError {
+    pub message: String,
+}
+
+impl PersistError {
+    fn new(message: impl Into<String>) -> Self {
+        PersistError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Exact float encoding: hexadecimal bit pattern (round-trips NaN payloads
+/// and subnormals, immune to locale and formatting drift).
+pub fn encode_f64(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Inverse of [`encode_f64`].
+pub fn decode_f64(s: &str) -> Result<f64, PersistError> {
+    u64::from_str_radix(s.trim(), 16)
+        .map(f64::from_bits)
+        .map_err(|_| PersistError::new(format!("bad float field {s:?}")))
+}
+
+fn decode_usize(s: &str) -> Result<usize, PersistError> {
+    s.trim()
+        .parse()
+        .map_err(|_| PersistError::new(format!("bad integer field {s:?}")))
+}
+
+/// A line-oriented reader with error context.
+struct Lines<'a> {
+    iter: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Lines {
+            iter: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, PersistError> {
+        self.line_no += 1;
+        self.iter
+            .next()
+            .ok_or_else(|| PersistError::new(format!("unexpected end at line {}", self.line_no)))
+    }
+
+    fn expect(&mut self, tag: &str) -> Result<(), PersistError> {
+        let line = self.next()?;
+        if line.trim() == tag {
+            Ok(())
+        } else {
+            Err(PersistError::new(format!(
+                "expected {tag:?}, found {line:?}"
+            )))
+        }
+    }
+
+    fn floats(&mut self) -> Result<Vec<f64>, PersistError> {
+        self.next()?.split_whitespace().map(decode_f64).collect()
+    }
+}
+
+// --- decision / regression trees -----------------------------------------
+
+/// Serialized node: `L <value>` or `S <feature> <threshold> <left> <right>`.
+fn encode_tree_nodes(nodes: &[crate::tree::PersistNode], out: &mut String) {
+    out.push_str(&format!("nodes {}\n", nodes.len()));
+    for n in nodes {
+        match n {
+            crate::tree::PersistNode::Leaf { value } => {
+                out.push_str(&format!("L {}\n", encode_f64(*value)));
+            }
+            crate::tree::PersistNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                out.push_str(&format!(
+                    "S {feature} {} {left} {right}\n",
+                    encode_f64(*threshold)
+                ));
+            }
+        }
+    }
+}
+
+fn decode_tree_nodes(lines: &mut Lines) -> Result<Vec<crate::tree::PersistNode>, PersistError> {
+    let header = lines.next()?;
+    let count: usize = header
+        .strip_prefix("nodes ")
+        .ok_or_else(|| PersistError::new(format!("expected node count, found {header:?}")))
+        .and_then(decode_usize)?;
+    let mut nodes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = lines.next()?;
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("L") => {
+                let value = decode_f64(
+                    parts
+                        .next()
+                        .ok_or_else(|| PersistError::new("missing leaf value"))?,
+                )?;
+                nodes.push(crate::tree::PersistNode::Leaf { value });
+            }
+            Some("S") => {
+                let feature = decode_usize(
+                    parts
+                        .next()
+                        .ok_or_else(|| PersistError::new("missing feature"))?,
+                )?;
+                let threshold = decode_f64(
+                    parts
+                        .next()
+                        .ok_or_else(|| PersistError::new("missing threshold"))?,
+                )?;
+                let left = decode_usize(
+                    parts
+                        .next()
+                        .ok_or_else(|| PersistError::new("missing left"))?,
+                )?;
+                let right = decode_usize(
+                    parts
+                        .next()
+                        .ok_or_else(|| PersistError::new("missing right"))?,
+                )?;
+                // Children must come strictly after their parent (the
+                // encoder always appends them later); anything else would
+                // make traversal loop forever on a corrupted file.
+                let this = nodes.len();
+                if left >= count || right >= count || left <= this || right <= this {
+                    return Err(PersistError::new("child index out of range or non-forward"));
+                }
+                nodes.push(crate::tree::PersistNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                });
+            }
+            other => return Err(PersistError::new(format!("bad node tag {other:?}"))),
+        }
+    }
+    Ok(nodes)
+}
+
+impl DecisionTree {
+    /// Serialize to the persistence text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("deepeye-model decision-tree v1\n");
+        encode_tree_nodes(&self.persist_nodes(), &mut out);
+        out
+    }
+
+    /// Decode from [`DecisionTree::to_text`] output.
+    pub fn from_text(text: &str) -> Result<Self, PersistError> {
+        let mut lines = Lines::new(text);
+        lines.expect("deepeye-model decision-tree v1")?;
+        let nodes = decode_tree_nodes(&mut lines)?;
+        DecisionTree::from_persist_nodes(nodes)
+            .ok_or_else(|| PersistError::new("empty or malformed tree"))
+    }
+}
+
+impl RegressionTree {
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("deepeye-model regression-tree v1\n");
+        encode_tree_nodes(&self.persist_nodes(), &mut out);
+        out
+    }
+
+    pub fn from_text(text: &str) -> Result<Self, PersistError> {
+        let mut lines = Lines::new(text);
+        lines.expect("deepeye-model regression-tree v1")?;
+        Self::from_text_body(&mut lines)
+    }
+
+    fn from_text_body(lines: &mut Lines) -> Result<Self, PersistError> {
+        let nodes = decode_tree_nodes(lines)?;
+        RegressionTree::from_persist_nodes(nodes)
+            .ok_or_else(|| PersistError::new("empty or malformed tree"))
+    }
+}
+
+// --- naive Bayes -----------------------------------------------------------
+
+impl GaussianNb {
+    pub fn to_text(&self) -> String {
+        let (pos, neg) = self.persist_parts();
+        let mut out = String::from("deepeye-model gaussian-nb v1\n");
+        for (log_prior, means, vars) in [pos, neg] {
+            out.push_str(&format!("prior {}\n", encode_f64(log_prior)));
+            out.push_str(&join_floats(&means));
+            out.push('\n');
+            out.push_str(&join_floats(&vars));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn from_text(text: &str) -> Result<Self, PersistError> {
+        let mut lines = Lines::new(text);
+        lines.expect("deepeye-model gaussian-nb v1")?;
+        let mut classes = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let prior_line = lines.next()?;
+            let log_prior = decode_f64(
+                prior_line
+                    .strip_prefix("prior ")
+                    .ok_or_else(|| PersistError::new("expected prior line"))?,
+            )?;
+            let means = lines.floats()?;
+            let vars = lines.floats()?;
+            if means.len() != vars.len() {
+                return Err(PersistError::new("mean/variance width mismatch"));
+            }
+            if vars.iter().any(|v| *v <= 0.0) {
+                return Err(PersistError::new("non-positive variance"));
+            }
+            classes.push((log_prior, means, vars));
+        }
+        let neg = classes.pop().expect("two classes read");
+        let pos = classes.pop().expect("two classes read");
+        Ok(GaussianNb::from_persist_parts(pos, neg))
+    }
+}
+
+// --- linear SVM --------------------------------------------------------------
+
+impl LinearSvm {
+    pub fn to_text(&self) -> String {
+        let (weights, bias, means, stds) = self.persist_parts();
+        let mut out = String::from("deepeye-model linear-svm v1\n");
+        out.push_str(&join_floats(&weights));
+        out.push('\n');
+        out.push_str(&format!("bias {}\n", encode_f64(bias)));
+        out.push_str(&join_floats(&means));
+        out.push('\n');
+        out.push_str(&join_floats(&stds));
+        out.push('\n');
+        out
+    }
+
+    pub fn from_text(text: &str) -> Result<Self, PersistError> {
+        let mut lines = Lines::new(text);
+        lines.expect("deepeye-model linear-svm v1")?;
+        let weights = lines.floats()?;
+        let bias_line = lines.next()?;
+        let bias = decode_f64(
+            bias_line
+                .strip_prefix("bias ")
+                .ok_or_else(|| PersistError::new("expected bias line"))?,
+        )?;
+        let means = lines.floats()?;
+        let stds = lines.floats()?;
+        if weights.len() != means.len() || means.len() != stds.len() {
+            return Err(PersistError::new("weight/standardizer width mismatch"));
+        }
+        Ok(LinearSvm::from_persist_parts(
+            weights,
+            bias,
+            Standardizer::from_parts(means, stds),
+        ))
+    }
+}
+
+// --- LambdaMART ---------------------------------------------------------------
+
+impl LambdaMart {
+    pub fn to_text(&self) -> String {
+        let trees = self.persist_trees();
+        let mut out = String::from("deepeye-model lambdamart v1\n");
+        out.push_str(&format!("trees {}\n", trees.len()));
+        for t in trees {
+            encode_tree_nodes(&t.persist_nodes(), &mut out);
+        }
+        out
+    }
+
+    pub fn from_text(text: &str) -> Result<Self, PersistError> {
+        let mut lines = Lines::new(text);
+        lines.expect("deepeye-model lambdamart v1")?;
+        let header = lines.next()?;
+        let count: usize = header
+            .strip_prefix("trees ")
+            .ok_or_else(|| PersistError::new("expected tree count"))
+            .and_then(decode_usize)?;
+        let mut trees = Vec::with_capacity(count);
+        for _ in 0..count {
+            trees.push(RegressionTree::from_text_body(&mut lines)?);
+        }
+        Ok(LambdaMart::from_persist_trees(trees))
+    }
+}
+
+fn join_floats(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|x| encode_f64(*x))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::ltr::{LambdaMartParams, QueryGroup};
+    use crate::tree::TreeParams;
+
+    fn dataset() -> Dataset {
+        let features: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                vec![
+                    (i % 17) as f64,
+                    ((i * 7) % 23) as f64 - 11.0,
+                    i as f64 * 0.5,
+                ]
+            })
+            .collect();
+        let labels: Vec<bool> = features.iter().map(|f| f[0] > 8.0 && f[1] < 0.0).collect();
+        Dataset::new(features, labels)
+    }
+
+    #[test]
+    fn float_encoding_is_exact() {
+        for x in [
+            0.0,
+            -0.0,
+            1.5,
+            -1e-300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            std::f64::consts::PI,
+        ] {
+            let round = decode_f64(&encode_f64(x)).unwrap();
+            assert_eq!(x.to_bits(), round.to_bits());
+        }
+        assert!(decode_f64("zz").is_err());
+    }
+
+    #[test]
+    fn decision_tree_round_trip() {
+        let data = dataset();
+        let tree = DecisionTree::fit(&data);
+        let text = tree.to_text();
+        let back = DecisionTree::from_text(&text).unwrap();
+        for row in data.features() {
+            assert_eq!(tree.predict_proba(row), back.predict_proba(row));
+        }
+    }
+
+    #[test]
+    fn regression_tree_round_trip() {
+        let features: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..80).map(|i| (i as f64 * 0.3).sin()).collect();
+        let tree = RegressionTree::train(&features, &targets, TreeParams::default());
+        let back = RegressionTree::from_text(&tree.to_text()).unwrap();
+        for row in &features {
+            assert_eq!(tree.predict(row), back.predict(row));
+        }
+    }
+
+    #[test]
+    fn gaussian_nb_round_trip() {
+        let data = dataset();
+        let nb = GaussianNb::fit(&data);
+        let back = GaussianNb::from_text(&nb.to_text()).unwrap();
+        for row in data.features() {
+            assert_eq!(nb.decision(row), back.decision(row));
+        }
+    }
+
+    #[test]
+    fn svm_round_trip() {
+        let data = dataset();
+        let svm = LinearSvm::fit(&data);
+        let back = LinearSvm::from_text(&svm.to_text()).unwrap();
+        for row in data.features() {
+            assert_eq!(svm.decision(row), back.decision(row));
+        }
+    }
+
+    #[test]
+    fn lambdamart_round_trip() {
+        let groups: Vec<QueryGroup> = (0..3)
+            .map(|g| {
+                let features: Vec<Vec<f64>> =
+                    (0..12).map(|d| vec![d as f64, (d * g) as f64]).collect();
+                let relevance: Vec<f64> = (0..12).map(|d| (d % 4) as f64).collect();
+                QueryGroup::new(features, relevance)
+            })
+            .collect();
+        let model = LambdaMart::train(
+            &groups,
+            LambdaMartParams {
+                trees: 8,
+                ..Default::default()
+            },
+        );
+        let back = LambdaMart::from_text(&model.to_text()).unwrap();
+        for g in &groups {
+            for row in &g.features {
+                assert_eq!(model.score(row), back.score(row));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_inputs_rejected() {
+        assert!(DecisionTree::from_text("").is_err());
+        assert!(DecisionTree::from_text("deepeye-model linear-svm v1\n").is_err());
+        assert!(DecisionTree::from_text("deepeye-model decision-tree v1\nnodes 1\nX 5\n").is_err());
+        // Out-of-range child index.
+        assert!(DecisionTree::from_text(
+            "deepeye-model decision-tree v1\nnodes 1\nS 0 3ff0000000000000 5 6\n"
+        )
+        .is_err());
+        // Self/backward references would loop forever at predict time.
+        assert!(DecisionTree::from_text(
+            "deepeye-model decision-tree v1\nnodes 2\nS 0 3ff0000000000000 0 1\nL 3ff0000000000000\n"
+        )
+        .is_err());
+        assert!(GaussianNb::from_text("deepeye-model gaussian-nb v1\nprior zz\n").is_err());
+        assert!(LambdaMart::from_text("deepeye-model lambdamart v1\ntrees 1\n").is_err());
+    }
+}

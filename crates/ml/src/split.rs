@@ -1,0 +1,143 @@
+//! Train/test splitting and k-fold cross-validation (the paper trains on 32
+//! of 42 datasets, tests on 10, and "also conducted cross validation").
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffle row indices deterministically and split at `train_fraction`.
+pub fn train_test_split(data: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "fraction out of range"
+    );
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    let cut = ((data.len() as f64) * train_fraction).round() as usize;
+    let (train_idx, test_idx) = indices.split_at(cut.min(data.len()));
+    (data.subset(train_idx), data.subset(test_idx))
+}
+
+/// Stratified split: preserves the positive rate in both halves.
+pub fn stratified_split(data: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "fraction out of range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = (0..data.len()).filter(|&i| data.label(i)).collect();
+    let mut neg: Vec<usize> = (0..data.len()).filter(|&i| !data.label(i)).collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for class in [pos, neg] {
+        let cut = ((class.len() as f64) * train_fraction).round() as usize;
+        train.extend_from_slice(&class[..cut.min(class.len())]);
+        test.extend_from_slice(&class[cut.min(class.len())..]);
+    }
+    (data.subset(&train), data.subset(&test))
+}
+
+/// K-fold index partitions for cross-validation. Each element is
+/// `(train_indices, test_indices)`.
+pub fn k_folds(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least 2 folds");
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, idx) in indices.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    (0..k)
+        .map(|f| {
+            let test = folds[f].clone();
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            (train, test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Dataset {
+        Dataset::new(
+            (0..n).map(|i| vec![i as f64]).collect(),
+            (0..n).map(|i| i % 4 == 0).collect(),
+        )
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = data(100);
+        let (train, test) = train_test_split(&d, 0.8, 1);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        // No overlap: every original feature value appears exactly once.
+        let mut all: Vec<f64> = train
+            .features()
+            .iter()
+            .chain(test.features())
+            .map(|r| r[0])
+            .collect();
+        all.sort_by(f64::total_cmp);
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_seeded() {
+        let d = data(50);
+        let (a, _) = train_test_split(&d, 0.5, 42);
+        let (b, _) = train_test_split(&d, 0.5, 42);
+        let (c, _) = train_test_split(&d, 0.5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stratified_preserves_rate() {
+        let d = data(100); // 25% positive
+        let (train, test) = stratified_split(&d, 0.8, 7);
+        assert!((train.positive_rate() - 0.25).abs() < 0.02);
+        assert!((test.positive_rate() - 0.25).abs() < 0.05);
+        assert_eq!(train.len() + test.len(), 100);
+    }
+
+    #[test]
+    fn k_folds_cover_everything_once() {
+        let folds = k_folds(23, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 23];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            for &i in test {
+                seen[i] += 1;
+            }
+            // Train and test are disjoint.
+            for &i in test {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each row in exactly one test fold"
+        );
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let d = data(10);
+        let (train, test) = train_test_split(&d, 1.0, 0);
+        assert_eq!((train.len(), test.len()), (10, 0));
+        let (train, test) = train_test_split(&d, 0.0, 0);
+        assert_eq!((train.len(), test.len()), (0, 10));
+    }
+}

@@ -1,0 +1,621 @@
+//! CART decision trees.
+//!
+//! The paper uses a decision tree as its visualization-recognition
+//! classifier (§III, citing Quinlan) and finds it "way better than SVM and
+//! Bayes … possibly because visualization recognition should follow the
+//! rules [of §V-A] and decision tree could capture these rules well."
+//! This module provides the binary classification tree plus the regression
+//! tree that gradient boosting (and thus LambdaMART) builds on.
+
+use crate::dataset::Dataset;
+
+/// A tree node in persistence form (see [`crate::persist`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Hyperparameters shared by both tree kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    /// Minimum samples a node needs before a split is attempted.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must receive.
+    pub min_samples_leaf: usize,
+    /// Minimum impurity / SSE reduction for a split to be kept.
+    pub min_gain: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            min_gain: 1e-7,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        /// Positive-class probability (classification) or mean target
+        /// (regression).
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Flat-array tree storage shared by both kinds.
+#[derive(Debug, Clone, PartialEq)]
+struct Arena {
+    nodes: Vec<Node>,
+}
+
+impl Arena {
+    fn traverse(&self, row: &[f64]) -> usize {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return idx,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    fn value(&self, row: &[f64]) -> f64 {
+        match &self.nodes[self.traverse(row)] {
+            Node::Leaf { value } => *value,
+            Node::Split { .. } => unreachable!("traverse stops at leaves"),
+        }
+    }
+}
+
+/// Candidate split thresholds for a feature: midpoints between consecutive
+/// distinct sorted values (capped for speed on large nodes).
+fn candidate_order(features: &[Vec<f64>], indices: &[usize], feature: usize) -> Vec<usize> {
+    let mut order = indices.to_vec();
+    order.sort_by(|&a, &b| features[a][feature].total_cmp(&features[b][feature]));
+    order
+}
+
+// ---------------------------------------------------------------------------
+// Classification
+// ---------------------------------------------------------------------------
+
+/// Binary CART classifier trained with Gini impurity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    arena: Arena,
+    params: TreeParams,
+}
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Train on a dataset with the given parameters.
+    pub fn train(data: &Dataset, params: TreeParams) -> Self {
+        let mut arena = Arena { nodes: Vec::new() };
+        let indices: Vec<usize> = (0..data.len()).collect();
+        if data.is_empty() {
+            arena.nodes.push(Node::Leaf { value: 0.0 });
+        } else {
+            build_classifier(&mut arena, data, indices, 0, &params);
+        }
+        DecisionTree { arena, params }
+    }
+
+    /// Train with default parameters.
+    pub fn fit(data: &Dataset) -> Self {
+        Self::train(data, TreeParams::default())
+    }
+
+    /// Positive-class probability for one row.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        self.arena.value(row)
+    }
+
+    /// Hard prediction at the 0.5 threshold.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<bool> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.arena.nodes.len()
+    }
+
+    /// Depth of the deepest leaf.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.arena.nodes, 0)
+    }
+
+    pub fn params(&self) -> TreeParams {
+        self.params
+    }
+
+    /// The node list in persistence form.
+    pub(crate) fn persist_nodes(&self) -> Vec<PersistNode> {
+        self.arena.nodes.iter().map(Node::to_persist).collect()
+    }
+
+    /// Rebuild from persisted nodes; `None` when empty.
+    pub(crate) fn from_persist_nodes(nodes: Vec<PersistNode>) -> Option<Self> {
+        if nodes.is_empty() {
+            return None;
+        }
+        Some(DecisionTree {
+            arena: Arena {
+                nodes: nodes.into_iter().map(Node::from_persist).collect(),
+            },
+            params: TreeParams::default(),
+        })
+    }
+}
+
+impl Node {
+    fn to_persist(&self) -> PersistNode {
+        match self {
+            Node::Leaf { value } => PersistNode::Leaf { value: *value },
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => PersistNode::Split {
+                feature: *feature,
+                threshold: *threshold,
+                left: *left,
+                right: *right,
+            },
+        }
+    }
+
+    fn from_persist(n: PersistNode) -> Node {
+        match n {
+            PersistNode::Leaf { value } => Node::Leaf { value },
+            PersistNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            },
+        }
+    }
+}
+
+fn build_classifier(
+    arena: &mut Arena,
+    data: &Dataset,
+    indices: Vec<usize>,
+    depth: usize,
+    params: &TreeParams,
+) -> usize {
+    let total = indices.len() as f64;
+    let pos = indices.iter().filter(|&&i| data.label(i)).count() as f64;
+    let node_idx = arena.nodes.len();
+    arena.nodes.push(Node::Leaf { value: pos / total });
+
+    if depth >= params.max_depth
+        || indices.len() < params.min_samples_split
+        || pos == 0.0
+        || pos == total
+    {
+        return node_idx;
+    }
+
+    let parent_impurity = gini(pos, total);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for feature in 0..data.width() {
+        let order = candidate_order(data.features(), &indices, feature);
+        let mut left_pos = 0.0;
+        let mut left_total = 0.0;
+        for w in 0..order.len() - 1 {
+            let i = order[w];
+            left_total += 1.0;
+            if data.label(i) {
+                left_pos += 1.0;
+            }
+            let x_here = data.row(i)[feature];
+            let x_next = data.row(order[w + 1])[feature];
+            if x_here == x_next {
+                continue; // can't split between equal values
+            }
+            let right_total = total - left_total;
+            if (left_total as usize) < params.min_samples_leaf
+                || (right_total as usize) < params.min_samples_leaf
+            {
+                continue;
+            }
+            let right_pos = pos - left_pos;
+            let weighted = (left_total / total) * gini(left_pos, left_total)
+                + (right_total / total) * gini(right_pos, right_total);
+            let gain = parent_impurity - weighted;
+            if gain > params.min_gain && best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((feature, (x_here + x_next) / 2.0, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        return node_idx;
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .into_iter()
+        .partition(|&i| data.row(i)[feature] <= threshold);
+    let left = build_classifier(arena, data, left_idx, depth + 1, params);
+    let right = build_classifier(arena, data, right_idx, depth + 1, params);
+    arena.nodes[node_idx] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    node_idx
+}
+
+// ---------------------------------------------------------------------------
+// Regression
+// ---------------------------------------------------------------------------
+
+/// CART regression tree (squared-error splits), the weak learner for
+/// gradient boosting / LambdaMART.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    arena: Arena,
+    /// For each training row, the index of the leaf it fell into — needed
+    /// by LambdaMART's Newton leaf re-estimation.
+    leaf_assignment: Vec<usize>,
+}
+
+impl RegressionTree {
+    /// Fit to (features, targets) with the given parameters.
+    pub fn train(features: &[Vec<f64>], targets: &[f64], params: TreeParams) -> Self {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "feature/target length mismatch"
+        );
+        let mut arena = Arena { nodes: Vec::new() };
+        let mut leaf_assignment = vec![0usize; targets.len()];
+        let indices: Vec<usize> = (0..targets.len()).collect();
+        if targets.is_empty() {
+            arena.nodes.push(Node::Leaf { value: 0.0 });
+        } else {
+            build_regressor(
+                &mut arena,
+                features,
+                targets,
+                indices,
+                0,
+                &params,
+                &mut leaf_assignment,
+            );
+        }
+        RegressionTree {
+            arena,
+            leaf_assignment,
+        }
+    }
+
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.arena.value(row)
+    }
+
+    /// The arena index of the leaf this row lands in.
+    pub fn leaf_of(&self, row: &[f64]) -> usize {
+        self.arena.traverse(row)
+    }
+
+    /// Leaf index assigned to each training row at fit time.
+    pub fn training_leaves(&self) -> &[usize] {
+        &self.leaf_assignment
+    }
+
+    /// Overwrite a leaf's output value (Newton step in LambdaMART).
+    pub fn set_leaf_value(&mut self, leaf: usize, value: f64) {
+        match &mut self.arena.nodes[leaf] {
+            Node::Leaf { value: v } => *v = value,
+            Node::Split { .. } => panic!("node {leaf} is not a leaf"),
+        }
+    }
+
+    /// Scale every leaf by the learning rate.
+    pub fn shrink(&mut self, rate: f64) {
+        for node in &mut self.arena.nodes {
+            if let Node::Leaf { value } = node {
+                *value *= rate;
+            }
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.arena.nodes.len()
+    }
+
+    /// The node list in persistence form.
+    pub(crate) fn persist_nodes(&self) -> Vec<PersistNode> {
+        self.arena.nodes.iter().map(Node::to_persist).collect()
+    }
+
+    /// Rebuild from persisted nodes (training-leaf assignments are not
+    /// persisted — a loaded tree only predicts).
+    pub(crate) fn from_persist_nodes(nodes: Vec<PersistNode>) -> Option<Self> {
+        if nodes.is_empty() {
+            return None;
+        }
+        Some(RegressionTree {
+            arena: Arena {
+                nodes: nodes.into_iter().map(Node::from_persist).collect(),
+            },
+            leaf_assignment: Vec::new(),
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_regressor(
+    arena: &mut Arena,
+    features: &[Vec<f64>],
+    targets: &[f64],
+    indices: Vec<usize>,
+    depth: usize,
+    params: &TreeParams,
+    leaf_assignment: &mut [usize],
+) -> usize {
+    let total = indices.len() as f64;
+    let sum: f64 = indices.iter().map(|&i| targets[i]).sum();
+    let mean = sum / total;
+    let node_idx = arena.nodes.len();
+    arena.nodes.push(Node::Leaf { value: mean });
+
+    let sse: f64 = indices.iter().map(|&i| (targets[i] - mean).powi(2)).sum();
+    if depth >= params.max_depth || indices.len() < params.min_samples_split || sse <= 1e-12 {
+        for &i in &indices {
+            leaf_assignment[i] = node_idx;
+        }
+        return node_idx;
+    }
+
+    let width = features.first().map_or(0, Vec::len);
+    let total_sq: f64 = indices.iter().map(|&i| targets[i] * targets[i]).sum();
+    let mut best: Option<(usize, f64, f64)> = None;
+    for feature in 0..width {
+        let order = candidate_order(features, &indices, feature);
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        let mut left_n = 0.0;
+        for w in 0..order.len() - 1 {
+            let i = order[w];
+            left_sum += targets[i];
+            left_sq += targets[i] * targets[i];
+            left_n += 1.0;
+            let x_here = features[i][feature];
+            let x_next = features[order[w + 1]][feature];
+            if x_here == x_next {
+                continue;
+            }
+            let right_n = total - left_n;
+            if (left_n as usize) < params.min_samples_leaf
+                || (right_n as usize) < params.min_samples_leaf
+            {
+                continue;
+            }
+            let right_sum = sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let left_sse = left_sq - left_sum * left_sum / left_n;
+            let right_sse = right_sq - right_sum * right_sum / right_n;
+            let gain = sse - (left_sse + right_sse);
+            if gain > params.min_gain && best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((feature, (x_here + x_next) / 2.0, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        for &i in &indices {
+            leaf_assignment[i] = node_idx;
+        }
+        return node_idx;
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .into_iter()
+        .partition(|&i| features[i][feature] <= threshold);
+    let left = build_regressor(
+        arena,
+        features,
+        targets,
+        left_idx,
+        depth + 1,
+        params,
+        leaf_assignment,
+    );
+    let right = build_regressor(
+        arena,
+        features,
+        targets,
+        right_idx,
+        depth + 1,
+        params,
+        leaf_assignment,
+    );
+    arena.nodes[node_idx] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    node_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_ish() -> Dataset {
+        // Axis-aligned two-split concept: positive iff x0 > 0.5 && x1 > 0.5.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let (x, y) = (i as f64 / 20.0, j as f64 / 20.0);
+                features.push(vec![x, y]);
+                labels.push(x > 0.5 && y > 0.5);
+            }
+        }
+        Dataset::new(features, labels)
+    }
+
+    #[test]
+    fn classifier_learns_axis_aligned_concept() {
+        let data = xor_ish();
+        let tree = DecisionTree::fit(&data);
+        let preds = tree.predict_batch(data.features());
+        let errors = preds
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, a)| p != a)
+            .count();
+        assert_eq!(errors, 0, "tree should fit a rule-based concept exactly");
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn classifier_respects_max_depth() {
+        let data = xor_ish();
+        let tree = DecisionTree::train(
+            &data,
+            TreeParams {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let data = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![true, true, true],
+        );
+        let tree = DecisionTree::fit(&data);
+        assert_eq!(tree.node_count(), 1);
+        assert!(tree.predict(&[5.0]));
+        assert_eq!(tree.predict_proba(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_predicts_negative() {
+        let tree = DecisionTree::fit(&Dataset::new(vec![], vec![]));
+        assert!(!tree.predict(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn probability_reflects_leaf_purity() {
+        // One feature that can't separate: leaf probability = positive rate.
+        let data = Dataset::new(
+            vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]],
+            vec![true, true, true, false],
+        );
+        let tree = DecisionTree::fit(&data);
+        assert_eq!(tree.predict_proba(&[1.0]), 0.75);
+        assert!(tree.predict(&[1.0]));
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let tree = RegressionTree::train(&features, &targets, TreeParams::default());
+        assert!((tree.predict(&[10.0]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict(&[80.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_training_leaves_consistent() {
+        let features: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        let tree = RegressionTree::train(&features, &targets, TreeParams::default());
+        for (i, row) in features.iter().enumerate() {
+            assert_eq!(tree.leaf_of(row), tree.training_leaves()[i]);
+        }
+    }
+
+    #[test]
+    fn leaf_value_override_and_shrink() {
+        let features = vec![vec![0.0], vec![10.0], vec![0.5], vec![9.5]];
+        let targets = vec![0.0, 10.0, 0.0, 10.0];
+        let mut tree = RegressionTree::train(
+            &features,
+            &targets,
+            TreeParams {
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
+        );
+        let leaf = tree.leaf_of(&[0.0]);
+        tree.set_leaf_value(leaf, 42.0);
+        assert_eq!(tree.predict(&[0.0]), 42.0);
+        tree.shrink(0.5);
+        assert_eq!(tree.predict(&[0.0]), 21.0);
+    }
+
+    #[test]
+    fn constant_targets_single_leaf() {
+        let features = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let tree = RegressionTree::train(&features, &[7.0, 7.0, 7.0], TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[99.0]), 7.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the ML substrate.
+
+use deepeye_ml::{
+    ndcg, ndcg_at, Confusion, Dataset, DecisionTree, GaussianNb, LambdaMart, LinearSvm, QueryGroup,
+    RegressionTree, TreeParams,
+};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..60).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 3), n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(|(features, labels)| Dataset::new(features, labels))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three classifiers train and predict without panicking on
+    /// arbitrary data, and predictions are deterministic.
+    #[test]
+    fn classifiers_total(data in dataset_strategy()) {
+        let tree = DecisionTree::fit(&data);
+        let nb = GaussianNb::fit(&data);
+        let svm = LinearSvm::fit(&data);
+        for row in data.features() {
+            let t1 = tree.predict(row);
+            prop_assert_eq!(t1, tree.predict(row));
+            let _ = nb.predict(row);
+            prop_assert!(nb.decision(row).is_finite() || nb.decision(row).is_infinite());
+            prop_assert!(svm.decision(row).is_finite());
+        }
+    }
+
+    /// Decision tree probability is a valid probability.
+    #[test]
+    fn tree_proba_bounded(data in dataset_strategy()) {
+        let tree = DecisionTree::fit(&data);
+        for row in data.features() {
+            let p = tree.predict_proba(row);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    /// An unconstrained tree drives training error to zero whenever no two
+    /// identical rows carry conflicting labels.
+    #[test]
+    fn tree_fits_consistent_data(data in dataset_strategy()) {
+        let mut seen: std::collections::HashMap<String, bool> = std::collections::HashMap::new();
+        let mut consistent = true;
+        for (row, &label) in data.features().iter().zip(data.labels()) {
+            let key = format!("{row:?}");
+            if let Some(&prev) = seen.get(&key) {
+                if prev != label {
+                    consistent = false;
+                    break;
+                }
+            }
+            seen.insert(key, label);
+        }
+        prop_assume!(consistent);
+        let tree = DecisionTree::train(
+            &data,
+            TreeParams { max_depth: 64, min_samples_split: 2, min_samples_leaf: 1, min_gain: 1e-12 },
+        );
+        let preds = tree.predict_batch(data.features());
+        let errs = preds.iter().zip(data.labels()).filter(|(p, a)| p != a).count();
+        prop_assert_eq!(errs, 0);
+    }
+
+    /// Regression tree predictions stay within the target range.
+    #[test]
+    fn regression_within_range(
+        targets in proptest::collection::vec(-100.0f64..100.0, 2..50),
+    ) {
+        let features: Vec<Vec<f64>> = (0..targets.len()).map(|i| vec![i as f64]).collect();
+        let tree = RegressionTree::train(&features, &targets, TreeParams::default());
+        let lo = targets.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for row in &features {
+            let p = tree.predict(row);
+            prop_assert!(lo - 1e-9 <= p && p <= hi + 1e-9);
+        }
+    }
+
+    /// NDCG is bounded, 1 for sorted input, and invariant under appending
+    /// zero-relevance items at the end.
+    #[test]
+    fn ndcg_laws(rels in proptest::collection::vec(0.0f64..4.0, 1..30)) {
+        let v = ndcg(&rels);
+        prop_assert!((0.0..=1.0).contains(&v));
+        let mut sorted = rels.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        prop_assert!((ndcg(&sorted) - 1.0).abs() < 1e-12);
+        // Truncated NDCG of the ideal order is still 1.
+        prop_assert!((ndcg_at(&sorted, 5) - 1.0).abs() < 1e-12);
+    }
+
+    /// Confusion metrics are all in [0, 1] and accuracy is consistent.
+    #[test]
+    fn confusion_bounds(
+        preds in proptest::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let actual: Vec<bool> = preds.iter().map(|p| !p).collect();
+        let c = Confusion::from_predictions(&preds, &actual);
+        for v in [c.precision(), c.recall(), c.f_measure(), c.accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // All predictions inverted: accuracy 0 unless empty.
+        if !preds.is_empty() {
+            prop_assert_eq!(c.accuracy(), 0.0);
+        }
+    }
+
+    /// LambdaMART scores are finite on arbitrary groups.
+    #[test]
+    fn lambdamart_total(
+        rels in proptest::collection::vec(0.0f64..3.0, 2..12),
+    ) {
+        let features: Vec<Vec<f64>> = rels.iter().enumerate()
+            .map(|(i, &r)| vec![r + (i as f64 * 0.01), i as f64])
+            .collect();
+        let group = QueryGroup::new(features.clone(), rels);
+        let model = LambdaMart::train(
+            &[group],
+            deepeye_ml::LambdaMartParams { trees: 5, ..Default::default() },
+        );
+        for row in &features {
+            prop_assert!(model.score(row).is_finite());
+        }
+        let order = model.rank(&features);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..features.len()).collect::<Vec<_>>());
+    }
+}

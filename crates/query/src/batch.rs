@@ -1,0 +1,366 @@
+//! Batch execution with shared scans (§V-B optimization 1, as a public
+//! API): "for each column X, when grouping and binning the column, we
+//! compute the AGG values on other columns together and avoid
+//! binning/grouping multiple times."
+//!
+//! Queries are grouped by `(x column, transform)`; each group performs one
+//! pass over the table computing CNT plus SUM for every referenced
+//! y-column, then materializes every requested chart from the shared
+//! accumulators. Raw (untransformed) queries fall back to the one-shot
+//! executor. Results are position-aligned with the input and identical to
+//! calling [`crate::execute_with`] per query.
+
+use crate::ast::{Aggregate, SortOrder, Transform, VisQuery};
+use crate::bins::{bin_keys, group_keys, Bucketizer, Key, UdfRegistry};
+use crate::chart::{ChartData, Series};
+use crate::exec::{execute_with, QueryError};
+use deepeye_data::{ColumnData, Table};
+use std::collections::HashMap;
+
+/// Execute many queries with shared scans. `results[i]` corresponds to
+/// `queries[i]`.
+pub fn execute_batch(
+    table: &Table,
+    queries: &[VisQuery],
+    udfs: &UdfRegistry,
+) -> Vec<Result<ChartData, QueryError>> {
+    let mut results: Vec<Option<Result<ChartData, QueryError>>> = vec![None; queries.len()];
+
+    // Group aggregated queries by (x, transform); run everything else
+    // through the scalar path.
+    let mut groups: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    for (i, q) in queries.iter().enumerate() {
+        let shareable = !matches!(q.transform, Transform::None) && q.aggregate != Aggregate::Raw;
+        if shareable {
+            groups
+                .entry((q.x.clone(), format!("{:?}", q.transform)))
+                .or_default()
+                .push(i);
+        } else {
+            results[i] = Some(execute_with(table, q, udfs));
+        }
+    }
+
+    for ((x_name, _), indices) in groups {
+        let outcome = scan_group(table, &x_name, queries, &indices, udfs);
+        match outcome {
+            Ok(mut produced) => {
+                for i in indices {
+                    results[i] = Some(
+                        produced
+                            .remove(&i)
+                            .expect("scan produced one result per query"),
+                    );
+                }
+            }
+            Err(e) => {
+                for i in indices {
+                    results[i] = Some(Err(e.clone()));
+                }
+            }
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every query handled"))
+        .collect()
+}
+
+/// One shared scan for a set of same-(x, transform) query indices.
+#[allow(clippy::type_complexity)]
+fn scan_group(
+    table: &Table,
+    x_name: &str,
+    queries: &[VisQuery],
+    indices: &[usize],
+    udfs: &UdfRegistry,
+) -> Result<HashMap<usize, Result<ChartData, QueryError>>, QueryError> {
+    let x_col = table
+        .column_by_name(x_name)
+        .ok_or_else(|| QueryError::NoSuchColumn(x_name.to_owned()))?;
+    let transform = &queries[indices[0]].transform;
+    let keys = match transform {
+        Transform::Group => group_keys(x_col),
+        Transform::Bin(strategy) => bin_keys(x_col, strategy, udfs)?,
+        Transform::None => unreachable!("caller filters raw queries"),
+    };
+
+    // The numeric y-columns any query needs SUM/AVG over.
+    let mut y_names: Vec<&str> = Vec::new();
+    for &i in indices {
+        if let (Some(y), Aggregate::Sum | Aggregate::Avg) = (&queries[i].y, queries[i].aggregate) {
+            if !y_names.contains(&y.as_str()) {
+                y_names.push(y);
+            }
+        }
+    }
+    let y_values: Vec<Option<&Vec<Option<f64>>>> = y_names
+        .iter()
+        .map(|name| {
+            table.column_by_name(name).and_then(|c| match c.data() {
+                ColumnData::Numeric(v) => Some(v),
+                _ => None,
+            })
+        })
+        .collect();
+    // SUM/AVG require a *numeric* y; remember which resolved.
+    let y_numeric: Vec<bool> = y_values.iter().map(Option::is_some).collect();
+
+    let mut buckets = Bucketizer::new();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); y_names.len()];
+    let mut y_counts: Vec<Vec<u64>> = vec![Vec::new(); y_names.len()];
+    for (row, key) in keys.into_iter().enumerate() {
+        let Some(key) = key else { continue };
+        let idx = buckets.index_of(key);
+        if idx == counts.len() {
+            counts.push(0);
+            for s in &mut sums {
+                s.push(0.0);
+            }
+            for c in &mut y_counts {
+                c.push(0);
+            }
+        }
+        counts[idx] += 1;
+        for (yi, vals) in y_values.iter().enumerate() {
+            if let Some(Some(v)) = vals.map(|v| v[row]) {
+                sums[yi][idx] += v;
+                y_counts[yi][idx] += 1;
+            }
+        }
+    }
+    let keys_dense: Vec<Key> = buckets.into_keys();
+
+    let mut out = HashMap::with_capacity(indices.len());
+    for &i in indices {
+        let q = &queries[i];
+        if keys_dense.is_empty() {
+            out.insert(i, Err(QueryError::EmptyResult));
+            continue;
+        }
+        let result = materialize(
+            q,
+            &keys_dense,
+            &counts,
+            &sums,
+            &y_counts,
+            &y_names,
+            &y_numeric,
+        );
+        out.insert(i, result);
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn materialize(
+    q: &VisQuery,
+    keys: &[Key],
+    counts: &[u64],
+    sums: &[Vec<f64>],
+    y_counts: &[Vec<u64>],
+    y_names: &[&str],
+    y_numeric: &[bool],
+) -> Result<ChartData, QueryError> {
+    let (pairs, y_label): (Vec<(Key, f64)>, String) = match (&q.y, q.aggregate) {
+        (None, Aggregate::Cnt) => (
+            keys.iter()
+                .cloned()
+                .zip(counts.iter().map(|&c| c as f64))
+                .collect(),
+            format!("CNT({})", q.x),
+        ),
+        (None, other) => {
+            return Err(QueryError::Invalid(format!(
+                "one-column queries support CNT only, got {}",
+                other.name()
+            )));
+        }
+        (Some(y), Aggregate::Cnt) => (
+            keys.iter()
+                .cloned()
+                .zip(counts.iter().map(|&c| c as f64))
+                .collect(),
+            format!("CNT({y})"),
+        ),
+        (Some(y), agg @ (Aggregate::Sum | Aggregate::Avg)) => {
+            let yi = y_names.iter().position(|n| n == y).ok_or_else(|| {
+                QueryError::Invalid(format!(
+                    "{} requires a numerical y column, {y:?} is not",
+                    agg.name()
+                ))
+            })?;
+            if !y_numeric[yi] {
+                return Err(QueryError::Invalid(format!(
+                    "{} requires a numerical y column, {y:?} is not",
+                    agg.name()
+                )));
+            }
+            let values: Vec<f64> = match agg {
+                Aggregate::Sum => sums[yi].clone(),
+                Aggregate::Avg => sums[yi]
+                    .iter()
+                    .zip(&y_counts[yi])
+                    .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+                    .collect(),
+                _ => unreachable!(),
+            };
+            (
+                keys.iter().cloned().zip(values).collect(),
+                format!("{}({y})", agg.name()),
+            )
+        }
+        (_, Aggregate::Raw) => unreachable!("caller filters raw queries"),
+    };
+    let mut series = Series::Keyed(pairs);
+    if let Series::Keyed(pairs) = &mut series {
+        match q.order {
+            SortOrder::None => {}
+            SortOrder::ByX => pairs.sort_by(|a, b| a.0.total_cmp(&b.0)),
+            SortOrder::ByY => pairs.sort_by(|a, b| b.1.total_cmp(&a.1)),
+        }
+    }
+    Ok(ChartData {
+        chart: q.chart,
+        x_label: q.x.clone(),
+        y_label,
+        series,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinStrategy, ChartType};
+    use deepeye_data::{parse_timestamp, Column, TableBuilder};
+
+    fn table() -> Table {
+        let n = 60;
+        let ts: Vec<_> = (0..n)
+            .map(|i| {
+                parse_timestamp(&format!(
+                    "2015-{:02}-{:02} {:02}:30",
+                    i % 12 + 1,
+                    i % 28 + 1,
+                    i % 24
+                ))
+                .unwrap()
+            })
+            .collect();
+        TableBuilder::new("t")
+            .column(Column::temporal("when", ts))
+            .text("cat", (0..n).map(|i| ["a", "b", "c"][i % 3]))
+            .numeric("v", (0..n).map(|i| (i % 13) as f64 - 4.0))
+            .numeric("w", (0..n).map(|i| i as f64 * 0.5))
+            .build()
+            .unwrap()
+    }
+
+    /// Sample a diverse query set spanning shareable and raw paths.
+    fn queries() -> Vec<VisQuery> {
+        let mut out = Vec::new();
+        for x in ["cat", "when", "v"] {
+            for t in crate::enumerate::all_queries(&table())
+                .filter(|q| q.x == x)
+                .take(40)
+            {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batch_matches_scalar_execution() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let qs = queries();
+        let batch = execute_batch(&t, &qs, &udfs);
+        assert_eq!(batch.len(), qs.len());
+        for (q, batch_result) in qs.iter().zip(&batch) {
+            let scalar = execute_with(&t, q, &udfs);
+            match (batch_result, &scalar) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "mismatch for {q:?}"),
+                (Err(_), Err(_)) => {}
+                other => panic!("outcome mismatch for {q:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shared_group_results_consistent() {
+        // All three aggregates of the same (x, transform) from one scan.
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let base = VisQuery {
+            chart: ChartType::Bar,
+            x: "cat".into(),
+            y: Some("w".into()),
+            transform: Transform::Group,
+            aggregate: Aggregate::Sum,
+            order: SortOrder::ByX,
+        };
+        let qs = vec![
+            base.clone(),
+            VisQuery {
+                aggregate: Aggregate::Avg,
+                ..base.clone()
+            },
+            VisQuery {
+                aggregate: Aggregate::Cnt,
+                ..base.clone()
+            },
+        ];
+        let results = execute_batch(&t, &qs, &udfs);
+        let sum = results[0].as_ref().unwrap().series.y_values();
+        let avg = results[1].as_ref().unwrap().series.y_values();
+        let cnt = results[2].as_ref().unwrap().series.y_values();
+        for ((s, a), c) in sum.iter().zip(&avg).zip(&cnt) {
+            assert!((s / c - a).abs() < 1e-9, "sum/cnt must equal avg");
+        }
+    }
+
+    #[test]
+    fn invalid_queries_fail_identically() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let bad = VisQuery {
+            chart: ChartType::Bar,
+            x: "cat".into(),
+            y: Some("cat".into()),
+            transform: Transform::Group,
+            aggregate: Aggregate::Avg, // AVG over categorical y
+            order: SortOrder::None,
+        };
+        let results = execute_batch(&t, std::slice::from_ref(&bad), &udfs);
+        assert!(results[0].is_err());
+        assert!(execute_with(&t, &bad, &udfs).is_err());
+    }
+
+    #[test]
+    fn temporal_bins_share_scans() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let qs: Vec<VisQuery> = [Aggregate::Sum, Aggregate::Avg, Aggregate::Cnt]
+            .into_iter()
+            .map(|aggregate| VisQuery {
+                chart: ChartType::Line,
+                x: "when".into(),
+                y: Some("v".into()),
+                transform: Transform::Bin(BinStrategy::Unit(deepeye_data::TimeUnit::Month)),
+                aggregate,
+                order: SortOrder::ByX,
+            })
+            .collect();
+        for (q, r) in qs.iter().zip(execute_batch(&t, &qs, &udfs)) {
+            assert_eq!(r.unwrap(), execute_with(&t, q, &udfs).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(execute_batch(&table(), &[], &UdfRegistry::default()).is_empty());
+    }
+}

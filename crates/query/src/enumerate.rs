@@ -1,0 +1,182 @@
+//! Search-space enumeration (§II-B, Figure 3).
+//!
+//! For two columns the space is every ordered column pair × 11 transforms
+//! (identity, group, 9 bins) × 4 aggregates × 3 orderings × 4 chart types —
+//! `528·m(m−1)` visualizations for an m-column table. One-column queries
+//! add `264·m` more. These iterators generate that space lazily so the
+//! progressive selector (§V-B) never has to materialize it.
+
+use crate::ast::{Aggregate, ChartType, SortOrder, Transform, VisQuery};
+use deepeye_data::Table;
+
+/// Number of candidate two-column visualizations for `m` columns:
+/// `m(m-1) × 44 × 4 × 3 = 528·m(m−1)`.
+pub fn two_column_space_size(m: usize) -> usize {
+    if m < 2 {
+        return 0;
+    }
+    m * (m - 1) * 11 * 4 * 4 * 3
+}
+
+/// Number of candidate one-column visualizations for `m` columns:
+/// `m × 22 × 4 × 3 = 264·m` (transform cases pair with {identity, CNT}).
+pub fn one_column_space_size(m: usize) -> usize {
+    m * 11 * 2 * 4 * 3
+}
+
+/// Lazily enumerate the full (unfiltered) two-column query space of a table.
+///
+/// This is the paper's raw search space: many of these queries are
+/// ill-typed (e.g. binning a categorical column) and will fail execution or
+/// be pruned by the rules of §V-A; the exhaustive enumeration mode of the
+/// efficiency experiment needs them generated regardless.
+pub fn two_column_queries(table: &Table) -> impl Iterator<Item = VisQuery> + '_ {
+    let names: Vec<String> = table
+        .columns()
+        .iter()
+        .map(|c| c.name().to_owned())
+        .collect();
+    ordered_pairs(names).flat_map(|(x, y)| {
+        Transform::enumerable().into_iter().flat_map(move |t| {
+            let (x, y) = (x.clone(), y.clone());
+            Aggregate::ALL.into_iter().flat_map(move |agg| {
+                let (x, y, t) = (x.clone(), y.clone(), t.clone());
+                SortOrder::ALL.into_iter().flat_map(move |order| {
+                    let (x, y, t) = (x.clone(), y.clone(), t.clone());
+                    ChartType::ALL.into_iter().map(move |chart| VisQuery {
+                        chart,
+                        x: x.clone(),
+                        y: Some(y.clone()),
+                        transform: t.clone(),
+                        aggregate: agg,
+                        order,
+                    })
+                })
+            })
+        })
+    })
+}
+
+/// Lazily enumerate the one-column query space of a table.
+pub fn one_column_queries(table: &Table) -> impl Iterator<Item = VisQuery> + '_ {
+    let names: Vec<String> = table
+        .columns()
+        .iter()
+        .map(|c| c.name().to_owned())
+        .collect();
+    names.into_iter().flat_map(|x| {
+        Transform::enumerable().into_iter().flat_map(move |t| {
+            let x = x.clone();
+            [Aggregate::Raw, Aggregate::Cnt]
+                .into_iter()
+                .flat_map(move |agg| {
+                    let (x, t) = (x.clone(), t.clone());
+                    SortOrder::ALL.into_iter().flat_map(move |order| {
+                        let (x, t) = (x.clone(), t.clone());
+                        ChartType::ALL.into_iter().map(move |chart| VisQuery {
+                            chart,
+                            x: x.clone(),
+                            y: None,
+                            transform: t.clone(),
+                            aggregate: agg,
+                            order,
+                        })
+                    })
+                })
+        })
+    })
+}
+
+/// The complete raw space: one-column plus two-column queries.
+pub fn all_queries(table: &Table) -> impl Iterator<Item = VisQuery> + '_ {
+    one_column_queries(table).chain(two_column_queries(table))
+}
+
+/// All ordered pairs (x ≠ y) of the given names.
+fn ordered_pairs(names: Vec<String>) -> impl Iterator<Item = (String, String)> {
+    let n = names.len();
+    (0..n).flat_map(move |i| {
+        let names = names.clone();
+        (0..n)
+            .filter(move |&j| j != i)
+            .map(move |j| (names[i].clone(), names[j].clone()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepeye_data::TableBuilder;
+
+    fn table(m: usize) -> Table {
+        let mut b = TableBuilder::new("t");
+        for i in 0..m {
+            b = b.numeric(format!("c{i}"), [1.0, 2.0, 3.0]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_column_count_matches_paper_formula() {
+        // 528·m(m−1) from §II-B.
+        for m in [2usize, 3, 5] {
+            let t = table(m);
+            let count = two_column_queries(&t).count();
+            assert_eq!(count, 528 * m * (m - 1));
+            assert_eq!(count, two_column_space_size(m));
+        }
+    }
+
+    #[test]
+    fn one_column_count_matches_paper_formula() {
+        // 264·m from §II-B.
+        for m in [1usize, 2, 4] {
+            let t = table(m);
+            let count = one_column_queries(&t).count();
+            assert_eq!(count, 264 * m);
+            assert_eq!(count, one_column_space_size(m));
+        }
+    }
+
+    #[test]
+    fn degenerate_tables() {
+        assert_eq!(two_column_space_size(0), 0);
+        assert_eq!(two_column_space_size(1), 0);
+        let t = table(1);
+        assert_eq!(two_column_queries(&t).count(), 0);
+        assert_eq!(one_column_queries(&t).count(), 264);
+    }
+
+    #[test]
+    fn all_queries_is_union() {
+        let t = table(3);
+        assert_eq!(
+            all_queries(&t).count(),
+            two_column_space_size(3) + one_column_space_size(3)
+        );
+    }
+
+    #[test]
+    fn queries_are_distinct() {
+        let t = table(2);
+        let qs: Vec<VisQuery> = two_column_queries(&t).collect();
+        let mut seen = std::collections::HashSet::new();
+        for q in &qs {
+            assert!(seen.insert(format!("{q:?}")), "duplicate query {q:?}");
+        }
+    }
+
+    #[test]
+    fn pairs_are_ordered_and_irreflexive() {
+        let t = table(3);
+        let qs: Vec<VisQuery> = two_column_queries(&t).collect();
+        assert!(qs.iter().all(|q| Some(&q.x) != q.y.as_ref()));
+        // Both (c0, c1) and (c1, c0) appear: XY and YX are different.
+        assert!(qs
+            .iter()
+            .any(|q| q.x == "c0" && q.y.as_deref() == Some("c1")));
+        assert!(qs
+            .iter()
+            .any(|q| q.x == "c1" && q.y.as_deref() == Some("c0")));
+    }
+}

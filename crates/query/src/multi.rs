@@ -1,0 +1,380 @@
+//! Multi-column extensions (§II-B "Extensions for One Column and Multiple
+//! Columns").
+//!
+//! Two cases from the paper:
+//!
+//! 1. **Multi-Y**: one x-column and several y-columns `Y_1 … Y_z`, each
+//!    aggregated the same way and plotted as its own series, "to compare
+//!    the Y_i columns".
+//! 2. **XYZ**: group by `X` (the series/color), group-or-bin `Y` (the
+//!    x-axis), and aggregate `Z` per (X, Y') cell — the shape of the
+//!    paper's Figure 1(b) stacked bar of passengers by month and
+//!    destination.
+
+use crate::ast::{Aggregate, ChartType, SortOrder, Transform, VisQuery};
+use crate::bins::{bin_keys, group_keys, Bucketizer, Key, UdfRegistry};
+use crate::chart::{ChartData, Series};
+use crate::exec::{execute_with, QueryError};
+use deepeye_data::Table;
+
+/// A chart with several named series over a shared x-scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSeriesChart {
+    pub chart: ChartType,
+    pub x_label: String,
+    pub y_label: String,
+    /// `(series name, keyed values)` — every series shares the key universe
+    /// but may omit keys with no data.
+    pub series: Vec<(String, Vec<(Key, f64)>)>,
+}
+
+impl MultiSeriesChart {
+    /// Total number of plotted marks across series.
+    pub fn mark_count(&self) -> usize {
+        self.series.iter().map(|(_, pts)| pts.len()).sum()
+    }
+
+    /// Collapse to a single-series [`ChartData`] by summing across series
+    /// (used by ranking, which scores the overall shape).
+    pub fn flattened(&self) -> ChartData {
+        let mut buckets = Bucketizer::new();
+        let mut totals: Vec<f64> = Vec::new();
+        for (_, pts) in &self.series {
+            for (k, v) in pts {
+                let idx = buckets.index_of(k.clone());
+                if idx == totals.len() {
+                    totals.push(0.0);
+                }
+                totals[idx] += v;
+            }
+        }
+        let pairs = buckets
+            .into_keys()
+            .into_iter()
+            .zip(totals)
+            .collect::<Vec<_>>();
+        ChartData {
+            chart: self.chart,
+            x_label: self.x_label.clone(),
+            y_label: self.y_label.clone(),
+            series: Series::Keyed(pairs),
+        }
+    }
+}
+
+/// Case (i): one x-column, multiple y-columns, shared transform/aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiYQuery {
+    pub chart: ChartType,
+    pub x: String,
+    pub ys: Vec<String>,
+    pub transform: Transform,
+    pub aggregate: Aggregate,
+    pub order: SortOrder,
+}
+
+/// Case (ii): series from X, x-axis from Y (grouped or binned), aggregate
+/// over Z.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XyzQuery {
+    pub chart: ChartType,
+    /// Series / color column (grouped by exact value).
+    pub series_column: String,
+    /// x-axis column with its transform.
+    pub x: String,
+    pub x_transform: Transform,
+    /// Aggregated value column.
+    pub z: String,
+    pub aggregate: Aggregate,
+}
+
+/// Execute a multi-Y query: each y-column becomes one series.
+pub fn execute_multi_y(
+    table: &Table,
+    query: &MultiYQuery,
+    udfs: &UdfRegistry,
+) -> Result<MultiSeriesChart, QueryError> {
+    if query.ys.len() < 2 {
+        return Err(QueryError::Invalid(
+            "multi-Y queries need at least two y columns".to_owned(),
+        ));
+    }
+    let mut series = Vec::with_capacity(query.ys.len());
+    let mut y_label = String::new();
+    for y in &query.ys {
+        let single = VisQuery {
+            chart: query.chart,
+            x: query.x.clone(),
+            y: Some(y.clone()),
+            transform: query.transform.clone(),
+            aggregate: query.aggregate,
+            order: query.order,
+        };
+        let chart = execute_with(table, &single, udfs)?;
+        if y_label.is_empty() {
+            y_label = chart.y_label.replace(y.as_str(), "*");
+        }
+        match chart.series {
+            Series::Keyed(pairs) => series.push((y.clone(), pairs)),
+            Series::Points(pts) => series.push((
+                y.clone(),
+                pts.into_iter().map(|(x, v)| (Key::Number(x), v)).collect(),
+            )),
+        }
+    }
+    Ok(MultiSeriesChart {
+        chart: query.chart,
+        x_label: query.x.clone(),
+        y_label,
+        series,
+    })
+}
+
+/// Execute an XYZ query: group rows by the series column, then aggregate Z
+/// over the transformed x-axis within each group.
+pub fn execute_xyz(
+    table: &Table,
+    query: &XyzQuery,
+    udfs: &UdfRegistry,
+) -> Result<MultiSeriesChart, QueryError> {
+    let series_col = table
+        .column_by_name(&query.series_column)
+        .ok_or_else(|| QueryError::NoSuchColumn(query.series_column.clone()))?;
+    let x_col = table
+        .column_by_name(&query.x)
+        .ok_or_else(|| QueryError::NoSuchColumn(query.x.clone()))?;
+    let z_col = table
+        .column_by_name(&query.z)
+        .ok_or_else(|| QueryError::NoSuchColumn(query.z.clone()))?;
+    if query.aggregate == Aggregate::Raw {
+        return Err(QueryError::Invalid(
+            "XYZ queries require an aggregate".to_owned(),
+        ));
+    }
+    let z_vals: Vec<Option<f64>> = match z_col.data() {
+        deepeye_data::ColumnData::Numeric(v) => v.clone(),
+        _ if query.aggregate == Aggregate::Cnt => vec![Some(1.0); table.row_count()],
+        _ => {
+            return Err(QueryError::Invalid(format!(
+                "{} requires a numerical z column",
+                query.aggregate.name()
+            )));
+        }
+    };
+
+    let series_keys = group_keys(series_col);
+    let x_keys = match &query.x_transform {
+        Transform::Group => group_keys(x_col),
+        Transform::Bin(strategy) => bin_keys(x_col, strategy, udfs)?,
+        Transform::None => {
+            return Err(QueryError::Invalid(
+                "XYZ queries require the x column to be grouped or binned".to_owned(),
+            ));
+        }
+    };
+
+    // (series index, x index) → accumulator.
+    let mut series_buckets = Bucketizer::new();
+    let mut x_buckets = Bucketizer::new();
+    let mut cells: std::collections::HashMap<(usize, usize), (f64, u64)> =
+        std::collections::HashMap::new();
+    for row in 0..table.row_count() {
+        let (Some(sk), Some(xk)) = (series_keys[row].clone(), x_keys[row].clone()) else {
+            continue;
+        };
+        let si = series_buckets.index_of(sk);
+        let xi = x_buckets.index_of(xk);
+        let entry = cells.entry((si, xi)).or_insert((0.0, 0));
+        match query.aggregate {
+            Aggregate::Cnt => entry.1 += 1,
+            Aggregate::Sum | Aggregate::Avg => {
+                if let Some(z) = z_vals[row] {
+                    entry.0 += z;
+                    entry.1 += 1;
+                }
+            }
+            Aggregate::Raw => unreachable!(),
+        }
+    }
+    if series_buckets.is_empty() {
+        return Err(QueryError::EmptyResult);
+    }
+    let series_names = series_buckets.into_keys();
+    let x_keys_dense = x_buckets.into_keys();
+    let mut series = Vec::with_capacity(series_names.len());
+    for (si, name) in series_names.iter().enumerate() {
+        let mut pts: Vec<(Key, f64)> = Vec::new();
+        for (xi, xk) in x_keys_dense.iter().enumerate() {
+            if let Some((sum, cnt)) = cells.get(&(si, xi)) {
+                let v = match query.aggregate {
+                    Aggregate::Cnt => *cnt as f64,
+                    Aggregate::Sum => *sum,
+                    Aggregate::Avg => {
+                        if *cnt == 0 {
+                            continue;
+                        } else {
+                            sum / *cnt as f64
+                        }
+                    }
+                    Aggregate::Raw => unreachable!(),
+                };
+                pts.push((xk.clone(), v));
+            }
+        }
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        series.push((name.to_string(), pts));
+    }
+    series.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(MultiSeriesChart {
+        chart: query.chart,
+        x_label: query.x.clone(),
+        y_label: format!("{}({})", query.aggregate.name(), query.z),
+        series,
+    })
+}
+
+/// Size of the paper's XYZ search space: `704·m³` (§II-B).
+pub fn xyz_space_size(m: usize) -> usize {
+    704 * m * m * m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinStrategy;
+    use deepeye_data::{parse_timestamp, Column, TableBuilder, TimeUnit};
+
+    fn flights() -> Table {
+        let times: Vec<_> = [
+            "2015-01-05",
+            "2015-01-20",
+            "2015-02-10",
+            "2015-02-15",
+            "2015-02-28",
+        ]
+        .iter()
+        .map(|s| parse_timestamp(s).unwrap())
+        .collect();
+        TableBuilder::new("flights")
+            .column(Column::temporal("scheduled", times))
+            .text("destination", ["NYC", "LA", "NYC", "LA", "NYC"])
+            .numeric("passengers", [100.0, 200.0, 150.0, 50.0, 80.0])
+            .numeric("delay", [5.0, -1.0, 8.0, 2.0, 0.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn xyz_stacked_bar_like_figure_1b() {
+        // Figure 1(b): x = scheduled binned by month, stacked by
+        // destination, y = SUM(passengers).
+        let q = XyzQuery {
+            chart: ChartType::Bar,
+            series_column: "destination".into(),
+            x: "scheduled".into(),
+            x_transform: Transform::Bin(BinStrategy::Unit(TimeUnit::Month)),
+            z: "passengers".into(),
+            aggregate: Aggregate::Sum,
+        };
+        let chart = execute_xyz(&flights(), &q, &UdfRegistry::default()).unwrap();
+        assert_eq!(chart.series.len(), 2);
+        let la = &chart.series[0];
+        let nyc = &chart.series[1];
+        assert_eq!(la.0, "LA");
+        assert_eq!(nyc.0, "NYC");
+        // LA: Jan 200, Feb 50. NYC: Jan 100, Feb 230.
+        assert_eq!(
+            la.1.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![200.0, 50.0]
+        );
+        assert_eq!(
+            nyc.1.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![100.0, 230.0]
+        );
+        // Flattened totals conserve the grand total.
+        let flat = chart.flattened();
+        let total: f64 = flat.series.y_values().iter().sum();
+        assert_eq!(total, 580.0);
+    }
+
+    #[test]
+    fn multi_y_compares_columns() {
+        let q = MultiYQuery {
+            chart: ChartType::Line,
+            x: "destination".into(),
+            ys: vec!["passengers".into(), "delay".into()],
+            transform: Transform::Group,
+            aggregate: Aggregate::Avg,
+            order: SortOrder::ByX,
+        };
+        let chart = execute_multi_y(&flights(), &q, &UdfRegistry::default()).unwrap();
+        assert_eq!(chart.series.len(), 2);
+        assert_eq!(chart.series[0].0, "passengers");
+        assert_eq!(chart.y_label, "AVG(*)");
+        assert_eq!(chart.mark_count(), 4);
+    }
+
+    #[test]
+    fn multi_y_requires_two_columns() {
+        let q = MultiYQuery {
+            chart: ChartType::Line,
+            x: "destination".into(),
+            ys: vec!["passengers".into()],
+            transform: Transform::Group,
+            aggregate: Aggregate::Avg,
+            order: SortOrder::None,
+        };
+        assert!(matches!(
+            execute_multi_y(&flights(), &q, &UdfRegistry::default()),
+            Err(QueryError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn xyz_requires_transform_and_aggregate() {
+        let base = XyzQuery {
+            chart: ChartType::Bar,
+            series_column: "destination".into(),
+            x: "scheduled".into(),
+            x_transform: Transform::None,
+            z: "passengers".into(),
+            aggregate: Aggregate::Sum,
+        };
+        assert!(matches!(
+            execute_xyz(&flights(), &base, &UdfRegistry::default()),
+            Err(QueryError::Invalid(_))
+        ));
+        let raw = XyzQuery {
+            aggregate: Aggregate::Raw,
+            ..base
+        };
+        assert!(matches!(
+            execute_xyz(&flights(), &raw, &UdfRegistry::default()),
+            Err(QueryError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn xyz_cnt_on_categorical_z() {
+        let q = XyzQuery {
+            chart: ChartType::Bar,
+            series_column: "destination".into(),
+            x: "scheduled".into(),
+            x_transform: Transform::Bin(BinStrategy::Unit(TimeUnit::Month)),
+            z: "destination".into(),
+            aggregate: Aggregate::Cnt,
+        };
+        let chart = execute_xyz(&flights(), &q, &UdfRegistry::default()).unwrap();
+        let total: f64 = chart
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|(_, v)| *v))
+            .sum();
+        assert_eq!(total, 5.0);
+    }
+
+    #[test]
+    fn space_size_formula() {
+        assert_eq!(xyz_space_size(2), 704 * 8);
+    }
+}

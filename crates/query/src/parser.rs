@@ -1,0 +1,358 @@
+//! Parser for the textual visualization language (Figure 2).
+//!
+//! ```text
+//! VISUALIZE line
+//! SELECT scheduled, AVG(departure delay)
+//! FROM flights
+//! BIN scheduled BY HOUR
+//! ORDER BY scheduled
+//! ```
+//!
+//! Clauses appear one per line; `VISUALIZE`, `SELECT`, and `FROM` are
+//! mandatory, `GROUP BY` / `BIN` and `ORDER BY` optional, matching the
+//! grammar in the paper.
+
+use crate::ast::{Aggregate, BinStrategy, ChartType, SortOrder, Transform, VisQuery};
+use deepeye_data::TimeUnit;
+use std::fmt;
+
+/// A parsed query plus the FROM table name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    pub query: VisQuery,
+    pub from: String,
+}
+
+/// Parse errors with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// `AGG(col)` → `(aggregate, col)`; plain `col` → `(Raw, col)`.
+fn parse_select_item(item: &str) -> Result<(Aggregate, String), ParseError> {
+    let item = item.trim();
+    if let Some(open) = item.find('(') {
+        let close = item
+            .rfind(')')
+            .ok_or_else(|| ParseError::new(format!("unclosed '(' in {item:?}")))?;
+        if close < open {
+            return Err(ParseError::new(format!(
+                "mismatched parentheses in {item:?}"
+            )));
+        }
+        let func = &item[..open];
+        let col = item[open + 1..close].trim();
+        let agg = Aggregate::from_name(func)
+            .ok_or_else(|| ParseError::new(format!("unknown aggregate {func:?}")))?;
+        if col.is_empty() {
+            return Err(ParseError::new("empty aggregate argument"));
+        }
+        Ok((agg, col.to_owned()))
+    } else {
+        if item.is_empty() {
+            return Err(ParseError::new("empty SELECT item"));
+        }
+        Ok((Aggregate::Raw, item.to_owned()))
+    }
+}
+
+/// Parse the full query text.
+pub fn parse_query(text: &str) -> Result<ParsedQuery, ParseError> {
+    let mut chart: Option<ChartType> = None;
+    let mut select: Option<Vec<(Aggregate, String)>> = None;
+    let mut from: Option<String> = None;
+    let mut transform = Transform::None;
+    let mut transform_col: Option<String> = None;
+    let mut order_target: Option<String> = None;
+
+    for raw_line in text.lines() {
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if let Some(rest) = strip_keyword(line, &upper, "VISUALIZE") {
+            chart = Some(
+                ChartType::from_name(rest)
+                    .ok_or_else(|| ParseError::new(format!("unknown chart type {rest:?}")))?,
+            );
+        } else if let Some(rest) = strip_keyword(line, &upper, "SELECT") {
+            let items: Result<Vec<_>, _> = split_top_level_commas(rest)
+                .into_iter()
+                .map(|i| parse_select_item(&i))
+                .collect();
+            select = Some(items?);
+        } else if let Some(rest) = strip_keyword(line, &upper, "FROM") {
+            from = Some(rest.trim().to_owned());
+        } else if let Some(rest) = strip_keyword(line, &upper, "GROUP BY") {
+            transform = Transform::Group;
+            transform_col = Some(rest.trim().to_owned());
+        } else if let Some(rest) = strip_keyword(line, &upper, "ORDER BY") {
+            order_target = Some(rest.trim().to_owned());
+        } else if let Some(rest) = strip_keyword(line, &upper, "BIN") {
+            let (col, strategy) = parse_bin_clause(rest)?;
+            transform = Transform::Bin(strategy);
+            transform_col = Some(col);
+        } else {
+            return Err(ParseError::new(format!("unrecognized clause: {line:?}")));
+        }
+    }
+
+    let chart = chart.ok_or_else(|| ParseError::new("missing VISUALIZE clause"))?;
+    let select = select.ok_or_else(|| ParseError::new("missing SELECT clause"))?;
+    let from = from.ok_or_else(|| ParseError::new("missing FROM clause"))?;
+
+    let (x, y, aggregate) = match select.as_slice() {
+        [(Aggregate::Raw, x)] => (x.clone(), None, Aggregate::Cnt),
+        [(Aggregate::Raw, x), (agg, y)] => {
+            // One-column form `SELECT c, CNT(c)`.
+            if *agg == Aggregate::Cnt && y == x {
+                (x.clone(), None, Aggregate::Cnt)
+            } else {
+                (x.clone(), Some(y.clone()), *agg)
+            }
+        }
+        [(first_agg, _), ..] if *first_agg != Aggregate::Raw => {
+            return Err(ParseError::new(
+                "the first SELECT item (x-axis) cannot be aggregated",
+            ));
+        }
+        _ => {
+            return Err(ParseError::new(format!(
+                "SELECT takes one or two items, got {}",
+                select.len()
+            )));
+        }
+    };
+
+    if let Some(tc) = &transform_col {
+        if *tc != x {
+            return Err(ParseError::new(format!(
+                "transform column {tc:?} must match the SELECT x column {x:?}"
+            )));
+        }
+    }
+
+    let order = match order_target {
+        None => SortOrder::None,
+        Some(target) => {
+            // Allow either the bare column or the aggregate expression.
+            let (t_agg, t_col) = parse_select_item(&target)?;
+            if t_col == x && t_agg == Aggregate::Raw {
+                SortOrder::ByX
+            } else if Some(&t_col) == y.as_ref()
+                || (y.is_none() && t_col == x && t_agg != Aggregate::Raw)
+            {
+                SortOrder::ByY
+            } else {
+                return Err(ParseError::new(format!(
+                    "ORDER BY target {target:?} is not a selected column"
+                )));
+            }
+        }
+    };
+
+    Ok(ParsedQuery {
+        query: VisQuery {
+            chart,
+            x,
+            y,
+            transform,
+            aggregate,
+            order,
+        },
+        from,
+    })
+}
+
+/// Strip a leading keyword (case-insensitive) and return the remainder.
+fn strip_keyword<'a>(line: &'a str, upper: &str, keyword: &str) -> Option<&'a str> {
+    if upper == keyword {
+        return Some("");
+    }
+    upper
+        .strip_prefix(keyword)
+        .filter(|rest| rest.starts_with(' '))
+        .map(|rest| line[line.len() - rest.len()..].trim())
+}
+
+/// Split on commas that are not inside parentheses.
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => parts.push(std::mem::take(&mut current)),
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// `X BY HOUR` | `X INTO 10` | `X BY UDF(name)` | `X` (default buckets).
+fn parse_bin_clause(rest: &str) -> Result<(String, BinStrategy), ParseError> {
+    let upper = rest.to_ascii_uppercase();
+    if let Some(pos) = upper.find(" BY ") {
+        let col = rest[..pos].trim().to_owned();
+        let spec = rest[pos + 4..].trim();
+        let spec_upper = spec.to_ascii_uppercase();
+        if let Some(unit) = TimeUnit::from_keyword(&spec_upper) {
+            return Ok((col, BinStrategy::Unit(unit)));
+        }
+        if let Some(inner) = spec_upper.strip_prefix("UDF(") {
+            let name_len = inner
+                .find(')')
+                .ok_or_else(|| ParseError::new("unclosed UDF("))?;
+            let name = spec[4..4 + name_len].trim().to_owned();
+            return Ok((col, BinStrategy::Udf(name)));
+        }
+        return Err(ParseError::new(format!("unknown bin spec {spec:?}")));
+    }
+    if let Some(pos) = upper.find(" INTO ") {
+        let col = rest[..pos].trim().to_owned();
+        let n: usize = rest[pos + 6..]
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::new("INTO expects a bucket count"))?;
+        return Ok((col, BinStrategy::IntoBuckets(n)));
+    }
+    Ok((rest.trim().to_owned(), BinStrategy::Default))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q1() {
+        let text = "VISUALIZE line\nSELECT scheduled, AVG(departure delay)\nFROM flights\n\
+                    BIN scheduled BY HOUR\nORDER BY scheduled";
+        let parsed = parse_query(text).unwrap();
+        assert_eq!(parsed.from, "flights");
+        let q = parsed.query;
+        assert_eq!(q.chart, ChartType::Line);
+        assert_eq!(q.x, "scheduled");
+        assert_eq!(q.y.as_deref(), Some("departure delay"));
+        assert_eq!(
+            q.transform,
+            Transform::Bin(BinStrategy::Unit(TimeUnit::Hour))
+        );
+        assert_eq!(q.aggregate, Aggregate::Avg);
+        assert_eq!(q.order, SortOrder::ByX);
+    }
+
+    #[test]
+    fn round_trips_through_to_language() {
+        let text = "VISUALIZE line\nSELECT scheduled, AVG(departure delay)\nFROM flights\n\
+                    BIN scheduled BY HOUR\nORDER BY scheduled";
+        let parsed = parse_query(text).unwrap();
+        let rendered = parsed.query.to_language(&parsed.from);
+        let reparsed = parse_query(&rendered).unwrap();
+        assert_eq!(reparsed, parsed);
+    }
+
+    #[test]
+    fn parses_group_by_and_order_by_y() {
+        let text = "VISUALIZE bar\nSELECT carrier, SUM(passengers)\nFROM t\n\
+                    GROUP BY carrier\nORDER BY SUM(passengers)";
+        let q = parse_query(text).unwrap().query;
+        assert_eq!(q.transform, Transform::Group);
+        assert_eq!(q.order, SortOrder::ByY);
+        // Bare column name also works for ORDER BY y.
+        let text2 = "VISUALIZE bar\nSELECT carrier, SUM(passengers)\nFROM t\n\
+                     GROUP BY carrier\nORDER BY passengers";
+        assert_eq!(parse_query(text2).unwrap().query.order, SortOrder::ByY);
+    }
+
+    #[test]
+    fn parses_bin_into_and_default() {
+        let q = parse_query("VISUALIZE bar\nSELECT d, CNT(d)\nFROM t\nBIN d INTO 5")
+            .unwrap()
+            .query;
+        assert_eq!(q.transform, Transform::Bin(BinStrategy::IntoBuckets(5)));
+        let q = parse_query("VISUALIZE bar\nSELECT d, AVG(v)\nFROM t\nBIN d")
+            .unwrap()
+            .query;
+        assert_eq!(q.transform, Transform::Bin(BinStrategy::Default));
+    }
+
+    #[test]
+    fn parses_udf_bin() {
+        let q = parse_query("VISUALIZE pie\nSELECT d, CNT(d)\nFROM t\nBIN d BY UDF(sign)")
+            .unwrap()
+            .query;
+        assert_eq!(q.transform, Transform::Bin(BinStrategy::Udf("sign".into())));
+    }
+
+    #[test]
+    fn one_column_select_cnt() {
+        let q =
+            parse_query("VISUALIZE pie\nSELECT carrier, CNT(carrier)\nFROM t\nGROUP BY carrier")
+                .unwrap()
+                .query;
+        assert_eq!(q.y, None);
+        assert_eq!(q.aggregate, Aggregate::Cnt);
+        // Bare single column defaults to CNT.
+        let q = parse_query("VISUALIZE pie\nSELECT carrier\nFROM t\nGROUP BY carrier")
+            .unwrap()
+            .query;
+        assert_eq!(q.y, None);
+        assert_eq!(q.aggregate, Aggregate::Cnt);
+    }
+
+    #[test]
+    fn missing_clauses_rejected() {
+        assert!(parse_query("SELECT a, b\nFROM t").is_err());
+        assert!(parse_query("VISUALIZE bar\nFROM t").is_err());
+        assert!(parse_query("VISUALIZE bar\nSELECT a, b").is_err());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(parse_query("VISUALIZE donut\nSELECT a, b\nFROM t").is_err());
+        assert!(parse_query("VISUALIZE bar\nSELECT MEDIAN(a), b\nFROM t").is_err());
+        assert!(parse_query("VISUALIZE bar\nSELECT AVG(a), b\nFROM t").is_err());
+        assert!(parse_query("VISUALIZE bar\nSELECT a, b\nFROM t\nORDER BY c").is_err());
+        assert!(parse_query("VISUALIZE bar\nSELECT a, b\nFROM t\nGROUP BY b").is_err());
+        assert!(parse_query("VISUALIZE bar\nSELECT a, b\nFROM t\nWOBBLE").is_err());
+        assert!(parse_query("VISUALIZE bar\nSELECT a, b\nFROM t\nBIN a BY FORTNIGHT").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse_query("visualize BAR\nselect carrier, avg(delay)\nfrom t\ngroup by carrier")
+            .unwrap()
+            .query;
+        assert_eq!(q.chart, ChartType::Bar);
+        assert_eq!(q.aggregate, Aggregate::Avg);
+    }
+}

@@ -1,0 +1,93 @@
+//! Build a dashboard from any CSV file: read it, auto-detect column types,
+//! and emit an HTML page with the top-k recommended charts as embedded
+//! Vega-Lite specs.
+//!
+//! ```sh
+//! cargo run --release --example csv_dashboard -- path/to/data.csv [k]
+//! # no argument: uses a built-in demo CSV and writes dashboard.html
+//! ```
+
+use deepeye::prelude::*;
+use std::fmt::Write as _;
+
+const DEMO_CSV: &str = "\
+date,city,temp,humidity,aqi
+2015-01-05,Beijing,-2,30,160
+2015-02-05,Beijing,2,32,150
+2015-03-05,Beijing,9,35,120
+2015-04-05,Beijing,17,40,95
+2015-05-05,Beijing,23,48,80
+2015-06-05,Beijing,28,60,70
+2015-07-05,Beijing,30,72,65
+2015-08-05,Beijing,29,74,60
+2015-09-05,Beijing,23,62,75
+2015-10-05,Beijing,15,50,105
+2015-11-05,Beijing,6,40,140
+2015-12-05,Beijing,-1,33,170
+2015-01-05,Shanghai,5,70,90
+2015-02-05,Shanghai,7,72,85
+2015-03-05,Shanghai,11,73,75
+2015-04-05,Shanghai,17,75,60
+2015-05-05,Shanghai,22,78,55
+2015-06-05,Shanghai,26,82,45
+2015-07-05,Shanghai,30,80,42
+2015-08-05,Shanghai,30,79,40
+2015-09-05,Shanghai,26,76,50
+2015-10-05,Shanghai,20,72,62
+2015-11-05,Shanghai,13,70,78
+2015-12-05,Shanghai,7,69,88
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let table = match args.get(1) {
+        Some(path) => table_from_csv_path(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => table_from_csv_str("weather_demo", DEMO_CSV).expect("demo CSV is valid"),
+    };
+    let k: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(6);
+    eprintln!("loaded {}", table.schema_string());
+
+    let eye = DeepEye::with_defaults();
+    let recs = eye.recommend(&table, k);
+    eprintln!("recommending {} charts", recs.len());
+
+    let mut html = String::from(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n\
+         <title>DeepEye dashboard</title>\n\
+         <script src=\"https://cdn.jsdelivr.net/npm/vega@5\"></script>\n\
+         <script src=\"https://cdn.jsdelivr.net/npm/vega-lite@5\"></script>\n\
+         <script src=\"https://cdn.jsdelivr.net/npm/vega-embed@6\"></script>\n\
+         <style>body{font-family:sans-serif;display:grid;grid-template-columns:repeat(2,1fr);gap:24px;padding:24px}\
+         .card{border:1px solid #ddd;border-radius:8px;padding:12px}</style>\n\
+         </head><body>\n",
+    );
+    for rec in &recs {
+        let div = format!("chart{}", rec.rank);
+        let _ = write!(
+            html,
+            "<div class=\"card\"><h3>#{} — {} of {} vs {}</h3><div id=\"{div}\"></div>\
+             <script>vegaEmbed('#{div}', {});</script></div>\n",
+            rec.rank,
+            rec.node.chart_type(),
+            rec.node.data.x_label,
+            rec.node.data.y_label,
+            rec.spec(),
+        );
+    }
+    html.push_str("</body></html>\n");
+
+    let out = "dashboard.html";
+    std::fs::write(out, &html).expect("writable working directory");
+    println!(
+        "wrote {out} with {} charts — open it in a browser.",
+        recs.len()
+    );
+
+    // Also print terminal sketches so the example is useful offline.
+    for rec in &recs {
+        println!("\n#{}\n{}", rec.rank, rec.node.data.ascii_sketch(8));
+    }
+}

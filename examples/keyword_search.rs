@@ -1,0 +1,53 @@
+//! Keyword-driven visualization search — the paper's §VIII future work
+//! ("support keyword queries such that users specify their intent in a
+//! natural way"), realized over the flight-delay dataset.
+//!
+//! ```sh
+//! cargo run --release --example keyword_search -- "average delay by hour as line"
+//! ```
+
+use deepeye::core::keyword_search;
+use deepeye::datagen::flight_table;
+use deepeye::prelude::*;
+
+fn main() {
+    let query_text = std::env::args().skip(1).collect::<Vec<_>>().join(" ");
+    let query_text = if query_text.is_empty() {
+        "average delay by hour as line".to_owned()
+    } else {
+        query_text
+    };
+
+    let table = flight_table(2015, 10_000);
+    println!("searching {} for: {query_text:?}\n", table.schema_string());
+
+    let eye = DeepEye::with_defaults();
+    let hits = keyword_search(&eye, &table, &query_text, 3);
+    if hits.is_empty() {
+        println!("no candidates at all — is the table empty?");
+        return;
+    }
+    for rec in &hits {
+        println!("#{} [{}]", rec.rank, rec.node.chart_type());
+        println!("{}", rec.node.query.to_language("flights"));
+        println!("{}", rec.node.data.ascii_sketch(10));
+    }
+
+    println!("--- other queries to try ---");
+    for q in [
+        "pie share of passengers by carrier",
+        "correlation departure versus arrival",
+        "monthly total passengers",
+        "distribution of delay",
+    ] {
+        let top = keyword_search(&eye, &table, q, 1);
+        if let Some(rec) = top.first() {
+            println!(
+                "{q:>45}  →  {} of {} vs {}",
+                rec.node.chart_type(),
+                rec.node.data.x_label,
+                rec.node.data.y_label
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: recommend visualizations for a small CSV, print ASCII
+//! sketches, the query each chart corresponds to, and a Vega-Lite spec.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use deepeye::prelude::*;
+
+fn main() {
+    let csv = "\
+month,region,revenue,units
+2015-01,North,102,11
+2015-02,North,118,12
+2015-03,North,131,14
+2015-04,North,150,15
+2015-05,North,166,17
+2015-06,North,180,19
+2015-01,South,95,10
+2015-02,South,95,10
+2015-03,South,104,11
+2015-04,South,112,12
+2015-05,South,121,13
+2015-06,South,135,14
+2015-01,East,60,6
+2015-02,East,63,7
+2015-03,East,66,7
+2015-04,East,71,8
+2015-05,East,74,8
+2015-06,East,80,9
+";
+    let table = table_from_csv_str("sales", csv).expect("valid CSV");
+    println!("loaded {}\n", table.schema_string());
+
+    // Out of the box: rule-based candidates ranked by the expert partial
+    // order — no training data needed.
+    let eye = DeepEye::with_defaults();
+    let recommendations = eye.recommend(&table, 3);
+    println!("top-{} recommendations:\n", recommendations.len());
+    for rec in &recommendations {
+        println!(
+            "#{} (M={:.2} Q={:.2} W={:.2})",
+            rec.rank, rec.factors.m, rec.factors.q, rec.factors.w
+        );
+        println!("{}", rec.node.data.ascii_sketch(8));
+        println!("query:\n{}\n", rec.query_text("sales"));
+    }
+
+    // Every recommendation renders to a Vega-Lite-style spec for the web.
+    if let Some(first) = recommendations.first() {
+        println!("Vega-Lite spec of #1:\n{}", first.spec());
+    }
+
+    // The visualization language can also be driven directly.
+    let parsed = parse_query(
+        "VISUALIZE bar\nSELECT region, SUM(revenue)\nFROM sales\nGROUP BY region\nORDER BY SUM(revenue)",
+    )
+    .expect("valid query");
+    let chart = execute(&table, &parsed.query).expect("executable");
+    println!("\nmanual query result:\n{chart}");
+}

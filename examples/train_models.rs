@@ -1,0 +1,92 @@
+//! The full offline + online pipeline of the paper's Figure 4: train the
+//! recognition classifier and the learning-to-rank model on the training
+//! corpus (with oracle-labeled examples standing in for the paper's
+//! crowdsourced annotations), learn the hybrid weight α, then run the
+//! trained system on a held-out dataset.
+//!
+//! ```sh
+//! cargo run --release --example train_models
+//! ```
+
+use deepeye::datagen::{
+    build_table, candidate_nodes, ranking_examples, recognition_examples, test_specs,
+    training_tables, PerceptionOracle,
+};
+use deepeye::prelude::*;
+use deepeye_core::rank_by_partial_order;
+
+fn main() {
+    let scale = 0.15; // keep the example under a minute; raise toward 1.0 for paper scale
+    let oracle = PerceptionOracle::default();
+
+    // ---- offline: learn from examples (Figure 4, left) ----
+    println!("building training corpus (32 datasets, scale {scale}) …");
+    let train = training_tables(scale);
+
+    println!("labeling candidates with the perception oracle …");
+    let examples = recognition_examples(&train, &oracle);
+    let good = examples.iter().filter(|e| e.good).count();
+    println!(
+        "  {} labeled examples ({} good / {} bad — the paper had 2,520 / 30,892)",
+        examples.len(),
+        good,
+        examples.len() - good
+    );
+
+    println!("training the decision-tree recognizer …");
+    let recognizer = Recognizer::train(ClassifierKind::DecisionTree, &examples);
+
+    println!("training LambdaMART on per-dataset rankings …");
+    let groups = ranking_examples(&train, &oracle);
+    let ltr = LtrRanker::fit(&groups);
+
+    println!("learning the hybrid preference weight α …");
+    let alpha_groups: Vec<_> = train
+        .iter()
+        .map(|t| {
+            let nodes = candidate_nodes(t);
+            let rel: Vec<f64> = nodes.iter().map(|n| oracle.relevance(n)).collect();
+            (ltr.rank(&nodes), rank_by_partial_order(&nodes), rel)
+        })
+        .collect();
+    let hybrid = HybridRanker::learn_alpha(&alpha_groups);
+    println!("  α = {}\n", hybrid.alpha);
+
+    // Trained models persist to disk and reload bit-exactly.
+    std::fs::write("recognizer.model", recognizer.to_text()).expect("writable cwd");
+    std::fs::write("ranker.model", ltr.to_text()).expect("writable cwd");
+    let recognizer =
+        Recognizer::from_text(&std::fs::read_to_string("recognizer.model").expect("just written"))
+            .expect("round trip");
+    let ltr = LtrRanker::from_text(&std::fs::read_to_string("ranker.model").expect("just written"))
+        .expect("round trip");
+    println!("saved + reloaded recognizer.model and ranker.model\n");
+
+    // ---- online: run the trained system on a held-out dataset ----
+    let spec = test_specs().into_iter().nth(3).expect("X4 exists"); // X4 Happiness Rank
+    let table = build_table(&spec.scaled(scale));
+    println!(
+        "running trained DeepEye on held-out {} …\n",
+        table.schema_string()
+    );
+
+    let eye = DeepEye::new(DeepEyeConfig {
+        enumeration: EnumerationMode::RuleBased,
+        recognizer: Some(recognizer),
+        ranking: RankingMethod::Hybrid(ltr, hybrid),
+        ..Default::default()
+    });
+    let recs = eye.recommend(&table, 4);
+    if recs.is_empty() {
+        println!("(the recognizer filtered everything — rerun with a larger scale)");
+    }
+    for rec in &recs {
+        println!(
+            "#{} [{}] oracle score {:.0}",
+            rec.rank,
+            rec.node.chart_type(),
+            oracle.score(&rec.node)
+        );
+        println!("{}", rec.node.data.ascii_sketch(8));
+    }
+}

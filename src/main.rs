@@ -1,0 +1,187 @@
+//! The `deepeye` command-line tool: automatic visualization for CSV files.
+//!
+//! ```text
+//! deepeye recommend <csv> [k]          top-k charts as terminal sketches
+//! deepeye search <csv> <keywords> [k]  keyword-driven chart search
+//! deepeye query <csv> <query.vql>     run one visualization-language query
+//! deepeye svg <csv> <out-dir> [k]      render top-k charts to SVG files
+//! deepeye dashboard <csv> [out.html]   offline HTML dashboard (inline SVG)
+//! deepeye inspect <csv>                schema and detected column types
+//! ```
+
+use deepeye::core::{keyword_search, render_svg, SvgOptions};
+use deepeye::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  deepeye recommend <csv> [k]\n  deepeye search <csv> <keywords> [k]\n  \
+         deepeye query <csv> <query.vql>\n  deepeye svg <csv> <out-dir> [k]\n  \
+         deepeye dashboard <csv> [out.html]\n  deepeye inspect <csv>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Table, ExitCode> {
+    table_from_csv_path(path).map_err(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match command {
+        "recommend" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let table = match load(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let k = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(5);
+            println!("{}\n", table.schema_string());
+            let recs = DeepEye::with_defaults().recommend(&table, k);
+            if recs.is_empty() {
+                println!("no meaningful visualizations found");
+            }
+            for rec in recs {
+                println!(
+                    "#{} (M={:.2} Q={:.2} W={:.2})\n{}",
+                    rec.rank,
+                    rec.factors.m,
+                    rec.factors.q,
+                    rec.factors.w,
+                    rec.node.data.ascii_sketch(10)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "search" => {
+            let (Some(path), Some(keywords)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let table = match load(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let k = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(3);
+            let eye = DeepEye::with_defaults();
+            for rec in keyword_search(&eye, &table, keywords, k) {
+                println!("#{}\n{}", rec.rank, rec.node.data.ascii_sketch(10));
+            }
+            ExitCode::SUCCESS
+        }
+        "query" => {
+            let (Some(path), Some(query_path)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let table = match load(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let text = match std::fs::read_to_string(query_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {query_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_query(&text).map(|p| execute(&table, &p.query)) {
+                Ok(Ok(chart)) => {
+                    println!("{chart}");
+                    ExitCode::SUCCESS
+                }
+                Ok(Err(e)) => {
+                    eprintln!("execution error: {e}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "svg" => {
+            let (Some(path), Some(out_dir)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let table = match load(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let k = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(6);
+            if let Err(e) = std::fs::create_dir_all(out_dir) {
+                eprintln!("error: cannot create {out_dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let opts = SvgOptions::default();
+            for rec in DeepEye::with_defaults().recommend(&table, k) {
+                let file = format!("{out_dir}/chart{}.svg", rec.rank);
+                if let Err(e) = std::fs::write(&file, render_svg(&rec.node, &opts)) {
+                    eprintln!("error: cannot write {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {file}");
+            }
+            ExitCode::SUCCESS
+        }
+        "dashboard" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let table = match load(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let out = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| "dashboard.html".to_owned());
+            let opts = SvgOptions::default();
+            let mut html = String::from(
+                "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>DeepEye</title>\
+                 <style>body{font-family:sans-serif;display:grid;\
+                 grid-template-columns:repeat(auto-fill,minmax(500px,1fr));gap:16px;padding:16px}\
+                 .card{border:1px solid #ddd;border-radius:8px;padding:8px}</style></head><body>\n",
+            );
+            for rec in DeepEye::with_defaults().recommend(&table, 8) {
+                html.push_str("<div class=\"card\">");
+                html.push_str(&render_svg(&rec.node, &opts));
+                html.push_str("</div>\n");
+            }
+            html.push_str("</body></html>\n");
+            if let Err(e) = std::fs::write(&out, html) {
+                eprintln!("error: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out} (fully offline, inline SVG)");
+            ExitCode::SUCCESS
+        }
+        "inspect" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let table = match load(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            println!("{}", table.schema_string());
+            for col in table.columns() {
+                let profile = deepeye::data::profile_column(col);
+                println!(
+                    "  {:<24} nulls={:<5} {}",
+                    col.name(),
+                    col.null_count(),
+                    profile.summary_line(col.data_type()),
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,176 @@
+//! End-to-end tests of the `deepeye` CLI binary, driven through the real
+//! executable (`CARGO_BIN_EXE_deepeye`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_deepeye"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("deepeye-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir creatable");
+    dir
+}
+
+fn sample_csv(dir: &PathBuf) -> PathBuf {
+    let path = dir.join("sales.csv");
+    let mut csv = String::from("month,region,revenue,units\n");
+    for m in 1..=12 {
+        for (r, base) in [("North", 100.0), ("South", 80.0), ("East", 60.0)] {
+            csv.push_str(&format!(
+                "2015-{m:02},{r},{:.0},{}\n",
+                base + m as f64 * 5.0,
+                m * 2
+            ));
+        }
+    }
+    std::fs::write(&path, csv).expect("writable temp file");
+    path
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = bin().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn inspect_reports_types() {
+    let dir = tmp_dir("inspect");
+    let csv = sample_csv(&dir);
+    let out = bin()
+        .args(["inspect", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("month"));
+    assert!(stdout.contains("Tem"), "month detected temporal: {stdout}");
+    assert!(stdout.contains("Cat"), "region detected categorical");
+    assert!(stdout.contains("Num"), "revenue detected numerical");
+}
+
+#[test]
+fn recommend_prints_charts() {
+    let dir = tmp_dir("recommend");
+    let csv = sample_csv(&dir);
+    let out = bin()
+        .args(["recommend", csv.to_str().unwrap(), "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("#1"), "{stdout}");
+    assert!(stdout.contains("chart"), "{stdout}");
+}
+
+#[test]
+fn search_honors_keywords() {
+    let dir = tmp_dir("search");
+    let csv = sample_csv(&dir);
+    let out = bin()
+        .args(["search", csv.to_str().unwrap(), "pie share of revenue", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pie chart"), "{stdout}");
+}
+
+#[test]
+fn query_runs_vql_file() {
+    let dir = tmp_dir("query");
+    let csv = sample_csv(&dir);
+    let vql = dir.join("q.vql");
+    std::fs::write(
+        &vql,
+        "VISUALIZE bar\nSELECT region, SUM(revenue)\nFROM sales\nGROUP BY region\nORDER BY SUM(revenue)",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["query", csv.to_str().unwrap(), vql.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SUM(revenue)"), "{stdout}");
+    assert!(stdout.contains("North"), "{stdout}");
+}
+
+#[test]
+fn query_rejects_bad_vql() {
+    let dir = tmp_dir("badquery");
+    let csv = sample_csv(&dir);
+    let vql = dir.join("bad.vql");
+    std::fs::write(&vql, "VISUALIZE donut\nSELECT a\nFROM t").unwrap();
+    let out = bin()
+        .args(["query", csv.to_str().unwrap(), vql.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+}
+
+#[test]
+fn svg_writes_files() {
+    let dir = tmp_dir("svg");
+    let csv = sample_csv(&dir);
+    let out_dir = dir.join("charts");
+    let out = bin()
+        .args(["svg", csv.to_str().unwrap(), out_dir.to_str().unwrap(), "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let chart1 = std::fs::read_to_string(out_dir.join("chart1.svg")).unwrap();
+    assert!(chart1.starts_with("<svg"));
+    assert!(chart1.ends_with("</svg>"));
+}
+
+#[test]
+fn dashboard_writes_offline_html() {
+    let dir = tmp_dir("dash");
+    let csv = sample_csv(&dir);
+    let html_path = dir.join("dash.html");
+    let out = bin()
+        .args([
+            "dashboard",
+            csv.to_str().unwrap(),
+            html_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let html = std::fs::read_to_string(&html_path).unwrap();
+    assert!(html.contains("<svg"));
+    assert!(
+        !html.contains("cdn."),
+        "offline dashboard must not hit a CDN"
+    );
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = bin()
+        .args(["recommend", "/no/such/file.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
