@@ -3,6 +3,8 @@
 //! vs pruned), progressive vs exhaustive selection, correlation, and the
 //! rankers.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use deepeye_core::{
     compute_factors, exhaustive_top_k, rank_by_partial_order, DominanceGraph, ProgressiveSelector,

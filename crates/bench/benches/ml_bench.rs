@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks for the ML substrate: classifier training
 //! and prediction, LambdaMART training, and NDCG computation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use deepeye_ml::{
     ndcg, Dataset, DecisionTree, GaussianNb, LambdaMart, LambdaMartParams, LinearSvm, QueryGroup,

@@ -10,6 +10,11 @@
 //!    SeeDB-style deviation ranker on the same perception ground truth
 //!    (the paper's §I argument for angle 3 over angle 1).
 
+// Experiment drivers are report scripts: aborting on a broken
+// invariant is the right behavior, so the workspace unwrap/panic
+// lints are relaxed here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye_bench::fmt::{f2, TextTable};
 use deepeye_bench::ranking::{node_combo_features, train_rankers, valid_nodes};
 use deepeye_bench::scale_from_env;

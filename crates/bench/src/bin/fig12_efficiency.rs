@@ -6,6 +6,11 @@
 //! hardware): (1) R* always beats E*; (2) *P always beats *L; (3) whole
 //! pipelines finish in seconds for reasonably sized data.
 
+// Experiment drivers are report scripts: aborting on a broken
+// invariant is the right behavior, so the workspace unwrap/panic
+// lints are relaxed here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye_bench::fmt::{ms, TextTable};
 use deepeye_bench::{efficiency, scale_from_env};
 use deepeye_datagen::{build_table, test_specs, PerceptionOracle};

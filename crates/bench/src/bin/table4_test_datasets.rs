@@ -3,6 +3,11 @@
 //! granularity (column-pair × chart-type combos), labeled here by the
 //! perception oracle where the paper used its student annotations.
 
+// Experiment drivers are report scripts: aborting on a broken
+// invariant is the right behavior, so the workspace unwrap/panic
+// lints are relaxed here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye_bench::fmt::TextTable;
 use deepeye_bench::scale_from_env;
 use deepeye_datagen::{build_table, combo_evaluation_nodes, test_specs, PerceptionOracle};

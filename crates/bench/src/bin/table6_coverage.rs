@@ -4,6 +4,11 @@
 //! found, sometimes needing k a few times larger than the #-real charts
 //! (e.g. D1's 5 charts covered by top-23).
 
+// Experiment drivers are report scripts: aborting on a broken
+// invariant is the right behavior, so the workspace unwrap/panic
+// lints are relaxed here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye_bench::fmt::TextTable;
 use deepeye_bench::scale_from_env;
 use deepeye_core::DeepEye;

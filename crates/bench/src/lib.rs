@@ -21,6 +21,8 @@
 //! dataset row counts (default 1.0 = paper scale; e.g. `DEEPEYE_SCALE=0.1`
 //! for a quick pass).
 
+#![forbid(unsafe_code)]
+
 pub mod efficiency;
 pub mod fmt;
 pub mod ranking;

@@ -128,10 +128,15 @@ pub fn run(scale: f64, oracle: &PerceptionOracle) -> RecognitionExperiment {
 
 impl RecognitionExperiment {
     pub fn result(&self, kind: ClassifierKind) -> &ClassifierResult {
-        self.results
+        // The experiment runner evaluates every `ClassifierKind`, so the
+        // lookup cannot fail on values it returns.
+        #[allow(clippy::expect_used)]
+        let found = self
+            .results
             .iter()
             .find(|r| r.kind == kind)
-            .expect("all kinds evaluated")
+            .expect("all kinds evaluated");
+        found
     }
 }
 

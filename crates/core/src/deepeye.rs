@@ -9,7 +9,7 @@ use crate::ranking::{rank_by_partial_order, HybridRanker, LtrRanker};
 use crate::recognition::Recognizer;
 use crate::rules;
 use deepeye_data::Table;
-use deepeye_query::{all_queries, UdfRegistry, VisQuery};
+use deepeye_query::{valid_queries, UdfRegistry, VisQuery};
 
 /// How candidate visualizations are enumerated (the `E`/`R` split of the
 /// efficiency experiment, Figure 12).
@@ -194,7 +194,10 @@ impl DeepEye {
     /// nodes of a table.
     pub fn candidates(&self, table: &Table) -> Vec<VisNode> {
         let queries: Vec<VisQuery> = match self.config.enumeration {
-            EnumerationMode::Exhaustive => all_queries(table).collect(),
+            // The statically-executable subset: identical resulting nodes
+            // (ill-typed queries would only fail execution below), minus
+            // the wasted error paths.
+            EnumerationMode::Exhaustive => valid_queries(table, &self.udfs).collect(),
             EnumerationMode::RuleBased => rules::rule_based_queries(table),
         };
         let nodes = if self.config.parallel {
@@ -266,16 +269,21 @@ impl DeepEye {
         let mut nodes: Vec<Option<VisNode>> = nodes.into_iter().map(Some).collect();
         let mut out = Vec::with_capacity(k.min(nodes.len()));
         for idx in order {
-            let key = nodes[idx]
-                .as_ref()
-                .map(&variant_key)
-                .expect("index visited once");
+            // Rankers emit each index at most once; a repeat is a ranker bug,
+            // surfaced in debug builds and skipped in release.
+            let Some(key) = nodes[idx].as_ref().map(&variant_key) else {
+                debug_assert!(false, "ranking emitted index {idx} twice");
+                continue;
+            };
             if !seen.insert(key) {
                 continue;
             }
+            let Some(node) = nodes[idx].take() else {
+                continue;
+            };
             out.push(Recommendation {
                 rank: out.len() + 1,
-                node: nodes[idx].take().expect("ranking emits each index once"),
+                node,
                 factors: factors[idx],
             });
             if out.len() >= k {

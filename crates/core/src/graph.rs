@@ -130,7 +130,10 @@ impl DominanceGraph {
                         .iter()
                         .map(|&(u, w)| {
                             let lw = if w > 0.0 { w.ln() } else { f64::NEG_INFINITY };
-                            log_add(lw, memo[u].expect("children resolved first"))
+                            // Children are resolved before their parents by
+                            // the DFS above; an unresolved child contributes
+                            // nothing (ln 0).
+                            log_add(lw, memo[u].unwrap_or(f64::NEG_INFINITY))
                         })
                         .collect();
                     memo[node] = Some(log_sum(&terms));
@@ -139,7 +142,7 @@ impl DominanceGraph {
             }
         }
         memo.into_iter()
-            .map(|s| s.expect("all nodes scored"))
+            .map(|s| s.unwrap_or(f64::NEG_INFINITY))
             .collect()
     }
 

@@ -212,13 +212,19 @@ pub fn keyword_search(
     let mut nodes: Vec<Option<crate::node::VisNode>> = nodes.into_iter().map(Some).collect();
     let mut out = Vec::with_capacity(k.min(nodes.len()));
     for idx in order {
-        let node_ref = nodes[idx].as_ref().expect("each index visited once");
+        let Some(node_ref) = nodes[idx].as_ref() else {
+            debug_assert!(false, "ranking emitted index {idx} twice");
+            continue;
+        };
         if node_ref.data.series.len() < 2 || !seen.insert(variant_key(node_ref)) {
             continue;
         }
+        let Some(node) = nodes[idx].take() else {
+            continue;
+        };
         out.push(crate::deepeye::Recommendation {
             rank: out.len() + 1,
-            node: nodes[idx].take().expect("each index once"),
+            node,
             factors: factors[idx],
         });
         if out.len() >= k {

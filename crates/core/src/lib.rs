@@ -32,6 +32,8 @@
 //! println!("{}", recommendations[0].node.data); // ASCII sketch
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod deepeye;
 pub mod deviation;
 pub mod features;

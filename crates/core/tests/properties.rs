@@ -1,5 +1,7 @@
 //! Property-based tests for the core ranking machinery.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye_core::{compute_factors, DominanceGraph, Factors, HybridRanker};
 use proptest::prelude::*;
 

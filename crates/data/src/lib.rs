@@ -24,6 +24,8 @@
 //! assert_eq!(t.column_by_name("delay").unwrap().numbers(), vec![4.0, 9.0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod column;
 pub mod correlate;
 pub mod csv;

@@ -92,7 +92,7 @@ fn numeric_profile(values: &[f64]) -> Option<NumericProfile> {
         q1,
         median,
         q3,
-        max: *sorted.last().expect("non-empty"),
+        max: sorted[sorted.len() - 1],
         skewness,
         outliers,
     })

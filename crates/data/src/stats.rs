@@ -176,7 +176,7 @@ pub fn quadratic_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     for col in 0..3 {
         let pivot = (col..3)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
-            .unwrap();
+            .unwrap_or(col);
         a.swap(col, pivot);
         if a[col][col].abs() < 1e-12 {
             let (c0, c1) = linear_fit(xs, ys);

@@ -152,7 +152,12 @@ impl Table {
                 Column::new(c.name().to_owned(), data)
             })
             .collect();
-        Table::new(self.name.clone(), columns).expect("filtered columns stay aligned")
+        // Every filtered column has exactly `keep.len()` rows, so the
+        // length-alignment check in `Table::new` cannot fail here.
+        #[allow(clippy::expect_used)]
+        let filtered =
+            Table::new(self.name.clone(), columns).expect("filtered columns stay aligned");
+        filtered
     }
 
     /// A short human-readable schema summary, e.g.

@@ -1,5 +1,7 @@
 //! Property-based tests for the data substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye_data::stats;
 use deepeye_data::temporal::{Civil, TimeUnit, Timestamp};
 use deepeye_data::{correlation, detect_type, parse_column, trend_of_series, Column, DataType};

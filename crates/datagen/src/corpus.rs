@@ -68,18 +68,16 @@ pub fn training_specs() -> Vec<CorpusSpec> {
     let mut specs = Vec::with_capacity(32);
     // One pathological tiny table (Table III's minimum is 3 tuples).
     specs.push(CorpusSpec::new("tiny summary", 3, 3, 200));
-    let mut rng_rows = [
+    let row_sizes = [
         18, 42, 90, 150, 210, 260, 340, 420, 520, 640, 780, 900, 1_100, 1_300, 1_600, 1_900, 2_200,
         2_600, 3_000, 3_400, 1_200, 1_500, 1_700, 1_900, 2_100, 2_400, 2_700, 3_000, 3_300, 3_600,
         4_000,
-    ]
-    .into_iter();
+    ];
     let cols = [
         2, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 3, 5,
         7, 9, 11, 13, 15, 17,
     ];
-    for (i, &c) in cols.iter().enumerate() {
-        let rows = rng_rows.next().expect("31 row sizes for 31 specs");
+    for (i, (&c, &rows)) in cols.iter().zip(row_sizes.iter()).enumerate() {
         let domain = domains[i % domains.len()];
         specs.push(CorpusSpec::new(
             &format!("{domain} survey {i:02}"),
@@ -126,9 +124,8 @@ pub fn build_table(spec: &CorpusSpec) -> Table {
     }
     if n_tem > 0 {
         let year = s.rng().gen_range(2000..2016);
-        let step = *[3_600i64, 86_400, 7 * 86_400, 30 * 86_400]
-            .get(s.rng().gen_range(0..4))
-            .expect("index in range");
+        let steps = [3_600i64, 86_400, 7 * 86_400, 30 * 86_400];
+        let step = steps[s.rng().gen_range(0..steps.len())];
         builder = builder.column(s.temporal("recorded", rows, year_start(year), step, step / 4));
     }
     for i in 0..n_num {
@@ -193,9 +190,13 @@ pub fn build_table(spec: &CorpusSpec) -> Table {
         builder = builder.column(col);
     }
 
-    builder
+    // Every generator above emits exactly `rows` values per column, so the
+    // equal-length invariant of `TableBuilder::build` holds by construction.
+    #[allow(clippy::expect_used)]
+    let table = builder
         .build()
-        .expect("synthesized columns are equal-length")
+        .expect("synthesized columns are equal-length");
+    table
 }
 
 /// Build all test tables at the given row scale (1.0 = paper scale).

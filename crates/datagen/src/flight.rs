@@ -102,7 +102,10 @@ pub fn flight_table(seed: u64, rows: usize) -> Table {
         passengers.push(pax.round());
     }
 
-    TableBuilder::new("FlyDelay")
+    // All six columns are filled row-by-row in the single loop above, so
+    // the equal-length invariant of `TableBuilder::build` holds.
+    #[allow(clippy::expect_used)]
+    let table = TableBuilder::new("FlyDelay")
         .column(Column::temporal("scheduled", scheduled))
         .text("carrier", carriers)
         .text("destination", destinations)
@@ -110,7 +113,8 @@ pub fn flight_table(seed: u64, rows: usize) -> Table {
         .numeric("arrival delay", arrival)
         .numeric("passengers", passengers)
         .build()
-        .expect("flight table construction cannot fail")
+        .expect("flight table construction cannot fail");
+    table
 }
 
 #[cfg(test)]

@@ -263,11 +263,12 @@ pub fn combo_crowd_ranking_example(
     let reps: Vec<VisNode> = combos
         .iter()
         .map(|c| {
-            let &best = c
+            let best = c
                 .node_indices
                 .iter()
-                .max_by(|&&a, &&b| oracle.score(&nodes[a]).total_cmp(&oracle.score(&nodes[b])))
-                .expect("combo has at least one node");
+                .copied()
+                .max_by(|&a, &b| oracle.score(&nodes[a]).total_cmp(&oracle.score(&nodes[b])))
+                .unwrap_or(0);
             nodes[best].clone()
         })
         .collect();

@@ -17,6 +17,8 @@
 //!   examples and ranking groups;
 //! - [`synth`] — the seeded column generators underneath it all.
 
+#![forbid(unsafe_code)]
+
 pub mod corpus;
 pub mod crowd;
 pub mod flight;

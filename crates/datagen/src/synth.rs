@@ -204,7 +204,10 @@ impl Synth {
 
 /// Midnight on Jan 1 of `year`.
 pub fn year_start(year: i32) -> Timestamp {
-    Timestamp::from_civil(Civil::date(year, 1, 1).expect("valid date"))
+    // Jan 1 is a valid civil date in every year.
+    #[allow(clippy::expect_used)]
+    let civil = Civil::date(year, 1, 1).expect("valid date");
+    Timestamp::from_civil(civil)
 }
 
 #[cfg(test)]

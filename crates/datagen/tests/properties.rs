@@ -1,5 +1,7 @@
 //! Property-based tests for the experiment substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye_datagen::{
     build_table, kendall_tau, merge_borda, merge_iterative, CorpusSpec, PerceptionOracle, Synth,
 };

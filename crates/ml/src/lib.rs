@@ -19,6 +19,8 @@
 //! assert!(!tree.predict(&[0.5]));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bayes;
 pub mod dataset;
 pub mod ltr;

@@ -249,8 +249,9 @@ impl GaussianNb {
             }
             classes.push((log_prior, means, vars));
         }
-        let neg = classes.pop().expect("two classes read");
-        let pos = classes.pop().expect("two classes read");
+        let (Some(neg), Some(pos)) = (classes.pop(), classes.pop()) else {
+            return Err(PersistError::new("expected two classes"));
+        };
         Ok(GaussianNb::from_persist_parts(pos, neg))
     }
 }

@@ -115,7 +115,7 @@ mod tests {
     fn k_folds_cover_everything_once() {
         let folds = k_folds(23, 5, 3);
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![0usize; 23];
+        let mut seen = [0usize; 23];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 23);
             for &i in test {

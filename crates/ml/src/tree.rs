@@ -362,10 +362,11 @@ impl RegressionTree {
     }
 
     /// Overwrite a leaf's output value (Newton step in LambdaMART).
+    /// Split nodes are left untouched.
     pub fn set_leaf_value(&mut self, leaf: usize, value: f64) {
         match &mut self.arena.nodes[leaf] {
             Node::Leaf { value: v } => *v = value,
-            Node::Split { .. } => panic!("node {leaf} is not a leaf"),
+            Node::Split { .. } => debug_assert!(false, "node {leaf} is not a leaf"),
         }
     }
 

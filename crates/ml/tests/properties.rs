@@ -1,5 +1,7 @@
 //! Property-based tests for the ML substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye_ml::{
     ndcg, ndcg_at, Confusion, Dataset, DecisionTree, GaussianNb, LambdaMart, LinearSvm, QueryGroup,
     RegressionTree, TreeParams,

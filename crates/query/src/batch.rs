@@ -46,11 +46,13 @@ pub fn execute_batch(
         match outcome {
             Ok(mut produced) => {
                 for i in indices {
-                    results[i] = Some(
-                        produced
-                            .remove(&i)
-                            .expect("scan produced one result per query"),
-                    );
+                    let r = produced.remove(&i);
+                    debug_assert!(r.is_some(), "scan produced one result per query");
+                    results[i] = Some(r.unwrap_or_else(|| {
+                        Err(QueryError::Invalid(
+                            "internal: shared scan dropped a query".to_owned(),
+                        ))
+                    }));
                 }
             }
             Err(e) => {
@@ -63,7 +65,14 @@ pub fn execute_batch(
 
     results
         .into_iter()
-        .map(|r| r.expect("every query handled"))
+        .map(|r| {
+            debug_assert!(r.is_some(), "every query handled");
+            r.unwrap_or_else(|| {
+                Err(QueryError::Invalid(
+                    "internal: query skipped by batch dispatch".to_owned(),
+                ))
+            })
+        })
         .collect()
 }
 

@@ -7,6 +7,8 @@
 //! progressive selector (§V-B) never has to materialize it.
 
 use crate::ast::{Aggregate, ChartType, SortOrder, Transform, VisQuery};
+use crate::bins::UdfRegistry;
+use crate::sema;
 use deepeye_data::Table;
 
 /// Number of candidate two-column visualizations for `m` columns:
@@ -92,6 +94,28 @@ pub fn all_queries(table: &Table) -> impl Iterator<Item = VisQuery> + '_ {
     one_column_queries(table).chain(two_column_queries(table))
 }
 
+/// The executable subset of the raw space: [`all_queries`] filtered through
+/// [`sema::check_executable`], so every yielded query is guaranteed to run
+/// (it may still produce [`crate::QueryError::EmptyResult`] on all-null
+/// data, the one failure sema cannot see statically).
+///
+/// Exhaustive-enumeration consumers should prefer this over `all_queries`:
+/// it skips the statically ill-typed bulk of the space without executing
+/// (and erroring on) each candidate.
+pub fn valid_queries<'a>(
+    table: &'a Table,
+    udfs: &'a UdfRegistry,
+) -> impl Iterator<Item = VisQuery> + 'a {
+    all_queries(table).filter(move |q| {
+        let executable = sema::check_executable(table, q, udfs).is_ok();
+        debug_assert!(
+            !executable || !sema::analyze(table, q, udfs).iter().any(|d| d.is_error()),
+            "sema invariant violated: check_executable passed a query that analyze rejects: {q:?}"
+        );
+        executable
+    })
+}
+
 /// All ordered pairs (x ≠ y) of the given names.
 fn ordered_pairs(names: Vec<String>) -> impl Iterator<Item = (String, String)> {
     let n = names.len();
@@ -164,6 +188,32 @@ mod tests {
         for q in &qs {
             assert!(seen.insert(format!("{q:?}")), "duplicate query {q:?}");
         }
+    }
+
+    #[test]
+    fn valid_queries_all_execute() {
+        // Every sema-approved query must actually run; every rejected one
+        // must actually fail. This pins check_executable to the executor.
+        let t = table(2);
+        let udfs = UdfRegistry::default();
+        let valid: std::collections::HashSet<String> =
+            valid_queries(&t, &udfs).map(|q| format!("{q:?}")).collect();
+        for q in all_queries(&t) {
+            let ran = crate::exec::execute_with(&t, &q, &udfs);
+            let approved = valid.contains(&format!("{q:?}"));
+            match ran {
+                Ok(_) => assert!(approved, "executed fine but sema rejected: {q:?}"),
+                Err(crate::exec::QueryError::EmptyResult) => {
+                    assert!(
+                        approved,
+                        "EmptyResult is data-dependent, sema must pass: {q:?}"
+                    );
+                }
+                Err(e) => assert!(!approved, "sema approved a failing query: {q:?} → {e}"),
+            }
+        }
+        assert!(!valid.is_empty());
+        assert!(valid.len() < all_queries(&t).count());
     }
 
     #[test]

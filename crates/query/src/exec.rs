@@ -47,11 +47,20 @@ pub fn execute(table: &Table, query: &VisQuery) -> Result<ChartData, QueryError>
 }
 
 /// Execute `query` against `table`, resolving UDF bins in `udfs`.
+///
+/// Runs [`crate::sema::check_executable`] first: every statically-detectable
+/// failure (unknown columns, invalid transform/aggregate combinations,
+/// bin/type mismatches) is rejected up front with the same [`QueryError`]
+/// the execution path itself would produce. Only data-dependent failures
+/// ([`QueryError::EmptyResult`]) surface during execution proper.
 pub fn execute_with(
     table: &Table,
     query: &VisQuery,
     udfs: &UdfRegistry,
 ) -> Result<ChartData, QueryError> {
+    if let Err(diagnostic) = crate::sema::check_executable(table, query, udfs) {
+        return Err(diagnostic.into_query_error(query));
+    }
     let x_col = table
         .column_by_name(&query.x)
         .ok_or_else(|| QueryError::NoSuchColumn(query.x.clone()))?;

@@ -2,8 +2,16 @@
 //!
 //! The DeepEye visualization language (§II-B of the paper) and its
 //! executor: query AST, textual parser, binning/grouping/aggregation
-//! engine, and lazy enumeration of the full search space
-//! (`528·m(m−1)` two-column plus `264·m` one-column candidates).
+//! engine, static semantic analysis, and lazy enumeration of the full
+//! search space (`528·m(m−1)` two-column plus `264·m` one-column
+//! candidates).
+//!
+//! Queries are statically checked before execution by the [`sema`]
+//! module: [`sema::analyze`] returns structured diagnostics with stable
+//! codes (`E0001`–`E0013` for conditions the executor rejects,
+//! `W0101`–`W0108` for executable-but-meaningless queries per §V-A of
+//! the paper). See the [`sema`] module docs for the full error-code
+//! reference table.
 //!
 //! ```
 //! use deepeye_query::{parse_query, execute};
@@ -20,6 +28,8 @@
 //! assert_eq!(chart.series.len(), 2); // UA, AA
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod batch;
 pub mod bins;
@@ -28,6 +38,7 @@ pub mod enumerate;
 pub mod exec;
 pub mod multi;
 pub mod parser;
+pub mod sema;
 
 pub use ast::{Aggregate, BinStrategy, ChartType, SortOrder, Transform, VisQuery, DEFAULT_BUCKETS};
 pub use batch::execute_batch;
@@ -35,8 +46,12 @@ pub use bins::{bin_keys, group_keys, BinError, Bucketizer, Key, UdfRegistry};
 pub use chart::{ChartData, Series};
 pub use enumerate::{
     all_queries, one_column_queries, one_column_space_size, two_column_queries,
-    two_column_space_size,
+    two_column_space_size, valid_queries,
 };
 pub use exec::{execute, execute_with, QueryError};
-pub use multi::{execute_multi_y, execute_xyz, MultiSeriesChart, MultiYQuery, XyzQuery};
-pub use parser::{parse_query, ParseError, ParsedQuery};
+pub use multi::{
+    analyze_multi_y, analyze_xyz, execute_multi_y, execute_xyz, MultiSeriesChart, MultiYQuery,
+    XyzQuery,
+};
+pub use parser::{parse_query, ClauseSpans, ParseError, ParsedQuery, Span};
+pub use sema::{analyze, check_executable, Clause, Code, Diagnostic, Severity};

@@ -15,7 +15,8 @@ use crate::ast::{Aggregate, ChartType, SortOrder, Transform, VisQuery};
 use crate::bins::{bin_keys, group_keys, Bucketizer, Key, UdfRegistry};
 use crate::chart::{ChartData, Series};
 use crate::exec::{execute_with, QueryError};
-use deepeye_data::Table;
+use crate::sema::{self, Clause, Code, Diagnostic};
+use deepeye_data::{DataType, Table};
 
 /// A chart with several named series over a shared x-scale.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +87,131 @@ pub struct XyzQuery {
     /// Aggregated value column.
     pub z: String,
     pub aggregate: Aggregate,
+}
+
+/// Statically analyze a multi-Y query: the arity rule (at least two y
+/// columns, E0014) plus the union of single-query diagnostics over each
+/// `(x, y_i)` decomposition. Diagnostics shared by every decomposition
+/// (e.g. a bad x transform) are reported once.
+pub fn analyze_multi_y(table: &Table, query: &MultiYQuery, udfs: &UdfRegistry) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if query.ys.len() < 2 {
+        out.push(
+            Diagnostic::new(
+                Code::MultiYNeedsTwoColumns,
+                Clause::Select,
+                format!(
+                    "multi-Y queries need at least two y columns, got {}",
+                    query.ys.len()
+                ),
+            )
+            .with_suggestion("add more y columns, or use a plain single-y query"),
+        );
+    }
+    for y in &query.ys {
+        let single = VisQuery {
+            chart: query.chart,
+            x: query.x.clone(),
+            y: Some(y.clone()),
+            transform: query.transform.clone(),
+            aggregate: query.aggregate,
+            order: query.order,
+        };
+        for d in sema::analyze(table, &single, udfs) {
+            if !out.contains(&d) {
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
+/// Statically analyze an XYZ query, in the same order [`execute_xyz`]
+/// discovers failures: column lookups, missing aggregate, z-type
+/// compatibility, then the x transform (must be GROUP/BIN, with the usual
+/// bin/type rules).
+pub fn analyze_xyz(table: &Table, query: &XyzQuery, udfs: &UdfRegistry) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (role, name) in [
+        ("series", &query.series_column),
+        ("x", &query.x),
+        ("z", &query.z),
+    ] {
+        if table.column_by_name(name).is_none() {
+            let code = if role == "z" {
+                Code::UnknownYColumn
+            } else {
+                Code::UnknownXColumn
+            };
+            out.push(Diagnostic::new(
+                code,
+                Clause::Select,
+                format!(
+                    "no {role} column named {name:?} in table {:?}",
+                    table.name()
+                ),
+            ));
+        }
+    }
+    if query.aggregate == Aggregate::Raw {
+        out.push(
+            Diagnostic::new(
+                Code::TransformWithoutAggregate,
+                Clause::Select,
+                "XYZ queries aggregate z per (series, x') cell and need SUM, AVG, or CNT",
+            )
+            .with_suggestion(format!("e.g. SUM({})", query.z)),
+        );
+    } else if query.aggregate != Aggregate::Cnt {
+        if let Some(z_col) = table.column_by_name(&query.z) {
+            if z_col.data_type() != DataType::Numerical {
+                out.push(
+                    Diagnostic::new(
+                        Code::AggregateNeedsNumericY,
+                        Clause::Select,
+                        format!(
+                            "{} requires a numerical z column, {:?} is {}",
+                            query.aggregate.name(),
+                            query.z,
+                            z_col.data_type()
+                        ),
+                    )
+                    .with_suggestion(format!("count instead: CNT({})", query.z)),
+                );
+            }
+        }
+    }
+    match &query.x_transform {
+        Transform::None => {
+            out.push(
+                Diagnostic::new(
+                    Code::XyzNeedsTransform,
+                    Clause::Transform,
+                    "XYZ queries require the x column to be grouped or binned",
+                )
+                .with_suggestion(format!("add `GROUP BY {0}` or `BIN {0}`", query.x)),
+            );
+        }
+        x_transform => {
+            // Reuse the single-query analyzer for bin/type compatibility of
+            // the x transform (errors only; the §V-A chart rules do not
+            // extend to multi-series charts).
+            let single = VisQuery {
+                chart: query.chart,
+                x: query.x.clone(),
+                y: None,
+                transform: x_transform.clone(),
+                aggregate: Aggregate::Cnt,
+                order: SortOrder::None,
+            };
+            out.extend(
+                sema::analyze(table, &single, udfs)
+                    .into_iter()
+                    .filter(|d| d.is_error() && d.clause == Clause::Transform),
+            );
+        }
+    }
+    out
 }
 
 /// Execute a multi-Y query: each y-column becomes one series.
@@ -376,5 +502,83 @@ mod tests {
     #[test]
     fn space_size_formula() {
         assert_eq!(xyz_space_size(2), 704 * 8);
+    }
+
+    #[test]
+    fn analyze_multi_y_agrees_with_execution() {
+        let t = flights();
+        let udfs = UdfRegistry::default();
+        let columns = ["scheduled", "destination", "passengers", "delay"];
+        for x in columns {
+            for transform in [
+                Transform::Group,
+                Transform::Bin(BinStrategy::Unit(TimeUnit::Month)),
+                Transform::Bin(BinStrategy::Default),
+            ] {
+                for ys in [
+                    vec!["passengers".to_owned(), "delay".to_owned()],
+                    vec!["passengers".to_owned()],
+                    vec!["passengers".to_owned(), "nope".to_owned()],
+                ] {
+                    let q = MultiYQuery {
+                        chart: ChartType::Line,
+                        x: x.into(),
+                        ys,
+                        transform: transform.clone(),
+                        aggregate: Aggregate::Avg,
+                        order: SortOrder::ByX,
+                    };
+                    let fatal = analyze_multi_y(&t, &q, &udfs).iter().any(|d| d.is_error());
+                    let ran = execute_multi_y(&t, &q, &udfs);
+                    match ran {
+                        Ok(_) | Err(QueryError::EmptyResult) => {
+                            assert!(!fatal, "executed but sema found an error: {q:?}")
+                        }
+                        Err(e) => assert!(fatal, "sema clean but execution failed: {q:?} → {e}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_xyz_agrees_with_execution() {
+        let t = flights();
+        let udfs = UdfRegistry::default();
+        let transforms = [
+            Transform::None,
+            Transform::Group,
+            Transform::Bin(BinStrategy::Unit(TimeUnit::Month)),
+            Transform::Bin(BinStrategy::Default),
+            Transform::Bin(BinStrategy::Udf("missing".into())),
+        ];
+        let columns = ["scheduled", "destination", "passengers", "nope"];
+        for series_column in columns {
+            for x in columns {
+                for z in columns {
+                    for x_transform in &transforms {
+                        for aggregate in Aggregate::ALL {
+                            let q = XyzQuery {
+                                chart: ChartType::Bar,
+                                series_column: series_column.into(),
+                                x: x.into(),
+                                x_transform: x_transform.clone(),
+                                z: z.into(),
+                                aggregate,
+                            };
+                            let fatal = analyze_xyz(&t, &q, &udfs).iter().any(|d| d.is_error());
+                            match execute_xyz(&t, &q, &udfs) {
+                                Ok(_) | Err(QueryError::EmptyResult) => {
+                                    assert!(!fatal, "executed but sema errored: {q:?}")
+                                }
+                                Err(e) => {
+                                    assert!(fatal, "sema clean but failed: {q:?} → {e}")
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

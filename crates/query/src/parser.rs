@@ -13,14 +13,68 @@
 //! grammar in the paper.
 
 use crate::ast::{Aggregate, BinStrategy, ChartType, SortOrder, Transform, VisQuery};
+use crate::sema::Clause;
 use deepeye_data::TimeUnit;
 use std::fmt;
 
-/// A parsed query plus the FROM table name.
+/// Byte range of one clause in the query source (for diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based source line the clause starts on.
+    pub line: usize,
+    /// Byte offset of the clause's first character.
+    pub start: usize,
+    /// Byte offset one past the clause's last character.
+    pub end: usize,
+}
+
+/// Where each clause of a parsed query sits in the source text, so
+/// [`crate::sema::Diagnostic::render`] can point at the offending clause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClauseSpans {
+    visualize: Option<Span>,
+    select: Option<Span>,
+    from: Option<Span>,
+    transform: Option<Span>,
+    order_by: Option<Span>,
+}
+
+impl ClauseSpans {
+    pub fn get(&self, clause: Clause) -> Option<Span> {
+        match clause {
+            Clause::Visualize => self.visualize,
+            Clause::Select => self.select,
+            Clause::From => self.from,
+            Clause::Transform => self.transform,
+            Clause::OrderBy => self.order_by,
+        }
+    }
+
+    fn set(&mut self, clause: Clause, span: Span) {
+        match clause {
+            Clause::Visualize => self.visualize = Some(span),
+            Clause::Select => self.select = Some(span),
+            Clause::From => self.from = Some(span),
+            Clause::Transform => self.transform = Some(span),
+            Clause::OrderBy => self.order_by = Some(span),
+        }
+    }
+
+    /// The clause's source text, if it was present and the span is valid
+    /// for `source`.
+    pub fn snippet<'s>(&self, clause: Clause, source: &'s str) -> Option<&'s str> {
+        let span = self.get(clause)?;
+        source.get(span.start..span.end)
+    }
+}
+
+/// A parsed query plus the FROM table name and per-clause source spans.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedQuery {
     pub query: VisQuery,
     pub from: String,
+    /// Source location of each clause (byte offsets into the parsed text).
+    pub spans: ClauseSpans,
 }
 
 /// Parse errors with a human-readable reason.
@@ -81,35 +135,52 @@ pub fn parse_query(text: &str) -> Result<ParsedQuery, ParseError> {
     let mut transform = Transform::None;
     let mut transform_col: Option<String> = None;
     let mut order_target: Option<String> = None;
+    let mut spans = ClauseSpans::default();
 
-    for raw_line in text.lines() {
+    let mut offset = 0usize;
+    for (line_idx, raw_line) in text.split('\n').enumerate() {
+        let line_start = offset;
+        offset += raw_line.len() + 1;
+        let raw_line = raw_line.strip_suffix('\r').unwrap_or(raw_line);
         let line = raw_line.trim();
         if line.is_empty() {
             continue;
         }
+        let start = line_start + (raw_line.len() - raw_line.trim_start().len());
+        let span = Span {
+            line: line_idx + 1,
+            start,
+            end: start + line.len(),
+        };
         let upper = line.to_ascii_uppercase();
         if let Some(rest) = strip_keyword(line, &upper, "VISUALIZE") {
             chart = Some(
                 ChartType::from_name(rest)
                     .ok_or_else(|| ParseError::new(format!("unknown chart type {rest:?}")))?,
             );
+            spans.set(Clause::Visualize, span);
         } else if let Some(rest) = strip_keyword(line, &upper, "SELECT") {
             let items: Result<Vec<_>, _> = split_top_level_commas(rest)
                 .into_iter()
                 .map(|i| parse_select_item(&i))
                 .collect();
             select = Some(items?);
+            spans.set(Clause::Select, span);
         } else if let Some(rest) = strip_keyword(line, &upper, "FROM") {
             from = Some(rest.trim().to_owned());
+            spans.set(Clause::From, span);
         } else if let Some(rest) = strip_keyword(line, &upper, "GROUP BY") {
             transform = Transform::Group;
             transform_col = Some(rest.trim().to_owned());
+            spans.set(Clause::Transform, span);
         } else if let Some(rest) = strip_keyword(line, &upper, "ORDER BY") {
             order_target = Some(rest.trim().to_owned());
+            spans.set(Clause::OrderBy, span);
         } else if let Some(rest) = strip_keyword(line, &upper, "BIN") {
             let (col, strategy) = parse_bin_clause(rest)?;
             transform = Transform::Bin(strategy);
             transform_col = Some(col);
+            spans.set(Clause::Transform, span);
         } else {
             return Err(ParseError::new(format!("unrecognized clause: {line:?}")));
         }
@@ -179,6 +250,7 @@ pub fn parse_query(text: &str) -> Result<ParsedQuery, ParseError> {
             order,
         },
         from,
+        spans,
     })
 }
 
@@ -277,7 +349,41 @@ mod tests {
         let parsed = parse_query(text).unwrap();
         let rendered = parsed.query.to_language(&parsed.from);
         let reparsed = parse_query(&rendered).unwrap();
-        assert_eq!(reparsed, parsed);
+        // Spans are a property of the concrete source text, so compare the
+        // semantic fields.
+        assert_eq!(reparsed.query, parsed.query);
+        assert_eq!(reparsed.from, parsed.from);
+    }
+
+    #[test]
+    fn spans_point_at_clause_source() {
+        let text = "VISUALIZE line\n  SELECT scheduled, AVG(delay)\nFROM flights\n\
+                    BIN scheduled BY HOUR\nORDER BY scheduled";
+        let parsed = parse_query(text).unwrap();
+        let spans = parsed.spans;
+        assert_eq!(
+            spans.snippet(Clause::Visualize, text),
+            Some("VISUALIZE line")
+        );
+        // Leading indentation is excluded from the span.
+        assert_eq!(
+            spans.snippet(Clause::Select, text),
+            Some("SELECT scheduled, AVG(delay)")
+        );
+        assert_eq!(spans.get(Clause::Select).unwrap().line, 2);
+        assert_eq!(
+            spans.snippet(Clause::Transform, text),
+            Some("BIN scheduled BY HOUR")
+        );
+        assert_eq!(spans.get(Clause::Transform).unwrap().line, 4);
+        assert_eq!(
+            spans.snippet(Clause::OrderBy, text),
+            Some("ORDER BY scheduled")
+        );
+        // Absent clauses have no span.
+        let short = parse_query("VISUALIZE bar\nSELECT a, b\nFROM t").unwrap();
+        assert_eq!(short.spans.get(Clause::Transform), None);
+        assert_eq!(short.spans.get(Clause::OrderBy), None);
     }
 
     #[test]

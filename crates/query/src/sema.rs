@@ -1,0 +1,990 @@
+//! Static semantic analysis for the visualization language.
+//!
+//! [`analyze`] checks a [`VisQuery`] against a table schema *before*
+//! execution and returns structured [`Diagnostic`]s. Two severities:
+//!
+//! - [`Severity::Error`] — the executor would reject the query
+//!   ([`crate::execute`] refuses to run it and reports the same condition
+//!   as a [`QueryError`]). Example: `BIN carrier BY HOUR` over a
+//!   categorical column.
+//! - [`Severity::Warning`] — the query executes, but violates a
+//!   "meaningful visualization" rule of §V-A of the paper, so the
+//!   rule-based enumerator never emits it. Example: a raw bar chart over
+//!   thousands of rows.
+//!
+//! A query is **sema-clean** (no diagnostics at all) exactly when the
+//! §V-A rules admit it; `deepeye_core::rules::passes_rules` is a thin
+//! wrapper over this module.
+//!
+//! # Error-code reference
+//!
+//! | Code  | Clause     | Condition |
+//! |-------|------------|-----------|
+//! | E0001 | SELECT     | x column does not exist |
+//! | E0002 | SELECT     | y column does not exist |
+//! | E0003 | TRANSFORM  | aggregate without GROUP/BIN transform |
+//! | E0004 | SELECT     | GROUP/BIN transform without an aggregate |
+//! | E0005 | SELECT     | raw query without a y column |
+//! | E0006 | SELECT     | raw query with a non-numeric y column |
+//! | E0007 | TRANSFORM  | calendar `BIN … BY unit` on a non-temporal x |
+//! | E0008 | TRANSFORM  | bucket `BIN` on a non-numeric x |
+//! | E0009 | TRANSFORM  | `BIN … INTO 0` |
+//! | E0010 | TRANSFORM  | `BIN … BY UDF(name)` with unregistered name |
+//! | E0011 | TRANSFORM  | UDF bin on a non-numeric x |
+//! | E0012 | SELECT     | one-column query with SUM/AVG (CNT only) |
+//! | E0013 | SELECT     | SUM/AVG over a non-numeric y |
+//! | E0014 | SELECT     | multi-Y query with fewer than two y columns |
+//! | E0015 | TRANSFORM  | XYZ query without a GROUP/BIN on its x column |
+//! | W0101 | SELECT     | raw (untransformed) categorical x |
+//! | W0102 | TRANSFORM  | GROUP BY on a numeric x (bin instead) |
+//! | W0103 | VISUALIZE  | raw bar chart (bars come from transforms) |
+//! | W0104 | VISUALIZE  | chart type unsuited to the x-scale (Table 1) |
+//! | W0105 | TRANSFORM  | bin outside the paper's nine enumerable cases |
+//! | W0106 | ORDER BY   | ORDER BY X on a categorical x-scale |
+//! | W0107 | VISUALIZE  | scatter of uncorrelated columns |
+//! | W0108 | ORDER BY   | ORDER BY Y on a raw (unaggregated) query |
+
+use crate::ast::{Aggregate, BinStrategy, ChartType, SortOrder, Transform, VisQuery};
+use crate::bins::{BinError, UdfRegistry};
+use crate::exec::QueryError;
+use deepeye_data::{correlation, DataType, Table};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Minimum |correlation| between two numeric columns for the visualization
+/// rule "T(X)=Num, T(Y)=Num, (X,Y) correlated → scatter" to fire.
+pub const SCATTER_CORRELATION_THRESHOLD: f64 = 0.5;
+
+/// How severe a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The executor statically rejects the query.
+    Error,
+    /// The query executes but the §V-A rules consider it meaningless.
+    Warning,
+}
+
+/// The query clause a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Clause {
+    Visualize,
+    Select,
+    From,
+    Transform,
+    OrderBy,
+}
+
+impl Clause {
+    pub fn name(self) -> &'static str {
+        match self {
+            Clause::Visualize => "VISUALIZE",
+            Clause::Select => "SELECT",
+            Clause::From => "FROM",
+            Clause::Transform => "TRANSFORM",
+            Clause::OrderBy => "ORDER BY",
+        }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stable diagnostic codes. `E…` codes are fatal (the executor rejects the
+/// query); `W…` codes mark executable-but-meaningless queries per §V-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// E0001: the x column named in SELECT does not exist.
+    UnknownXColumn,
+    /// E0002: the y column named in SELECT does not exist.
+    UnknownYColumn,
+    /// E0003: SUM/AVG/CNT without a GROUP/BIN transform.
+    AggregateWithoutTransform,
+    /// E0004: GROUP/BIN transform without an aggregate.
+    TransformWithoutAggregate,
+    /// E0005: raw (untransformed) query without a y column.
+    RawNeedsY,
+    /// E0006: raw query whose y column is not numerical.
+    RawNeedsNumericY,
+    /// E0007: `BIN x BY <calendar unit>` on a non-temporal x.
+    CalendarBinOnNonTemporal,
+    /// E0008: `BIN x` / `BIN x INTO n` on a non-numeric x.
+    BucketBinOnNonNumeric,
+    /// E0009: `BIN x INTO 0`.
+    ZeroBuckets,
+    /// E0010: `BIN x BY UDF(name)` where `name` is not registered.
+    UnknownUdf,
+    /// E0011: UDF bin on a non-numeric x.
+    UdfBinOnNonNumeric,
+    /// E0012: one-column query with SUM/AVG (only CNT is defined).
+    OneColumnNeedsCnt,
+    /// E0013: SUM/AVG over a non-numeric y.
+    AggregateNeedsNumericY,
+    /// E0014: multi-Y query with fewer than two y columns.
+    MultiYNeedsTwoColumns,
+    /// E0015: XYZ query whose x column is neither grouped nor binned.
+    XyzNeedsTransform,
+    /// W0101: raw plot of a categorical x-scale.
+    RawOnCategoricalX,
+    /// W0102: GROUP BY on a numeric x (§V-A bins numerics instead).
+    GroupOnNumericX,
+    /// W0103: raw bar chart — one bar per row is never meaningful.
+    RawBarChart,
+    /// W0104: chart type unsuited to the (transformed) x-scale.
+    ChartTypeMismatch,
+    /// W0105: executable bin outside the paper's nine enumerable cases.
+    NonEnumerableBin,
+    /// W0106: ORDER BY X over a categorical x-scale (no natural order).
+    OrderByXOnCategorical,
+    /// W0107: scatter of two numeric columns that are not correlated.
+    UncorrelatedScatter,
+    /// W0108: ORDER BY Y on a raw (unaggregated) query.
+    RawOrderByY,
+}
+
+impl Code {
+    /// Every code, errors first, in numeric order.
+    pub const ALL: [Code; 23] = [
+        Code::UnknownXColumn,
+        Code::UnknownYColumn,
+        Code::AggregateWithoutTransform,
+        Code::TransformWithoutAggregate,
+        Code::RawNeedsY,
+        Code::RawNeedsNumericY,
+        Code::CalendarBinOnNonTemporal,
+        Code::BucketBinOnNonNumeric,
+        Code::ZeroBuckets,
+        Code::UnknownUdf,
+        Code::UdfBinOnNonNumeric,
+        Code::OneColumnNeedsCnt,
+        Code::AggregateNeedsNumericY,
+        Code::MultiYNeedsTwoColumns,
+        Code::XyzNeedsTransform,
+        Code::RawOnCategoricalX,
+        Code::GroupOnNumericX,
+        Code::RawBarChart,
+        Code::ChartTypeMismatch,
+        Code::NonEnumerableBin,
+        Code::OrderByXOnCategorical,
+        Code::UncorrelatedScatter,
+        Code::RawOrderByY,
+    ];
+
+    /// The stable textual code, e.g. `"E0007"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnknownXColumn => "E0001",
+            Code::UnknownYColumn => "E0002",
+            Code::AggregateWithoutTransform => "E0003",
+            Code::TransformWithoutAggregate => "E0004",
+            Code::RawNeedsY => "E0005",
+            Code::RawNeedsNumericY => "E0006",
+            Code::CalendarBinOnNonTemporal => "E0007",
+            Code::BucketBinOnNonNumeric => "E0008",
+            Code::ZeroBuckets => "E0009",
+            Code::UnknownUdf => "E0010",
+            Code::UdfBinOnNonNumeric => "E0011",
+            Code::OneColumnNeedsCnt => "E0012",
+            Code::AggregateNeedsNumericY => "E0013",
+            Code::MultiYNeedsTwoColumns => "E0014",
+            Code::XyzNeedsTransform => "E0015",
+            Code::RawOnCategoricalX => "W0101",
+            Code::GroupOnNumericX => "W0102",
+            Code::RawBarChart => "W0103",
+            Code::ChartTypeMismatch => "W0104",
+            Code::NonEnumerableBin => "W0105",
+            Code::OrderByXOnCategorical => "W0106",
+            Code::UncorrelatedScatter => "W0107",
+            Code::RawOrderByY => "W0108",
+        }
+    }
+
+    pub fn severity(self) -> Severity {
+        if self.as_str().starts_with('E') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the analyzer: a code, the clause it points at, a
+/// human-readable message, and an optional fix-it suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub clause: Clause,
+    pub message: String,
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(code: Code, clause: Clause, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            clause,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    pub(crate) fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity() == Severity::Error
+    }
+
+    /// Map a fatal diagnostic onto the executor's [`QueryError`], preserving
+    /// the error variants `execute` has always reported (`NoSuchColumn` for
+    /// E0001/E0002, `Bin` for E0007–E0011, `Invalid` otherwise).
+    pub fn into_query_error(self, query: &VisQuery) -> QueryError {
+        match self.code {
+            Code::UnknownXColumn => QueryError::NoSuchColumn(query.x.clone()),
+            Code::UnknownYColumn => QueryError::NoSuchColumn(query.y.clone().unwrap_or_default()),
+            Code::CalendarBinOnNonTemporal => QueryError::Bin(BinError::NotTemporal),
+            Code::BucketBinOnNonNumeric | Code::UdfBinOnNonNumeric => {
+                QueryError::Bin(BinError::NotNumeric)
+            }
+            Code::ZeroBuckets => QueryError::Bin(BinError::ZeroBuckets),
+            Code::UnknownUdf => {
+                let name = match &query.transform {
+                    Transform::Bin(BinStrategy::Udf(n)) => n.clone(),
+                    _ => String::new(),
+                };
+                QueryError::Bin(BinError::UnknownUdf(name))
+            }
+            _ => QueryError::Invalid(self.message),
+        }
+    }
+
+    /// Render in a compiler-like format against the original query text,
+    /// pointing at the offending clause via the parser's recorded spans.
+    ///
+    /// ```text
+    /// error[E0007]: calendar binning requires a temporal x column …
+    ///   --> line 4: BIN delay BY HOUR
+    ///   = help: bin `delay` into equi-width buckets instead
+    /// ```
+    pub fn render(&self, source: &str, spans: &crate::parser::ClauseSpans) -> String {
+        let level = match self.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let mut out = format!("{level}[{}]: {}", self.code, self.message);
+        if let Some(span) = spans.get(self.clause) {
+            let snippet = source.get(span.start..span.end).unwrap_or("");
+            out.push_str(&format!("\n  --> line {}: {snippet}", span.line));
+        } else {
+            out.push_str(&format!("\n  --> in the {} clause", self.clause));
+        }
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!("\n  = help: {s}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let level = match self.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{level}[{}]: {}", self.code, self.message)
+    }
+}
+
+/// The process-wide default UDF registry (the paper's `sign` splitter),
+/// shared so rule filtering does not rebuild it per query.
+pub fn default_registry() -> &'static UdfRegistry {
+    static REGISTRY: OnceLock<UdfRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(UdfRegistry::default)
+}
+
+// ---------------------------------------------------------------------------
+// §V-A rule tables. These are the type-level legality tables of the paper;
+// they live here (with the language) and are re-exported by
+// `deepeye_core::rules` for the enumerator.
+// ---------------------------------------------------------------------------
+
+/// Transformation rules (§V-A.1): which transforms may be applied to an
+/// x-column of the given type.
+///
+/// - categorical: group only;
+/// - numerical: bin only (default equi-width buckets or the UDF splitter);
+/// - temporal: group or bin by any calendar unit.
+pub fn applicable_transforms(x_type: DataType) -> Vec<Transform> {
+    match x_type {
+        DataType::Categorical => vec![Transform::Group],
+        DataType::Numerical => vec![
+            Transform::Bin(BinStrategy::Default),
+            Transform::Bin(BinStrategy::Udf("sign".to_owned())),
+        ],
+        DataType::Temporal => {
+            let mut t = vec![Transform::Group];
+            t.extend(
+                deepeye_data::TimeUnit::ALL
+                    .into_iter()
+                    .map(|u| Transform::Bin(BinStrategy::Unit(u))),
+            );
+            t
+        }
+    }
+}
+
+/// Aggregation half of the transformation rules: AGG = {AVG, SUM, CNT} when
+/// Y is numerical, CNT only otherwise.
+pub fn applicable_aggregates(y_type: Option<DataType>) -> Vec<Aggregate> {
+    match y_type {
+        Some(DataType::Numerical) => vec![Aggregate::Avg, Aggregate::Sum, Aggregate::Cnt],
+        _ => vec![Aggregate::Cnt],
+    }
+}
+
+/// The data type of X' after a transform is applied to an x-column of type
+/// `x_type`. Grouping preserves the type; interval bins keep a numeric
+/// scale; the sign UDF yields categories; calendar bins keep time.
+pub fn transformed_x_type(x_type: DataType, transform: &Transform) -> DataType {
+    match transform {
+        Transform::None | Transform::Group => x_type,
+        Transform::Bin(BinStrategy::Default) | Transform::Bin(BinStrategy::IntoBuckets(_)) => {
+            DataType::Numerical
+        }
+        Transform::Bin(BinStrategy::Udf(_)) => DataType::Categorical,
+        Transform::Bin(BinStrategy::Unit(_)) => DataType::Temporal,
+    }
+}
+
+/// Visualization rules (§V-A.3): which chart types suit (T(X'), numeric Y').
+///
+/// - Cat/Num → bar, pie;
+/// - Num/Num → line, bar; scatter additionally when correlated;
+/// - Tem/Num → line.
+pub fn applicable_charts(x_prime_type: DataType, correlated: bool) -> Vec<ChartType> {
+    match x_prime_type {
+        DataType::Categorical => vec![ChartType::Bar, ChartType::Pie],
+        DataType::Numerical => {
+            let mut c = vec![ChartType::Line, ChartType::Bar];
+            if correlated {
+                c.push(ChartType::Scatter);
+            }
+            c
+        }
+        DataType::Temporal => vec![ChartType::Line],
+    }
+}
+
+/// Sorting rules (§V-A.2): numerical/temporal x-scales may be sorted by X';
+/// the (always numerical) aggregate may be sorted by Y'; not sorting is
+/// always allowed.
+pub fn applicable_orders(x_prime_type: DataType) -> Vec<SortOrder> {
+    match x_prime_type {
+        DataType::Categorical => vec![SortOrder::None, SortOrder::ByY],
+        DataType::Numerical | DataType::Temporal => {
+            vec![SortOrder::None, SortOrder::ByX, SortOrder::ByY]
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis entry points.
+// ---------------------------------------------------------------------------
+
+/// Full analysis: every error the executor would raise plus every §V-A
+/// meaningfulness warning. A query with an empty result is *sema-clean*:
+/// it executes and the rule-based enumerator would admit it.
+pub fn analyze(table: &Table, query: &VisQuery, udfs: &UdfRegistry) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    collect_errors(table, query, udfs, &mut out);
+    collect_warnings(table, query, udfs, &mut out);
+    out
+}
+
+/// Fast path for the executor: the first fatal diagnostic, in the same
+/// order the executor itself discovers failures (so the mapped
+/// [`QueryError`] is identical to what execution would have produced).
+pub fn check_executable(
+    table: &Table,
+    query: &VisQuery,
+    udfs: &UdfRegistry,
+) -> Result<(), Diagnostic> {
+    let mut errors = Vec::new();
+    collect_errors(table, query, udfs, &mut errors);
+    match errors.into_iter().next() {
+        Some(d) => Err(d),
+        None => Ok(()),
+    }
+}
+
+/// Collect fatal diagnostics in executor discovery order: column lookups,
+/// transform/aggregate combination, bin/type compatibility, aggregate/y
+/// compatibility.
+fn collect_errors(table: &Table, query: &VisQuery, udfs: &UdfRegistry, out: &mut Vec<Diagnostic>) {
+    let x_col = table.column_by_name(&query.x);
+    if x_col.is_none() {
+        out.push(
+            Diagnostic::new(
+                Code::UnknownXColumn,
+                Clause::Select,
+                format!("no column named {:?} in table {:?}", query.x, table.name()),
+            )
+            .with_suggestion(column_names_hint(table)),
+        );
+    }
+    let y_col = query.y.as_ref().map(|y| (y, table.column_by_name(y)));
+    if let Some((y, None)) = &y_col {
+        out.push(
+            Diagnostic::new(
+                Code::UnknownYColumn,
+                Clause::Select,
+                format!("no column named {y:?} in table {:?}", table.name()),
+            )
+            .with_suggestion(column_names_hint(table)),
+        );
+    }
+    let x_type = x_col.map(|c| c.data_type());
+    let y_type = match &y_col {
+        Some((_, Some(c))) => Some(c.data_type()),
+        _ => None,
+    };
+
+    match (&query.transform, query.aggregate) {
+        (Transform::None, Aggregate::Raw) => {
+            if query.y.is_none() {
+                out.push(
+                    Diagnostic::new(
+                        Code::RawNeedsY,
+                        Clause::Select,
+                        "a raw (untransformed) query needs an explicit y column",
+                    )
+                    .with_suggestion(format!(
+                        "aggregate instead: SELECT {0}, CNT({0}) with GROUP BY or BIN",
+                        query.x
+                    )),
+                );
+            } else if let Some((y, Some(_))) = &y_col {
+                if y_type != Some(DataType::Numerical) {
+                    out.push(
+                        Diagnostic::new(
+                            Code::RawNeedsNumericY,
+                            Clause::Select,
+                            format!(
+                                "raw queries plot y values directly, but {y:?} is {}",
+                                type_name(y_type)
+                            ),
+                        )
+                        .with_suggestion("pick a numerical y column, or aggregate with CNT"),
+                    );
+                }
+            }
+        }
+        (Transform::None, agg) => {
+            out.push(
+                Diagnostic::new(
+                    Code::AggregateWithoutTransform,
+                    Clause::Transform,
+                    format!("{} requires a GROUP BY or BIN transform", agg.name()),
+                )
+                .with_suggestion(format!("add `GROUP BY {0}` or `BIN {0}`", query.x)),
+            );
+        }
+        (Transform::Group | Transform::Bin(_), Aggregate::Raw) => {
+            out.push(
+                Diagnostic::new(
+                    Code::TransformWithoutAggregate,
+                    Clause::Select,
+                    "a GROUP/BIN transform requires an aggregate (SUM, AVG, or CNT)",
+                )
+                .with_suggestion(match &query.y {
+                    Some(y) => format!("select an aggregate, e.g. AVG({y})"),
+                    None => format!("select an aggregate, e.g. CNT({})", query.x),
+                }),
+            );
+        }
+        (transform, agg) => {
+            if let Transform::Bin(strategy) = transform {
+                bin_errors(strategy, x_type, &query.x, udfs, out);
+            }
+            match (&query.y, agg) {
+                (None, Aggregate::Cnt) | (Some(_), Aggregate::Cnt) => {}
+                (None, other) => {
+                    out.push(
+                        Diagnostic::new(
+                            Code::OneColumnNeedsCnt,
+                            Clause::Select,
+                            format!("one-column queries support CNT only, got {}", other.name()),
+                        )
+                        .with_suggestion(format!("use CNT({})", query.x)),
+                    );
+                }
+                (Some(y), other) => {
+                    if y_col.as_ref().is_some_and(|(_, c)| c.is_some())
+                        && y_type != Some(DataType::Numerical)
+                    {
+                        out.push(
+                            Diagnostic::new(
+                                Code::AggregateNeedsNumericY,
+                                Clause::Select,
+                                format!(
+                                    "{} requires a numerical y column, {y:?} is {}",
+                                    other.name(),
+                                    type_name(y_type)
+                                ),
+                            )
+                            .with_suggestion(format!("count instead: CNT({y})")),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fatal bin-strategy/type incompatibilities, in executor order: zero
+/// buckets and UDF resolution are checked before the column type.
+fn bin_errors(
+    strategy: &BinStrategy,
+    x_type: Option<DataType>,
+    x: &str,
+    udfs: &UdfRegistry,
+    out: &mut Vec<Diagnostic>,
+) {
+    match strategy {
+        BinStrategy::Unit(unit) => {
+            if x_type.is_some() && x_type != Some(DataType::Temporal) {
+                out.push(
+                    Diagnostic::new(
+                        Code::CalendarBinOnNonTemporal,
+                        Clause::Transform,
+                        format!(
+                            "`BIN {x} BY {unit}` needs a temporal column, {x:?} is {}",
+                            type_name(x_type)
+                        ),
+                    )
+                    .with_suggestion(if x_type == Some(DataType::Numerical) {
+                        format!("bin {x:?} into equi-width buckets instead: BIN {x}")
+                    } else {
+                        format!("group instead: GROUP BY {x}")
+                    }),
+                );
+            }
+        }
+        BinStrategy::Default | BinStrategy::IntoBuckets(_) => {
+            if let BinStrategy::IntoBuckets(0) = strategy {
+                out.push(
+                    Diagnostic::new(
+                        Code::ZeroBuckets,
+                        Clause::Transform,
+                        "cannot bin into zero buckets",
+                    )
+                    .with_suggestion(format!("use `BIN {x}` for the default bucket count")),
+                );
+            } else if x_type.is_some() && x_type != Some(DataType::Numerical) {
+                out.push(
+                    Diagnostic::new(
+                        Code::BucketBinOnNonNumeric,
+                        Clause::Transform,
+                        format!(
+                            "equi-width binning needs a numeric column, {x:?} is {}",
+                            type_name(x_type)
+                        ),
+                    )
+                    .with_suggestion(if x_type == Some(DataType::Temporal) {
+                        format!("bin by a calendar unit instead, e.g. BIN {x} BY MONTH")
+                    } else {
+                        format!("group instead: GROUP BY {x}")
+                    }),
+                );
+            }
+        }
+        BinStrategy::Udf(name) => {
+            if udfs.get(name).is_none() {
+                let mut known: Vec<&str> = udfs.names().collect();
+                known.sort_unstable();
+                out.push(
+                    Diagnostic::new(
+                        Code::UnknownUdf,
+                        Clause::Transform,
+                        format!("no UDF bin named {name:?} is registered"),
+                    )
+                    .with_suggestion(format!("registered UDFs: {}", known.join(", "))),
+                );
+            } else if x_type.is_some() && x_type != Some(DataType::Numerical) {
+                out.push(
+                    Diagnostic::new(
+                        Code::UdfBinOnNonNumeric,
+                        Clause::Transform,
+                        format!(
+                            "UDF binning needs a numeric column, {x:?} is {}",
+                            type_name(x_type)
+                        ),
+                    )
+                    .with_suggestion(format!("group instead: GROUP BY {x}")),
+                );
+            }
+        }
+    }
+}
+
+/// Collect §V-A meaningfulness warnings. Only emitted for aspects whose
+/// prerequisites resolved (unknown columns already produced errors).
+fn collect_warnings(
+    table: &Table,
+    query: &VisQuery,
+    udfs: &UdfRegistry,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(x_col) = table.column_by_name(&query.x) else {
+        return;
+    };
+    let x_type = x_col.data_type();
+    let y_col = match &query.y {
+        Some(y) => match table.column_by_name(y) {
+            Some(c) => Some(c),
+            None => return,
+        },
+        None => None,
+    };
+    let y_type = y_col.map(|c| c.data_type());
+
+    match &query.transform {
+        Transform::None => {
+            if query.aggregate != Aggregate::Raw {
+                return; // E0003 already reported; rules have nothing to add.
+            }
+            if x_type == DataType::Categorical {
+                out.push(
+                    Diagnostic::new(
+                        Code::RawOnCategoricalX,
+                        Clause::Select,
+                        format!(
+                            "plotting raw rows over categorical {:?} repeats labels per row",
+                            query.x
+                        ),
+                    )
+                    .with_suggestion(format!("group and aggregate: GROUP BY {}", query.x)),
+                );
+            }
+            if query.order == SortOrder::ByY {
+                out.push(
+                    Diagnostic::new(
+                        Code::RawOrderByY,
+                        Clause::OrderBy,
+                        "sorting raw rows by y hides the x relationship the chart shows",
+                    )
+                    .with_suggestion("use ORDER BY x, or drop the clause"),
+                );
+            }
+            if query.chart == ChartType::Bar {
+                out.push(
+                    Diagnostic::new(
+                        Code::RawBarChart,
+                        Clause::Visualize,
+                        "a raw bar chart draws one bar per row; bars come from transforms",
+                    )
+                    .with_suggestion(format!(
+                        "GROUP BY or BIN {} and aggregate, or VISUALIZE line",
+                        query.x
+                    )),
+                );
+            } else if x_type != DataType::Categorical {
+                raw_chart_warnings(query, x_col, y_col, x_type, y_type, out);
+            }
+        }
+        transform => {
+            if x_type == DataType::Numerical && *transform == Transform::Group {
+                out.push(
+                    Diagnostic::new(
+                        Code::GroupOnNumericX,
+                        Clause::Transform,
+                        format!(
+                            "grouping numeric {:?} by exact value makes near-singleton buckets",
+                            query.x
+                        ),
+                    )
+                    .with_suggestion(format!("bin instead: BIN {}", query.x)),
+                );
+            }
+            if let Transform::Bin(strategy) = transform {
+                let non_enumerable = match strategy {
+                    BinStrategy::IntoBuckets(_) => x_type == DataType::Numerical,
+                    BinStrategy::Udf(name) => {
+                        name != "sign" && x_type == DataType::Numerical && udfs.get(name).is_some()
+                    }
+                    BinStrategy::Unit(_) | BinStrategy::Default => false,
+                };
+                if non_enumerable {
+                    out.push(
+                        Diagnostic::new(
+                            Code::NonEnumerableBin,
+                            Clause::Transform,
+                            format!(
+                                "`BIN {} {}` executes but is outside the paper's nine \
+                                 enumerable bin cases, so enumeration never emits it",
+                                query.x,
+                                strategy_text(strategy)
+                            ),
+                        )
+                        .with_suggestion(format!(
+                            "use the default buckets (BIN {}) or UDF(sign)",
+                            query.x
+                        )),
+                    );
+                }
+            }
+            let x_prime = transformed_x_type(x_type, transform);
+            if !applicable_charts(x_prime, false).contains(&query.chart) {
+                out.push(chart_mismatch(query.chart, x_prime));
+            }
+            if !applicable_orders(x_prime).contains(&query.order) {
+                out.push(
+                    Diagnostic::new(
+                        Code::OrderByXOnCategorical,
+                        Clause::OrderBy,
+                        "a categorical x-scale has no natural order to sort by",
+                    )
+                    .with_suggestion("sort by the aggregate instead (ORDER BY the y expression)"),
+                );
+            }
+        }
+    }
+}
+
+/// Chart-type warnings for raw (untransformed) numeric/temporal plots,
+/// including the data-dependent scatter-correlation rule.
+fn raw_chart_warnings(
+    query: &VisQuery,
+    x_col: &deepeye_data::Column,
+    y_col: Option<&deepeye_data::Column>,
+    x_type: DataType,
+    y_type: Option<DataType>,
+    out: &mut Vec<Diagnostic>,
+) {
+    match (x_type, query.chart) {
+        (_, ChartType::Line) => {}
+        (DataType::Numerical, ChartType::Scatter) => {
+            // Data-dependent rule: scatter wants |corr(X, Y)| ≥ threshold.
+            if let (Some(y_col), Some(DataType::Numerical)) = (y_col, y_type) {
+                let xs = x_col.numbers();
+                let ys = y_col.numbers();
+                let strength = correlation(&xs, &ys).strength();
+                if strength < SCATTER_CORRELATION_THRESHOLD {
+                    out.push(
+                        Diagnostic::new(
+                            Code::UncorrelatedScatter,
+                            Clause::Visualize,
+                            format!(
+                                "scatter plots tell correlation stories, but |corr| = {strength:.2} \
+                                 < {SCATTER_CORRELATION_THRESHOLD}"
+                            ),
+                        )
+                        .with_suggestion("VISUALIZE line, or pick correlated columns"),
+                    );
+                }
+            }
+        }
+        (_, chart) => out.push(chart_mismatch(chart, x_type)),
+    }
+}
+
+fn chart_mismatch(chart: ChartType, x_prime: DataType) -> Diagnostic {
+    let suited: Vec<&str> = applicable_charts(x_prime, false)
+        .into_iter()
+        .map(ChartType::name)
+        .collect();
+    Diagnostic::new(
+        Code::ChartTypeMismatch,
+        Clause::Visualize,
+        format!(
+            "a {chart} chart does not suit a {} x-scale",
+            type_word(x_prime)
+        ),
+    )
+    .with_suggestion(format!("suitable charts: {}", suited.join(", ")))
+}
+
+fn column_names_hint(table: &Table) -> String {
+    let names: Vec<&str> = table.columns().iter().map(|c| c.name()).collect();
+    format!("available columns: {}", names.join(", "))
+}
+
+fn type_name(t: Option<DataType>) -> &'static str {
+    match t {
+        Some(DataType::Numerical) => "numerical",
+        Some(DataType::Categorical) => "categorical",
+        Some(DataType::Temporal) => "temporal",
+        None => "unknown",
+    }
+}
+
+fn type_word(t: DataType) -> &'static str {
+    match t {
+        DataType::Numerical => "numerical",
+        DataType::Categorical => "categorical",
+        DataType::Temporal => "temporal",
+    }
+}
+
+fn strategy_text(s: &BinStrategy) -> String {
+    let text = s.to_string();
+    if text.is_empty() {
+        "(default)".to_owned()
+    } else {
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepeye_data::{parse_timestamp, Column, TableBuilder, TimeUnit};
+
+    fn mixed_table() -> Table {
+        let ts: Vec<_> = (1..=4)
+            .map(|d| parse_timestamp(&format!("2015-01-0{d}")).unwrap())
+            .collect();
+        TableBuilder::new("t")
+            .text("carrier", ["UA", "AA", "UA", "MQ"])
+            .numeric("delay", [5.0, 3.0, -1.0, 2.0])
+            .column(Column::temporal("scheduled", ts))
+            .build()
+            .unwrap()
+    }
+
+    fn codes(table: &Table, q: &VisQuery) -> Vec<Code> {
+        analyze(table, q, default_registry())
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_query_has_no_diagnostics() {
+        let t = mixed_table();
+        let q = VisQuery {
+            chart: ChartType::Bar,
+            x: "carrier".into(),
+            y: Some("delay".into()),
+            transform: Transform::Group,
+            aggregate: Aggregate::Avg,
+            order: SortOrder::ByY,
+        };
+        assert!(codes(&t, &q).is_empty());
+    }
+
+    #[test]
+    fn calendar_bin_on_numeric_is_e0007() {
+        let t = mixed_table();
+        let q = VisQuery {
+            chart: ChartType::Line,
+            x: "delay".into(),
+            y: Some("delay".into()),
+            transform: Transform::Bin(BinStrategy::Unit(TimeUnit::Hour)),
+            aggregate: Aggregate::Avg,
+            order: SortOrder::None,
+        };
+        let diags = analyze(&t, &q, default_registry());
+        assert_eq!(diags[0].code, Code::CalendarBinOnNonTemporal);
+        assert!(diags[0].is_error());
+        assert!(diags[0]
+            .suggestion
+            .as_deref()
+            .unwrap()
+            .contains("BIN delay"));
+    }
+
+    #[test]
+    fn severity_split_matches_code_prefix() {
+        for code in Code::ALL {
+            let s = code.as_str();
+            assert_eq!(s.len(), 5);
+            match code.severity() {
+                Severity::Error => assert!(s.starts_with('E')),
+                Severity::Warning => assert!(s.starts_with('W')),
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        let mut sorted = strs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(strs, sorted, "Code::ALL must be unique and sorted");
+    }
+
+    #[test]
+    fn warnings_do_not_block_execution() {
+        // GROUP BY on numeric x: rules-pruned (W0102) but executable.
+        let t = mixed_table();
+        let q = VisQuery {
+            chart: ChartType::Bar,
+            x: "delay".into(),
+            y: None,
+            transform: Transform::Group,
+            aggregate: Aggregate::Cnt,
+            order: SortOrder::None,
+        };
+        assert_eq!(codes(&t, &q), vec![Code::GroupOnNumericX]);
+        assert!(check_executable(&t, &q, default_registry()).is_ok());
+        assert!(crate::execute(&t, &q).is_ok());
+    }
+
+    #[test]
+    fn error_order_matches_executor_discovery() {
+        // Both an unknown y and an invalid bin: the executor reports the
+        // column lookup first, so sema must too.
+        let t = mixed_table();
+        let q = VisQuery {
+            chart: ChartType::Bar,
+            x: "carrier".into(),
+            y: Some("nope".into()),
+            transform: Transform::Bin(BinStrategy::Default),
+            aggregate: Aggregate::Avg,
+            order: SortOrder::None,
+        };
+        let first = check_executable(&t, &q, default_registry()).unwrap_err();
+        assert_eq!(first.code, Code::UnknownYColumn);
+        assert_eq!(
+            first.into_query_error(&q),
+            QueryError::NoSuchColumn("nope".into())
+        );
+    }
+
+    #[test]
+    fn uncorrelated_scatter_warns() {
+        let t = TableBuilder::new("t")
+            .numeric("a", (0..50).map(f64::from))
+            .numeric("b", (0..50).map(|i| f64::from(i) * 2.0 + 1.0))
+            .numeric("noise", (0..50).map(|i| f64::from((i * 7919) % 97)))
+            .build()
+            .unwrap();
+        let scatter = VisQuery::raw(ChartType::Scatter, "a", "b");
+        assert!(codes(&t, &scatter).is_empty());
+        let noisy = VisQuery::raw(ChartType::Scatter, "a", "noise");
+        assert_eq!(codes(&t, &noisy), vec![Code::UncorrelatedScatter]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::new(Code::ZeroBuckets, Clause::Transform, "msg");
+        assert_eq!(d.to_string(), "error[E0009]: msg");
+        assert_eq!(Clause::OrderBy.to_string(), "ORDER BY");
+    }
+}

@@ -1,5 +1,7 @@
 //! Property-based tests for the query engine.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye_data::{Column, ColumnData, Table, TableBuilder, Timestamp};
 use deepeye_query::{
     all_queries, execute, Aggregate, ChartType, Series, SortOrder, Transform, VisQuery,

@@ -1,0 +1,371 @@
+//! Integration tests for the static semantic analyzer (`deepeye_query::sema`).
+//!
+//! Two halves:
+//!
+//! 1. Property tests: over randomly generated tables, the lazy enumerator's
+//!    `valid_queries` never emits a query the analyzer rejects, and
+//!    `check_executable` agrees exactly with `analyze`'s error set.
+//! 2. Table-driven negative tests: one crafted query per stable error code
+//!    (`E0001`–`E0015`), asserting the analyzer reports that code first and
+//!    that the executor indeed refuses the query; plus one crafted query per
+//!    warning code (`W0101`–`W0108`) asserting the warning is raised and the
+//!    query still executes.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use deepeye_data::{Column, ColumnData, Table, TableBuilder, TimeUnit, Timestamp};
+use deepeye_query::sema::{self, Code, Severity};
+use deepeye_query::{
+    all_queries, analyze, analyze_multi_y, analyze_xyz, check_executable, execute_with,
+    parse_query, valid_queries, Aggregate, BinStrategy, ChartType, MultiYQuery, QueryError,
+    SortOrder, Transform, UdfRegistry, VisQuery, XyzQuery,
+};
+use proptest::prelude::*;
+
+/// Fixture with one column of each type plus a numeric column that is
+/// deliberately uncorrelated with `num` (for the W0107 scatter rule).
+fn fixture() -> Table {
+    let n = 24usize;
+    TableBuilder::new("t")
+        .numeric("num", (0..n).map(|i| i as f64))
+        .numeric("noise", (0..n).map(|i| if i % 2 == 0 { 10.0 } else { 0.0 }))
+        .text("cat", (0..n).map(|i| ["a", "b", "c"][i % 3]))
+        .column(Column::new(
+            "tem",
+            ColumnData::Temporal(
+                (0..n)
+                    .map(|i| Some(Timestamp::from_unix_seconds(i as i64 * 86_400)))
+                    .collect(),
+            ),
+        ))
+        .build()
+        .unwrap()
+}
+
+fn q(
+    chart: ChartType,
+    x: &str,
+    y: Option<&str>,
+    transform: Transform,
+    aggregate: Aggregate,
+    order: SortOrder,
+) -> VisQuery {
+    VisQuery {
+        chart,
+        x: x.to_owned(),
+        y: y.map(str::to_owned),
+        transform,
+        aggregate,
+        order,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Negative tests: one query per fatal code, E0001..E0013 via the scalar
+// analyzer, E0014/E0015 via the multi-column analyzers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn each_error_code_has_a_witness_query() {
+    use Aggregate::*;
+    use ChartType::*;
+    use SortOrder::None as NoOrder;
+    use Transform::{Bin, Group, None as NoT};
+
+    let cases: Vec<(Code, VisQuery)> = vec![
+        (
+            Code::UnknownXColumn,
+            q(Bar, "nope", None, Group, Cnt, NoOrder),
+        ),
+        (
+            Code::UnknownYColumn,
+            q(Bar, "cat", Some("nope"), Group, Cnt, NoOrder),
+        ),
+        (
+            Code::AggregateWithoutTransform,
+            q(Bar, "cat", Some("num"), NoT, Cnt, NoOrder),
+        ),
+        (
+            Code::TransformWithoutAggregate,
+            q(Bar, "cat", Some("num"), Group, Raw, NoOrder),
+        ),
+        (Code::RawNeedsY, q(Line, "num", None, NoT, Raw, NoOrder)),
+        (
+            Code::RawNeedsNumericY,
+            q(Line, "num", Some("cat"), NoT, Raw, NoOrder),
+        ),
+        (
+            Code::CalendarBinOnNonTemporal,
+            q(
+                Line,
+                "num",
+                None,
+                Bin(BinStrategy::Unit(TimeUnit::Hour)),
+                Cnt,
+                NoOrder,
+            ),
+        ),
+        (
+            Code::BucketBinOnNonNumeric,
+            q(Bar, "cat", None, Bin(BinStrategy::Default), Cnt, NoOrder),
+        ),
+        (
+            Code::ZeroBuckets,
+            q(
+                Bar,
+                "num",
+                None,
+                Bin(BinStrategy::IntoBuckets(0)),
+                Cnt,
+                NoOrder,
+            ),
+        ),
+        (
+            Code::UnknownUdf,
+            q(
+                Bar,
+                "num",
+                None,
+                Bin(BinStrategy::Udf("nope".into())),
+                Cnt,
+                NoOrder,
+            ),
+        ),
+        (
+            Code::UdfBinOnNonNumeric,
+            q(
+                Bar,
+                "cat",
+                None,
+                Bin(BinStrategy::Udf("sign".into())),
+                Cnt,
+                NoOrder,
+            ),
+        ),
+        (
+            Code::OneColumnNeedsCnt,
+            q(Bar, "cat", None, Group, Sum, NoOrder),
+        ),
+        (
+            Code::AggregateNeedsNumericY,
+            q(Bar, "cat", Some("cat"), Group, Sum, NoOrder),
+        ),
+    ];
+
+    let table = fixture();
+    let udfs = UdfRegistry::default();
+    for (expected, query) in cases {
+        let first = check_executable(&table, &query, &udfs)
+            .expect_err(&format!("{expected:?} witness must be rejected: {query:?}"));
+        assert_eq!(
+            first.code, expected,
+            "wrong first diagnostic for {query:?}: {first:?}"
+        );
+        assert_eq!(first.severity(), Severity::Error);
+        // The analyzer's full report contains the code too.
+        assert!(
+            analyze(&table, &query, &udfs)
+                .iter()
+                .any(|d| d.code == expected),
+            "analyze() lost {expected:?} for {query:?}"
+        );
+        // And the executor refuses the query.
+        assert!(
+            execute_with(&table, &query, &udfs).is_err(),
+            "executor accepted the {expected:?} witness {query:?}"
+        );
+    }
+}
+
+#[test]
+fn multi_y_arity_is_e0014() {
+    let table = fixture();
+    let udfs = UdfRegistry::default();
+    let query = MultiYQuery {
+        chart: ChartType::Bar,
+        x: "cat".into(),
+        ys: vec!["num".into()],
+        transform: Transform::Group,
+        aggregate: Aggregate::Sum,
+        order: SortOrder::None,
+    };
+    let diags = analyze_multi_y(&table, &query, &udfs);
+    assert!(diags.iter().any(|d| d.code == Code::MultiYNeedsTwoColumns));
+}
+
+#[test]
+fn xyz_without_transform_is_e0015() {
+    let table = fixture();
+    let udfs = UdfRegistry::default();
+    let query = XyzQuery {
+        chart: ChartType::Line,
+        series_column: "cat".into(),
+        x: "tem".into(),
+        x_transform: Transform::None,
+        z: "num".into(),
+        aggregate: Aggregate::Sum,
+    };
+    let diags = analyze_xyz(&table, &query, &udfs);
+    assert!(diags.iter().any(|d| d.code == Code::XyzNeedsTransform));
+}
+
+// ---------------------------------------------------------------------------
+// Warning witnesses: each W-code query executes, but analyze() flags it.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn each_warning_code_has_an_executable_witness() {
+    use Aggregate::*;
+    use ChartType::*;
+    use Transform::{Bin, Group, None as NoT};
+
+    let cases: Vec<(Code, VisQuery)> = vec![
+        (
+            Code::RawOnCategoricalX,
+            q(Line, "cat", Some("num"), NoT, Raw, SortOrder::None),
+        ),
+        (
+            Code::GroupOnNumericX,
+            q(Bar, "num", None, Group, Cnt, SortOrder::None),
+        ),
+        (
+            Code::RawBarChart,
+            q(Bar, "num", Some("num"), NoT, Raw, SortOrder::None),
+        ),
+        (
+            Code::ChartTypeMismatch,
+            q(Pie, "num", Some("num"), NoT, Raw, SortOrder::None),
+        ),
+        (
+            Code::NonEnumerableBin,
+            q(
+                Bar,
+                "num",
+                None,
+                Bin(BinStrategy::IntoBuckets(7)),
+                Cnt,
+                SortOrder::None,
+            ),
+        ),
+        (
+            Code::OrderByXOnCategorical,
+            q(Bar, "cat", None, Group, Cnt, SortOrder::ByX),
+        ),
+        (
+            Code::UncorrelatedScatter,
+            q(Scatter, "num", Some("noise"), NoT, Raw, SortOrder::None),
+        ),
+        (
+            Code::RawOrderByY,
+            q(Line, "num", Some("num"), NoT, Raw, SortOrder::ByY),
+        ),
+    ];
+
+    let table = fixture();
+    let udfs = UdfRegistry::default();
+    for (expected, query) in cases {
+        assert_eq!(expected.severity(), Severity::Warning);
+        let diags = analyze(&table, &query, &udfs);
+        assert!(
+            diags.iter().any(|d| d.code == expected),
+            "missing {expected:?} for {query:?}; got {diags:?}"
+        );
+        assert!(
+            diags.iter().all(|d| !d.is_error()),
+            "warning witness for {expected:?} must be error-free: {diags:?}"
+        );
+        // Warnings never block execution.
+        match execute_with(&table, &query, &udfs) {
+            Ok(_) | Err(QueryError::EmptyResult) => {}
+            Err(e) => panic!("warning witness for {expected:?} failed to execute: {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn rendered_diagnostic_points_at_offending_clause() {
+    let table = fixture();
+    let source = "VISUALIZE bar\nSELECT num\nFROM t\nBIN num BY HOUR";
+    let parsed = parse_query(source).unwrap();
+    let first = check_executable(&table, &parsed.query, &UdfRegistry::default())
+        .expect_err("calendar bin on numeric x must be rejected");
+    assert_eq!(first.code, Code::CalendarBinOnNonTemporal);
+    let rendered = first.render(source, &parsed.spans);
+    assert!(
+        rendered.starts_with("error[E0007]:"),
+        "unexpected render: {rendered}"
+    );
+    assert!(
+        rendered.contains("line 4: BIN num BY HOUR"),
+        "render must quote the TRANSFORM clause source: {rendered}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property tests.
+// ---------------------------------------------------------------------------
+
+fn arbitrary_table() -> impl Strategy<Value = Table> {
+    let rows = 1usize..40;
+    rows.prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-100.0f64..100.0, n),
+            proptest::collection::vec(0u8..4, n),
+            proptest::collection::vec(0i64..100_000_000, n),
+        )
+            .prop_map(move |(nums, cats, secs)| {
+                TableBuilder::new("t")
+                    .numeric("num", nums)
+                    .text("cat", cats.iter().map(|c| format!("c{c}")))
+                    .column(Column::new(
+                        "tem",
+                        ColumnData::Temporal(
+                            secs.iter()
+                                .map(|&s| Some(Timestamp::from_unix_seconds(s)))
+                                .collect(),
+                        ),
+                    ))
+                    .build()
+                    .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The enumerator invariant: `valid_queries` never yields a query the
+    /// analyzer rejects, and every one of them executes (or is merely
+    /// empty on this data).
+    #[test]
+    fn valid_queries_are_error_free(table in arbitrary_table()) {
+        let udfs = UdfRegistry::default();
+        for query in valid_queries(&table, &udfs).take(400) {
+            let errors: Vec<_> = analyze(&table, &query, &udfs)
+                .into_iter()
+                .filter(|d| d.is_error())
+                .collect();
+            prop_assert!(errors.is_empty(), "enumerator emitted {query:?}: {errors:?}");
+            let outcome = execute_with(&table, &query, &udfs);
+            prop_assert!(
+                matches!(outcome, Ok(_) | Err(QueryError::EmptyResult)),
+                "sema-clean query failed: {query:?}: {outcome:?}"
+            );
+        }
+    }
+
+    /// `check_executable` and `analyze` agree on which queries are fatal,
+    /// across the whole raw search space (sampled).
+    #[test]
+    fn check_executable_agrees_with_analyze((table, skip) in (arbitrary_table(), 0usize..100)) {
+        let udfs = UdfRegistry::default();
+        for query in all_queries(&table).skip(skip * 11).take(120) {
+            let has_error = analyze(&table, &query, &udfs).iter().any(sema::Diagnostic::is_error);
+            let rejected = check_executable(&table, &query, &udfs).is_err();
+            prop_assert_eq!(
+                has_error, rejected,
+                "analyze/check_executable disagree on {:?}", query
+            );
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //! # no argument: uses a built-in demo CSV and writes dashboard.html
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye::prelude::*;
 use std::fmt::Write as _;
 
@@ -66,10 +68,10 @@ fn main() {
     );
     for rec in &recs {
         let div = format!("chart{}", rec.rank);
-        let _ = write!(
+        let _ = writeln!(
             html,
             "<div class=\"card\"><h3>#{} — {} of {} vs {}</h3><div id=\"{div}\"></div>\
-             <script>vegaEmbed('#{div}', {});</script></div>\n",
+             <script>vegaEmbed('#{div}', {});</script></div>",
             rec.rank,
             rec.node.chart_type(),
             rec.node.data.x_label,

@@ -8,6 +8,8 @@
 //! cargo run --release --example flight_delays
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye::datagen::{flight_table, PerceptionOracle};
 use deepeye::prelude::*;
 use deepeye_data::TimeUnit;

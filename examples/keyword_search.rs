@@ -6,6 +6,8 @@
 //! cargo run --release --example keyword_search -- "average delay by hour as line"
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye::core::keyword_search;
 use deepeye::datagen::flight_table;
 use deepeye::prelude::*;

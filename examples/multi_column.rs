@@ -7,6 +7,8 @@
 //! cargo run --release --example multi_column
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye::core::recommend_multi;
 use deepeye::datagen::flight_table;
 use deepeye::query::UdfRegistry;

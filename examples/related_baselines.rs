@@ -7,6 +7,8 @@
 //! cargo run --release --example related_baselines
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye::core::{find_similar_to_shape, rank_by_deviation, DeepEye, DeviationMetric};
 use deepeye::datagen::flight_table;
 

@@ -8,6 +8,8 @@
 //! cargo run --release --example train_models
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye::datagen::{
     build_table, candidate_nodes, ranking_examples, recognition_examples, test_specs,
     training_tables, PerceptionOracle,

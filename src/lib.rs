@@ -44,6 +44,8 @@
 //! | [`core`] | features, recognition, partial order, graph, rules, progressive selection |
 //! | [`datagen`] | synthetic corpus, flight data, the perception oracle |
 
+#![forbid(unsafe_code)]
+
 pub use deepeye_core as core;
 pub use deepeye_data as data;
 pub use deepeye_datagen as datagen;

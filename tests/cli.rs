@@ -1,7 +1,9 @@
 //! End-to-end tests of the `deepeye` CLI binary, driven through the real
 //! executable (`CARGO_BIN_EXE_deepeye`).
 
-use std::path::PathBuf;
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn bin() -> Command {
@@ -14,7 +16,7 @@ fn tmp_dir(name: &str) -> PathBuf {
     dir
 }
 
-fn sample_csv(dir: &PathBuf) -> PathBuf {
+fn sample_csv(dir: &Path) -> PathBuf {
     let path = dir.join("sales.csv");
     let mut csv = String::from("month,region,revenue,units\n");
     for m in 1..=12 {

@@ -3,6 +3,8 @@
 //! without the full harness cost (the `deepeye-bench` binaries run the
 //! real thing).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye::core::{rank_by_partial_order, ClassifierKind, LtrRanker, Recognizer};
 use deepeye::datagen::{
     candidate_nodes, combo_crowd_ranking_examples, combo_evaluation_nodes,

@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: CSV → type detection → enumeration →
 //! recognition → ranking → selection, exercised through the public facade.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use deepeye::datagen::{flight_table, recognition_examples, PerceptionOracle};
 use deepeye::prelude::*;
 

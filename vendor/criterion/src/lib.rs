@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! the workspace vendors the API subset its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical engine it reports a simple mean wall-clock time per
+//! iteration over a fixed measurement budget — enough to eyeball hot-path
+//! regressions in an offline container, with the same bench source code.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each bench function.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measure: Duration,
+    /// Iterations per timing sample (acts like criterion's sample count).
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: Duration::from_millis(500),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measure, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(&full, self.parent.measure, samples, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark name with a parameter, e.g. `rule_based/500`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times closures; handed to the callback of `bench_function`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export so benches can use `criterion::black_box` if they prefer.
+pub use std::hint::black_box;
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, measure: Duration, samples: usize, mut f: F) {
+    // Calibrate: find an iteration count that fills the budget.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget_iters = (measure.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let iters = budget_iters.min(samples as u64 * 100).max(1);
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / iters as f64;
+    println!(
+        "{name:<44} {:>12} /iter  ({iters} iters)",
+        format_time(mean)
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Mirrors criterion's macro: bundles bench functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors criterion's macro: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(2e-3), "2.000 ms");
+        assert_eq!(format_time(2e-6), "2.000 µs");
+        assert_eq!(format_time(2e-9), "2.0 ns");
+    }
+}

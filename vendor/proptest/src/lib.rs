@@ -1,0 +1,169 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! the workspace vendors the API subset its property tests use:
+//!
+//! - [`strategy::Strategy`] with `prop_map` / `prop_flat_map`;
+//! - range, tuple, `any::<bool>()`, simple regex-class string, and
+//!   [`collection::vec`] strategies;
+//! - the [`proptest!`] macro with `#![proptest_config(..)]` support;
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Semantics match upstream for generation and assertion; the one
+//! deliberate omission is *shrinking* — a failing case reports the
+//! drawn inputs verbatim instead of a minimized counterexample. Every
+//! run is deterministic: the RNG is seeded from the test's name, so a
+//! failure reproduces by re-running the same test.
+
+#![forbid(unsafe_code)]
+// A property-testing harness reports failures by panicking; the
+// workspace panic/unwrap lints do not apply to this test-only stub.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+// The doc example intentionally shows a `#[test]` wrapped in `proptest!`.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy for a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy {
+            element,
+            min: size.min,
+            max: size.max,
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Mirrors upstream `proptest!`:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in -100i64..100, b in -100i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let mut ran: u32 = 0;
+            let mut rejected: u32 = 0;
+            while ran < config.cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => ran += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        ::std::assert!(
+                            rejected < config.cases.saturating_mul(16).max(256),
+                            "too many prop_assume! rejections in {}",
+                            stringify!($name),
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        ::std::panic!(
+                            "property {} falsified on case {}: {}",
+                            stringify!($name),
+                            ran,
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case (with an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` on equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!` on inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Discards the current case (drawing a fresh one) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}

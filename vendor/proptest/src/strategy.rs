@@ -1,0 +1,440 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Upstream proptest separates strategies from value *trees* to support
+/// shrinking; this stand-in generates values directly.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Use a generated value to pick a follow-up strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`, re-drawing otherwise.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 draws in a row", self.whence)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Length specification for [`crate::collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// See [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.min == self.max {
+            self.min
+        } else {
+            rng.rng.gen_range(self.min..=self.max)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<bool>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.gen_range(0u8..=u8::MAX)
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.gen_range(i64::MIN..=i64::MAX)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String-literal strategies: a simplified regex of exactly the shape
+/// `"[class]{lo,hi}"` (or a bare `"[class]"`, one char). The class
+/// supports literal characters and `a-z` ranges; `-` is literal when
+/// first or last. This covers every pattern used in this workspace.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern {self:?}"));
+        let len = if lo == hi {
+            lo
+        } else {
+            rng.rng.gen_range(lo..=hi)
+        };
+        (0..len)
+            .map(|_| chars[rng.rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parse `[class]{lo,hi}` or `.{lo,hi}` into (alphabet, lo, hi). Returns
+/// `None` for anything outside the supported shape.
+fn parse_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    // `.` — any character except a line break (as in upstream proptest's
+    // regex support); drawn here from printable ASCII plus tab and CR so
+    // quoting/delimiter edge cases stay likely.
+    if let Some(rest) = pattern.strip_prefix('.') {
+        let mut alphabet: Vec<char> = (' '..='~').collect();
+        alphabet.push('\t');
+        alphabet.push('\r');
+        let (lo, hi) = parse_counts(rest)?;
+        return Some((alphabet, lo, hi));
+    }
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` range unless `-` is the first/last class character.
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (start, end) = (class[i], class[i + 2]);
+            if start > end {
+                return None;
+            }
+            for c in start..=end {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let (lo, hi) = parse_counts(&rest[close + 1..])?;
+    Some((alphabet, lo, hi))
+}
+
+/// Parse a `{lo,hi}` / `{n}` repetition suffix; an empty suffix means
+/// exactly one repetition.
+fn parse_counts(suffix: &str) -> Option<(usize, usize)> {
+    if suffix.is_empty() {
+        return Some((1, 1));
+    }
+    let counts = suffix.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let (a, b) = (0usize..10, -1.0f64..1.0).generate(&mut r);
+            assert!(a < 10);
+            assert!((-1.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_filter() {
+        let mut r = rng();
+        let doubled = (1usize..5).prop_map(|n| n * 2);
+        for _ in 0..50 {
+            let v = doubled.generate(&mut r);
+            assert!(v % 2 == 0 && v < 10);
+        }
+        let nested = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..10, n));
+        for _ in 0..50 {
+            let v = nested.generate(&mut r);
+            assert!((1..4).contains(&v.len()));
+        }
+        let odd = (0i64..100).prop_filter("odd", |v| v % 2 == 1);
+        for _ in 0..50 {
+            assert!(odd.generate(&mut r) % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn vec_sizes() {
+        let mut r = rng();
+        let exact = crate::collection::vec(0u8..4, 3usize);
+        assert_eq!(exact.generate(&mut r).len(), 3);
+        let ranged = crate::collection::vec(0u8..4, 0..6usize);
+        for _ in 0..100 {
+            assert!(ranged.generate(&mut r).len() < 6);
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[ -~]{0,12}".generate(&mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            let t = "[a-z0-9./: -]{0,12}".generate(&mut r);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "./: -".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_draws_printables() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = ".{0,200}".generate(&mut r);
+            assert!(s.len() <= 200);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\t' || c == '\r'));
+            assert!(!s.contains('\n'));
+        }
+        let one = ".".generate(&mut r);
+        assert_eq!(one.chars().count(), 1);
+    }
+
+    #[test]
+    fn unsupported_pattern_detected() {
+        assert!(parse_pattern("hello").is_none());
+        assert!(parse_pattern("[]").is_none());
+        assert!(parse_pattern("[a-z]+").is_none());
+        assert!(parse_pattern("[z-a]{1,2}").is_none());
+        assert!(parse_pattern(".+").is_none());
+    }
+
+    #[test]
+    fn just_and_any() {
+        let mut r = rng();
+        assert_eq!(Just(41).generate(&mut r), 41);
+        let mut saw = [false; 2];
+        for _ in 0..64 {
+            saw[usize::from(any::<bool>().generate(&mut r))] = true;
+        }
+        assert!(saw[0] && saw[1]);
+    }
+}

