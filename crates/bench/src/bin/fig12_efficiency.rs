@@ -14,6 +14,7 @@
 use deepeye_bench::fmt::{ms, TextTable};
 use deepeye_bench::{efficiency, scale_from_env};
 use deepeye_datagen::{build_table, test_specs, PerceptionOracle};
+use deepeye_obs::Observer;
 
 fn main() {
     let scale = scale_from_env();
@@ -21,6 +22,7 @@ fn main() {
     let oracle = PerceptionOracle::default();
     eprintln!("(offline) training learning-to-rank model …");
     let ltr = efficiency::offline_ltr(scale.min(0.1), &oracle);
+    let obs = Observer::enabled();
 
     let mut t = TextTable::new([
         "dataset",
@@ -39,7 +41,7 @@ fn main() {
             spec.name,
             table.row_count()
         );
-        let bars = efficiency::run_table(&table, &ltr, 10);
+        let bars = efficiency::run_table_observed(&table, &ltr, 10, &obs);
         for bar in &bars {
             t.row([
                 format!("X{}", i + 1),
@@ -68,4 +70,12 @@ fn main() {
          EP/RP faster than EL/RL (partial order prunes, LTR scores everything);\n\
          seconds-scale end to end."
     );
+    // DEEPEYE_TRACE_OUT=<path> exports the whole run as a Chrome trace
+    // (load in Perfetto / chrome://tracing to see the phase timeline).
+    if let Ok(path) = std::env::var("DEEPEYE_TRACE_OUT") {
+        if !path.is_empty() {
+            std::fs::write(&path, obs.chrome_trace_json()).expect("write trace file");
+            eprintln!("wrote Chrome trace to {path}");
+        }
+    }
 }

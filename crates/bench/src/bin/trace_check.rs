@@ -1,0 +1,52 @@
+//! Validate a Chrome trace-event file produced by the observability layer
+//! (`--trace-out`, `DEEPEYE_TRACE_OUT`): well-formed JSON, known phase
+//! types, balanced name-matched B/E pairs, monotone per-lane timestamps.
+//!
+//! Usage: `trace_check <trace.json> [<trace.json> ...]`
+//!
+//! Exits nonzero (via `ExitCode`, so the workspace `clippy::exit` lint
+//! stays intact) if any file fails validation — CI runs this against the
+//! quickstart example's trace.
+
+use deepeye_obs::validate_chrome_trace;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <trace.json> [<trace.json> ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_chrome_trace(&text) {
+            Ok(summary) => {
+                println!(
+                    "{path}: ok — {} events, {} spans, depth {}, {} thread lane(s)",
+                    summary.events, summary.spans, summary.max_depth, summary.threads
+                );
+                if summary.spans == 0 {
+                    eprintln!("{path}: no spans recorded — was the observer enabled?");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -6,8 +6,9 @@
 
 use deepeye_core::{compute_factors, partial_order::raw_match_quality, LtrRanker, VisNode};
 use deepeye_datagen::{ranking_examples, training_tables, PerceptionOracle};
+use deepeye_obs::Observer;
 use deepeye_query::{all_queries, UdfRegistry};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Enumeration mode of a configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,15 +65,23 @@ impl EfficiencyBar {
     }
 }
 
-/// Enumerate candidates under a mode, timing the enumeration phase.
-/// Nodes are slimmed right after feature extraction to bound memory on
-/// exhaustive runs over large tables.
+/// Enumerate candidates under a mode. The phase runs under an
+/// `enumerate.exhaustive` / `enumerate.rules` span and its wall time is
+/// read back from the observer's monotonic clock — the bench no longer
+/// keeps its own `Instant` bookkeeping. Nodes are slimmed right after
+/// feature extraction to bound memory on exhaustive runs over large
+/// tables.
 fn enumerate_candidates(
     table: &deepeye_data::Table,
     mode: Enumeration,
     udfs: &UdfRegistry,
+    obs: &Observer,
 ) -> (Vec<VisNode>, Duration) {
-    let start = Instant::now();
+    let span = obs.span(match mode {
+        Enumeration::Exhaustive => "enumerate.exhaustive",
+        Enumeration::RuleBased => "enumerate.rules",
+    });
+    let id = span.id();
     let queries: Vec<deepeye_query::VisQuery> = match mode {
         Enumeration::Exhaustive => all_queries(table).collect(),
         Enumeration::RuleBased => deepeye_core::rules::rule_based_queries(table),
@@ -87,19 +96,46 @@ fn enumerate_candidates(
             }
         }
     }
-    (nodes, start.elapsed())
+    drop(span);
+    let elapsed = id.and_then(|i| obs.span_duration(i)).unwrap_or_default();
+    (nodes, elapsed)
+}
+
+/// The span name of one configuration's selection phase.
+fn select_span_name(enumeration: Enumeration, selection: Selection) -> &'static str {
+    match (enumeration, selection) {
+        (Enumeration::Exhaustive, Selection::LearningToRank) => "select.EL",
+        (Enumeration::Exhaustive, Selection::PartialOrder) => "select.EP",
+        (Enumeration::RuleBased, Selection::LearningToRank) => "select.RL",
+        (Enumeration::RuleBased, Selection::PartialOrder) => "select.RP",
+    }
 }
 
 /// Run the four configurations on one table. `ltr` must already be
 /// trained (training time is offline in the paper's Figure 4 and excluded
 /// from the online measurement).
 pub fn run_table(table: &deepeye_data::Table, ltr: &LtrRanker, k: usize) -> Vec<EfficiencyBar> {
+    run_table_observed(table, ltr, k, &Observer::enabled())
+}
+
+/// [`run_table`] against a caller-provided observer, so a driver can
+/// export the full trace (e.g. `fig12_efficiency` honoring
+/// `DEEPEYE_TRACE_OUT`). All phase timings come from the observer's span
+/// clock, which is also what the exported trace shows — one source of
+/// truth for both the table and the timeline.
+pub fn run_table_observed(
+    table: &deepeye_data::Table,
+    ltr: &LtrRanker,
+    k: usize,
+    obs: &Observer,
+) -> Vec<EfficiencyBar> {
     let udfs = UdfRegistry::default();
     let mut bars = Vec::with_capacity(4);
     for enumeration in [Enumeration::Exhaustive, Enumeration::RuleBased] {
-        let (nodes, enumerate_time) = enumerate_candidates(table, enumeration, &udfs);
+        let (nodes, enumerate_time) = enumerate_candidates(table, enumeration, &udfs, obs);
         for selection in [Selection::LearningToRank, Selection::PartialOrder] {
-            let start = Instant::now();
+            let span = obs.span(select_span_name(enumeration, selection));
+            let id = span.id();
             let order = match selection {
                 Selection::LearningToRank => ltr.rank(&nodes),
                 // The §V-optimized partial-order top-k the paper's
@@ -121,7 +157,8 @@ pub fn run_table(table: &deepeye_data::Table, ltr: &LtrRanker, k: usize) -> Vec<
                 }
             };
             let _top: Vec<usize> = order.into_iter().take(k).collect();
-            let select_time = start.elapsed();
+            drop(span);
+            let select_time = id.and_then(|i| obs.span_duration(i)).unwrap_or_default();
             bars.push(EfficiencyBar {
                 enumeration,
                 selection,
@@ -189,5 +226,31 @@ mod tests {
             assert!(bar.total() > Duration::ZERO);
             assert!(bar.candidates > 0);
         }
+    }
+
+    #[test]
+    fn observed_run_exports_balanced_trace() {
+        // The bench phases are spans on the shared observer clock: the
+        // durations in the bars and the exported Chrome trace agree, and
+        // the trace validates (balanced B/E pairs).
+        let oracle = PerceptionOracle::default();
+        let ltr = offline_ltr(0.03, &oracle);
+        let table = flight_table(4, 200);
+        let obs = Observer::enabled();
+        let bars = run_table_observed(&table, &ltr, 5, &obs);
+        assert_eq!(bars.len(), 4);
+        // Two enumerate spans + four select spans.
+        let spans = obs.finished_spans();
+        assert_eq!(spans.len(), 6);
+        let trace = obs.chrome_trace_json();
+        let summary = deepeye_obs::validate_chrome_trace(&trace).expect("trace validates");
+        assert_eq!(summary.spans, 6);
+        // Bar timings come from those spans, so stage totals must match.
+        let enum_total: Duration = bars.iter().map(|b| b.enumerate_time).sum::<Duration>();
+        // Each enumerate span is shared by two bars: the distinct span sum
+        // is half the per-bar sum.
+        let span_total =
+            obs.stage_duration("enumerate.exhaustive") + obs.stage_duration("enumerate.rules");
+        assert_eq!(enum_total, span_total + span_total);
     }
 }

@@ -5,11 +5,12 @@
 use crate::node::VisNode;
 use crate::partial_order::compute_factors;
 use crate::progressive::ProgressiveSelector;
-use crate::ranking::{rank_by_partial_order, HybridRanker, LtrRanker};
+use crate::ranking::{rank_by_partial_order_observed, HybridRanker, LtrRanker};
 use crate::recognition::Recognizer;
 use crate::rules;
 use deepeye_data::Table;
-use deepeye_query::{valid_queries, UdfRegistry, VisQuery};
+use deepeye_obs::Observer;
+use deepeye_query::{valid_queries_observed, UdfRegistry, VisQuery};
 
 /// How candidate visualizations are enumerated (the `E`/`R` split of the
 /// efficiency experiment, Figure 12).
@@ -47,6 +48,11 @@ pub struct DeepEyeConfig {
     /// Execute candidate queries across threads (§VI-D: the task is
     /// "trivially parallelizable"). Output is identical either way.
     pub parallel: bool,
+    /// Observability hook: spans, counters, and latency histograms for
+    /// every pipeline stage. Defaults to [`Observer::disabled`], which
+    /// costs one branch per instrumentation site and allocates nothing —
+    /// pass [`Observer::enabled`] to collect and export.
+    pub observer: Observer,
 }
 
 impl Default for DeepEyeConfig {
@@ -56,6 +62,7 @@ impl Default for DeepEyeConfig {
             recognizer: None,
             ranking: RankingMethod::default(),
             parallel: true,
+            observer: Observer::disabled(),
         }
     }
 }
@@ -193,29 +200,38 @@ impl DeepEye {
     /// Enumerate, execute, and (optionally) classifier-filter the candidate
     /// nodes of a table.
     pub fn candidates(&self, table: &Table) -> Vec<VisNode> {
-        let queries: Vec<VisQuery> = match self.config.enumeration {
-            // The statically-executable subset: identical resulting nodes
-            // (ill-typed queries would only fail execution below), minus
-            // the wasted error paths.
-            EnumerationMode::Exhaustive => valid_queries(table, &self.udfs).collect(),
-            EnumerationMode::RuleBased => rules::rule_based_queries(table),
-        };
-        let nodes = if self.config.parallel {
-            crate::parallel::build_nodes_parallel(table, queries, &self.udfs, false)
-        } else {
-            let mut nodes: Vec<VisNode> = Vec::new();
-            let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
-            for query in queries {
-                if let Ok(node) = VisNode::build(table, query, &self.udfs) {
-                    if seen.insert(node.id()) {
-                        nodes.push(node);
-                    }
+        let obs = &self.config.observer;
+        let queries: Vec<VisQuery> = {
+            let _enumerate = obs.span("pipeline.enumerate");
+            match self.config.enumeration {
+                // The statically-executable subset: identical resulting nodes
+                // (ill-typed queries would only fail execution below), minus
+                // the wasted error paths.
+                EnumerationMode::Exhaustive => {
+                    valid_queries_observed(table, &self.udfs, obs).collect()
+                }
+                EnumerationMode::RuleBased => {
+                    let qs = rules::rule_based_queries(table);
+                    obs.incr("enumerate.candidates", qs.len() as u64);
+                    qs
                 }
             }
-            nodes
+        };
+        let nodes = {
+            let execute = obs.span("pipeline.execute");
+            let parent = execute.id();
+            if self.config.parallel {
+                crate::parallel::build_nodes_parallel_observed(
+                    table, queries, &self.udfs, false, obs, parent,
+                )
+            } else {
+                crate::parallel::build_nodes_serial_observed(
+                    table, queries, &self.udfs, false, obs, parent,
+                )
+            }
         };
         match &self.config.recognizer {
-            Some(r) => r.filter_good(nodes),
+            Some(r) => r.filter_good_observed(nodes, obs),
             None => nodes,
         }
     }
@@ -231,6 +247,7 @@ impl DeepEye {
     /// ground truth labels every executable candidate, like the paper's
     /// annotators did.
     pub fn recommend(&self, table: &Table, k: usize) -> Vec<Recommendation> {
+        let _recommend = self.config.observer.span("pipeline.recommend");
         let nodes: Vec<VisNode> = self
             .candidates(table)
             .into_iter()
@@ -249,11 +266,14 @@ impl DeepEye {
         if nodes.is_empty() {
             return Vec::new();
         }
+        let obs = &self.config.observer;
+        let _rank = obs.span("pipeline.rank");
+        obs.incr("rank.nodes", nodes.len() as u64);
         let factors = compute_factors(&nodes);
         let order: Vec<usize> = match &self.config.ranking {
-            RankingMethod::PartialOrder => rank_by_partial_order(&nodes),
-            RankingMethod::LearningToRank(ltr) => ltr.rank(&nodes),
-            RankingMethod::Hybrid(ltr, hybrid) => hybrid.rank(ltr, &nodes),
+            RankingMethod::PartialOrder => rank_by_partial_order_observed(&nodes, obs),
+            RankingMethod::LearningToRank(ltr) => ltr.rank_observed(&nodes, obs),
+            RankingMethod::Hybrid(ltr, hybrid) => hybrid.rank_observed(ltr, &nodes, obs),
         };
         let variant_key = |n: &VisNode| {
             format!(
@@ -298,8 +318,10 @@ impl DeepEye {
     /// global graph). Best when only a handful of charts is needed from a
     /// wide table.
     pub fn recommend_progressive(&self, table: &Table, k: usize) -> Vec<Recommendation> {
+        let obs = &self.config.observer;
+        let _progressive = obs.span("pipeline.progressive");
         let selector = ProgressiveSelector::new(table, &self.udfs);
-        let (scored, _) = selector.top_k(k);
+        let (scored, _) = selector.top_k_observed(k, obs);
         scored
             .into_iter()
             .enumerate()

@@ -66,13 +66,18 @@ pub use multi_select::{
     MultiYRecommendation, AXIS_COMPAT_THRESHOLD, MAX_SERIES,
 };
 pub use node::VisNode;
-pub use parallel::build_nodes_parallel;
+pub use parallel::{
+    build_nodes_parallel, build_nodes_parallel_observed, build_nodes_serial_observed,
+};
 pub use partial_order::{compute_factors, Factors};
 pub use progressive::{
-    canonical_candidates, exhaustive_top_k, ProgressiveSelector, ScoredNode, SelectionStats,
+    canonical_candidates, exhaustive_top_k, exhaustive_top_k_parallel, ProgressiveSelector,
+    ScoredNode, SelectionStats,
 };
 pub use range_tree::{build_with_range_tree, RangeTree3};
-pub use ranking::{rank_by_partial_order, HybridRanker, LtrRanker, RankingExample};
+pub use ranking::{
+    rank_by_partial_order, rank_by_partial_order_observed, HybridRanker, LtrRanker, RankingExample,
+};
 pub use recognition::{ClassifierKind, LabeledExample, Recognizer};
 pub use render::vega_lite_spec;
 pub use similarity::{find_similar_to_chart, find_similar_to_shape, shape_distance, SimilarityHit};

@@ -6,12 +6,14 @@
 
 use crate::node::VisNode;
 use deepeye_data::Table;
+use deepeye_obs::{Observer, SpanId};
 use deepeye_query::{UdfRegistry, VisQuery};
 use std::num::NonZeroUsize;
+use std::time::Instant;
 
 /// Number of worker threads to use: the available parallelism, capped by
 /// the work size (no point spawning more threads than queries).
-fn worker_count(work_items: usize) -> usize {
+pub(crate) fn worker_count(work_items: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1);
@@ -27,9 +29,26 @@ pub fn build_nodes_parallel(
     udfs: &UdfRegistry,
     slim: bool,
 ) -> Vec<VisNode> {
+    build_nodes_parallel_observed(table, queries, udfs, slim, &Observer::disabled(), None)
+}
+
+/// [`build_nodes_parallel`] with observability. Each worker thread runs
+/// under an `execute.worker` span parented to `parent` (normally the
+/// caller's `pipeline.execute` stage span — passing the parent explicitly
+/// is what merges worker spans under the right stage across threads), and
+/// per-query build latencies are buffered locally and flushed into the
+/// `exec.query_ns` histogram once per chunk.
+pub fn build_nodes_parallel_observed(
+    table: &Table,
+    queries: Vec<VisQuery>,
+    udfs: &UdfRegistry,
+    slim: bool,
+    obs: &Observer,
+    parent: Option<SpanId>,
+) -> Vec<VisNode> {
     let workers = worker_count(queries.len());
     if workers <= 1 || queries.len() < 32 {
-        return build_serial(table, queries, udfs, slim);
+        return build_nodes_serial_observed(table, queries, udfs, slim, obs, parent);
     }
     let chunk = queries.len().div_ceil(workers);
     let chunks: Vec<&[VisQuery]> = queries.chunks(chunk).collect();
@@ -38,17 +57,10 @@ pub fn build_nodes_parallel(
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
+                let obs = obs.clone();
                 scope.spawn(move || {
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for q in chunk {
-                        if let Ok(mut node) = VisNode::build(table, q.clone(), udfs) {
-                            if slim {
-                                node.slim();
-                            }
-                            out.push(node);
-                        }
-                    }
-                    out
+                    let _worker = obs.span_under("execute.worker", parent);
+                    build_chunk(table, chunk, udfs, slim, &obs)
                 })
             })
             .collect();
@@ -70,25 +82,82 @@ pub fn build_nodes_parallel(
     nodes
 }
 
+/// Serial fallback with the same observability contract as the parallel
+/// path (one `execute.worker` span, batched latency flush).
+pub fn build_nodes_serial_observed(
+    table: &Table,
+    queries: Vec<VisQuery>,
+    udfs: &UdfRegistry,
+    slim: bool,
+    obs: &Observer,
+    parent: Option<SpanId>,
+) -> Vec<VisNode> {
+    let _worker = obs.span_under("execute.worker", parent);
+    let built = build_chunk(table, &queries, udfs, slim, obs);
+    let mut seen = std::collections::HashSet::new();
+    let mut nodes = Vec::new();
+    for node in built {
+        if seen.insert(node.id()) {
+            nodes.push(node);
+        }
+    }
+    nodes
+}
+
+/// Build one chunk of queries. When the observer is enabled, per-query
+/// latencies are collected locally (no per-query locking) and flushed in
+/// one batch; when disabled, this is the bare build loop with zero
+/// observability work.
+fn build_chunk(
+    table: &Table,
+    chunk: &[VisQuery],
+    udfs: &UdfRegistry,
+    slim: bool,
+    obs: &Observer,
+) -> Vec<VisNode> {
+    let mut out = Vec::with_capacity(chunk.len());
+    if obs.is_enabled() {
+        let mut latencies = Vec::with_capacity(chunk.len());
+        let (mut ok, mut err) = (0u64, 0u64);
+        for q in chunk {
+            let start = Instant::now();
+            let built = VisNode::build(table, q.clone(), udfs);
+            latencies.push(start.elapsed().as_nanos() as u64);
+            match built {
+                Ok(mut node) => {
+                    if slim {
+                        node.slim();
+                    }
+                    ok += 1;
+                    out.push(node);
+                }
+                Err(_) => err += 1,
+            }
+        }
+        obs.record_many_ns("exec.query_ns", &latencies);
+        obs.incr("exec.ok", ok);
+        obs.incr("exec.err", err);
+    } else {
+        for q in chunk {
+            if let Ok(mut node) = VisNode::build(table, q.clone(), udfs) {
+                if slim {
+                    node.slim();
+                }
+                out.push(node);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
 fn build_serial(
     table: &Table,
     queries: Vec<VisQuery>,
     udfs: &UdfRegistry,
     slim: bool,
 ) -> Vec<VisNode> {
-    let mut seen = std::collections::HashSet::new();
-    let mut nodes = Vec::new();
-    for q in queries {
-        if let Ok(mut node) = VisNode::build(table, q, udfs) {
-            if slim {
-                node.slim();
-            }
-            if seen.insert(node.id()) {
-                nodes.push(node);
-            }
-        }
-    }
-    nodes
+    build_nodes_serial_observed(table, queries, udfs, slim, &Observer::disabled(), None)
 }
 
 #[cfg(test)]

@@ -40,12 +40,35 @@ pub struct ScoredNode {
 pub struct SelectionStats {
     /// Leaves (columns) actually materialized.
     pub leaves_materialized: usize,
+    /// Leaves evicted by their bound: still in the heap unmaterialized when
+    /// the tournament filled the top-k (their optimistic bound never beat a
+    /// realized score, so their columns were never scanned).
+    pub leaves_pruned: usize,
     /// Total leaves (columns with any candidate).
     pub leaves_total: usize,
     /// Candidate nodes generated.
     pub nodes_generated: usize,
     /// Table scans performed (one per materialized (column, transform)).
     pub shared_scans: usize,
+}
+
+impl SelectionStats {
+    /// Fold another stats block into this one, field by field. Worker
+    /// threads keep local counters and merge on join; the merged totals
+    /// must equal a sequential run's (see the `parallel_stats_merge` test).
+    pub fn merge(&mut self, other: &SelectionStats) {
+        self.leaves_materialized += other.leaves_materialized;
+        self.leaves_pruned += other.leaves_pruned;
+        self.leaves_total += other.leaves_total;
+        self.nodes_generated += other.nodes_generated;
+        self.shared_scans += other.shared_scans;
+    }
+}
+
+impl std::ops::AddAssign for SelectionStats {
+    fn add_assign(&mut self, rhs: SelectionStats) {
+        self.merge(&rhs);
+    }
 }
 
 /// The canonical ORDER BY for a chart in progressive mode: sortable
@@ -157,6 +180,19 @@ impl<'a> ProgressiveSelector<'a> {
 
     /// Compute the top-k visualizations progressively.
     pub fn top_k(&self, k: usize) -> (Vec<ScoredNode>, SelectionStats) {
+        self.top_k_observed(k, &deepeye_obs::Observer::disabled())
+    }
+
+    /// [`ProgressiveSelector::top_k`] with observability: runs under a
+    /// `progressive.top_k` span, times each leaf materialization into the
+    /// `progressive.leaf_ns` histogram, and mirrors the final
+    /// [`SelectionStats`] into `progressive.*` counters.
+    pub fn top_k_observed(
+        &self,
+        k: usize,
+        obs: &deepeye_obs::Observer,
+    ) -> (Vec<ScoredNode>, SelectionStats) {
+        let _span = obs.span("progressive.top_k");
         let (by_column, max_w) = self.candidates_by_column();
         let mut stats = SelectionStats::default();
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
@@ -183,7 +219,9 @@ impl<'a> ProgressiveSelector<'a> {
                 }
                 Some(Entry::Leaf { column, .. }) => {
                     stats.leaves_materialized += 1;
+                    let leaf_timer = obs.timer("progressive.leaf_ns");
                     let nodes = self.materialize_column(&by_column[column], max_w, &mut stats);
+                    drop(leaf_timer);
                     for scored in nodes {
                         let seq = materialized.len();
                         heap.push(Entry::Node {
@@ -195,6 +233,22 @@ impl<'a> ProgressiveSelector<'a> {
                 }
             }
         }
+
+        // Leaves still in the heap were evicted by their bound: the top-k
+        // filled before their optimistic score surfaced, so their columns
+        // were never scanned (§V-B optimization 2).
+        stats.leaves_pruned = heap
+            .iter()
+            .filter(|e| matches!(e, Entry::Leaf { .. }))
+            .count();
+        obs.incr(
+            "progressive.leaves_materialized",
+            stats.leaves_materialized as u64,
+        );
+        obs.incr("progressive.leaves_pruned", stats.leaves_pruned as u64);
+        obs.incr("progressive.leaves_total", stats.leaves_total as u64);
+        obs.incr("progressive.nodes_generated", stats.nodes_generated as u64);
+        obs.incr("progressive.shared_scans", stats.shared_scans as u64);
 
         // Optimization 3: apply the postponed ORDER BY to the winners only.
         for scored in &mut out {
@@ -470,6 +524,62 @@ pub fn exhaustive_top_k(
     (all, stats)
 }
 
+/// [`exhaustive_top_k`] with columns materialized across worker threads.
+/// Each worker keeps a local [`SelectionStats`] merged on join with
+/// [`SelectionStats::merge`]; the merged totals and the returned top-k are
+/// identical to the sequential run's.
+pub fn exhaustive_top_k_parallel(
+    table: &Table,
+    udfs: &UdfRegistry,
+    k: usize,
+) -> (Vec<ScoredNode>, SelectionStats) {
+    let selector = ProgressiveSelector::new(table, udfs);
+    let (by_column, max_w) = selector.candidates_by_column();
+    let occupied: Vec<&Vec<Candidate>> = by_column.iter().filter(|c| !c.is_empty()).collect();
+    let workers = crate::parallel::worker_count(occupied.len());
+    let chunk = occupied.len().div_ceil(workers.max(1)).max(1);
+    let mut stats = SelectionStats::default();
+    let mut all: Vec<ScoredNode> = Vec::new();
+    std::thread::scope(|scope| {
+        let selector = &selector;
+        let handles: Vec<_> = occupied
+            .chunks(chunk)
+            .map(|cols| {
+                scope.spawn(move || {
+                    let mut local_stats = SelectionStats::default();
+                    let mut local_nodes = Vec::new();
+                    for cands in cols {
+                        local_stats.leaves_total += 1;
+                        local_stats.leaves_materialized += 1;
+                        local_nodes.extend(selector.materialize_column(
+                            cands,
+                            max_w,
+                            &mut local_stats,
+                        ));
+                    }
+                    (local_nodes, local_stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Ok((nodes, local)) = h.join() {
+                all.extend(nodes);
+                stats += local;
+            }
+        }
+    });
+    all.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.node.id().cmp(&b.node.id()))
+    });
+    all.truncate(k);
+    for scored in &mut all {
+        apply_order(&mut scored.node);
+    }
+    (all, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,5 +718,122 @@ mod tests {
         let (top, stats) = ProgressiveSelector::new(&t, &udfs).top_k(10_000);
         assert_eq!(top.len(), stats.nodes_generated);
         assert_eq!(stats.leaves_materialized, stats.leaves_total);
+        assert_eq!(stats.leaves_pruned, 0);
+    }
+
+    #[test]
+    fn parallel_stats_merge_equals_sequential() {
+        // Satellite: per-worker SelectionStats merged with += must report
+        // exactly the totals of a sequential exhaustive run, and the ranked
+        // output must be identical.
+        let t = mixed_table();
+        let udfs = UdfRegistry::default();
+        let (seq, seq_stats) = exhaustive_top_k(&t, &udfs, 50);
+        let (par, par_stats) = exhaustive_top_k_parallel(&t, &udfs, 50);
+        assert_eq!(seq_stats, par_stats);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.node.id(), b.node.id());
+            assert!((a.score - b.score).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn stats_merge_is_fieldwise_sum() {
+        let a = SelectionStats {
+            leaves_materialized: 1,
+            leaves_pruned: 2,
+            leaves_total: 3,
+            nodes_generated: 4,
+            shared_scans: 5,
+        };
+        let b = SelectionStats {
+            leaves_materialized: 10,
+            leaves_pruned: 20,
+            leaves_total: 30,
+            nodes_generated: 40,
+            shared_scans: 50,
+        };
+        let mut sum = a;
+        sum += b;
+        assert_eq!(
+            sum,
+            SelectionStats {
+                leaves_materialized: 11,
+                leaves_pruned: 22,
+                leaves_total: 33,
+                nodes_generated: 44,
+                shared_scans: 55,
+            }
+        );
+        let mut via_merge = a;
+        via_merge.merge(&b);
+        assert_eq!(sum, via_merge);
+    }
+
+    #[test]
+    fn leaf_accounting_is_exact() {
+        // Golden test: materialized + pruned must equal the leaves the
+        // exhaustive path enumerates — which is the number of distinct
+        // x-columns in the canonical candidate set. Nothing is silently
+        // dropped or double-counted, at any k.
+        let t = mixed_table();
+        let udfs = UdfRegistry::default();
+        let expected_leaves: std::collections::HashSet<String> = canonical_candidates(&t)
+            .iter()
+            .map(|q| q.x.clone())
+            .collect();
+        let (_, exh_stats) = exhaustive_top_k(&t, &udfs, 1);
+        assert_eq!(exh_stats.leaves_total, expected_leaves.len());
+        let selector = ProgressiveSelector::new(&t, &udfs);
+        for k in [1usize, 2, 3, 5, 10, 100, 10_000] {
+            let (_, stats) = selector.top_k(k);
+            assert_eq!(
+                stats.leaves_materialized + stats.leaves_pruned,
+                stats.leaves_total,
+                "k={k}: {stats:?}"
+            );
+            assert_eq!(stats.leaves_total, exh_stats.leaves_total, "k={k}");
+        }
+        // Small k on a wide table must actually prune something.
+        let (_, stats) = selector.top_k(1);
+        assert!(stats.leaves_pruned > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn observed_top_k_counters_match_stats() {
+        let t = mixed_table();
+        let udfs = UdfRegistry::default();
+        let obs = deepeye_obs::Observer::enabled();
+        let selector = ProgressiveSelector::new(&t, &udfs);
+        let (top, stats) = selector.top_k_observed(3, &obs);
+        let (plain, plain_stats) = selector.top_k(3);
+        assert_eq!(top.len(), plain.len());
+        assert_eq!(stats, plain_stats);
+        assert_eq!(
+            obs.counter("progressive.leaves_materialized"),
+            stats.leaves_materialized as u64
+        );
+        assert_eq!(
+            obs.counter("progressive.leaves_pruned"),
+            stats.leaves_pruned as u64
+        );
+        assert_eq!(
+            obs.counter("progressive.leaves_total"),
+            stats.leaves_total as u64
+        );
+        assert_eq!(
+            obs.counter("progressive.nodes_generated"),
+            stats.nodes_generated as u64
+        );
+        assert_eq!(
+            obs.counter("progressive.shared_scans"),
+            stats.shared_scans as u64
+        );
+        let snap = obs.snapshot();
+        let leaf_hist = snap.hist("progressive.leaf_ns");
+        assert!(leaf_hist.is_some_and(|h| h.count == stats.leaves_materialized as u64));
+        assert_eq!(obs.finished_spans().len(), 1);
+        assert_eq!(obs.finished_spans()[0].name, "progressive.top_k");
     }
 }

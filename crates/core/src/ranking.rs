@@ -28,6 +28,15 @@ pub fn rank_by_partial_order(nodes: &[VisNode]) -> Vec<usize> {
     order
 }
 
+/// [`rank_by_partial_order`] under a `rank.partial_order` span.
+pub fn rank_by_partial_order_observed(
+    nodes: &[VisNode],
+    obs: &deepeye_obs::Observer,
+) -> Vec<usize> {
+    let _span = obs.span("rank.partial_order");
+    rank_by_partial_order(nodes)
+}
+
 /// A trained learning-to-rank model over visualization nodes.
 #[derive(Debug, Clone)]
 pub struct LtrRanker {
@@ -75,6 +84,12 @@ impl LtrRanker {
         let mut order: Vec<usize> = (0..nodes.len()).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         order
+    }
+
+    /// [`LtrRanker::rank`] under a `rank.ltr` span.
+    pub fn rank_observed(&self, nodes: &[VisNode], obs: &deepeye_obs::Observer) -> Vec<usize> {
+        let _span = obs.span("rank.ltr");
+        self.rank(nodes)
     }
 
     /// Rank arbitrary feature vectors best-first. Exact score ties (e.g.
@@ -155,6 +170,20 @@ impl HybridRanker {
     pub fn rank(&self, ltr: &LtrRanker, nodes: &[VisNode]) -> Vec<usize> {
         let ltr_order = ltr.rank(nodes);
         let po_order = rank_by_partial_order(nodes);
+        self.combine(&ltr_order, &po_order)
+    }
+
+    /// [`HybridRanker::rank`] under a `rank.hybrid` span, with the two
+    /// component rankings as observed child spans.
+    pub fn rank_observed(
+        &self,
+        ltr: &LtrRanker,
+        nodes: &[VisNode],
+        obs: &deepeye_obs::Observer,
+    ) -> Vec<usize> {
+        let _span = obs.span("rank.hybrid");
+        let ltr_order = ltr.rank_observed(nodes, obs);
+        let po_order = rank_by_partial_order_observed(nodes, obs);
         self.combine(&ltr_order, &po_order)
     }
 

@@ -110,6 +110,21 @@ impl Recognizer {
         nodes.into_iter().filter(|n| self.is_good(n)).collect()
     }
 
+    /// [`Recognizer::filter_good`] under a `pipeline.recognize` span,
+    /// counting `recognize.kept` / `recognize.rejected`.
+    pub fn filter_good_observed(
+        &self,
+        nodes: Vec<VisNode>,
+        obs: &deepeye_obs::Observer,
+    ) -> Vec<VisNode> {
+        let _span = obs.span("pipeline.recognize");
+        let total = nodes.len() as u64;
+        let kept = self.filter_good(nodes);
+        obs.incr("recognize.kept", kept.len() as u64);
+        obs.incr("recognize.rejected", total - kept.len() as u64);
+        kept
+    }
+
     /// Serialize the trained recognizer (see `deepeye_ml::persist`).
     pub fn to_text(&self) -> String {
         let (tag, body) = match &self.model {

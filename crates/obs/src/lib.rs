@@ -1,0 +1,53 @@
+//! # deepeye-obs
+//!
+//! Lightweight observability for the DeepEye pipeline: hierarchical spans
+//! on a monotonic clock, counters, log-scale latency histograms, and three
+//! exporters — a human-readable per-stage report, a JSON metrics snapshot,
+//! and Chrome trace-event JSON loadable in `chrome://tracing` / Perfetto.
+//!
+//! Like the other external stand-ins in this workspace (`vendor/*`), the
+//! crate is dependency-free: the build environment has no crates.io
+//! access, so no `tracing`/`serde` — a small purpose-built layer instead.
+//!
+//! ## Design
+//!
+//! The central type is [`Observer`], a cheaply cloneable handle that is
+//! either **enabled** (shares an `Arc`'d recorder; clones record into the
+//! same sink) or **disabled** (holds nothing). Every recording method on a
+//! disabled observer is a single `Option` check — the pipeline carries an
+//! observer unconditionally and pays nothing when nobody is listening.
+//!
+//! Spans are RAII guards: [`Observer::span`] starts one, dropping the
+//! guard ends it. A per-thread span stack supplies parents automatically;
+//! work shipped to worker threads passes the parent explicitly via
+//! [`Observer::span_under`] so cross-thread children merge under the right
+//! stage (see `deepeye_core::parallel`).
+//!
+//! ```
+//! use deepeye_obs::Observer;
+//!
+//! let obs = Observer::enabled();
+//! {
+//!     let _stage = obs.span("pipeline.enumerate");
+//!     obs.incr("enumerate.candidates", 42);
+//!     obs.record_ns("exec.query_ns", 1_500);
+//! }
+//! let snapshot = obs.snapshot();
+//! assert_eq!(snapshot.counter("enumerate.candidates"), 42);
+//! assert!(obs.stage_report().contains("pipeline.enumerate"));
+//! deepeye_obs::validate_chrome_trace(&obs.chrome_trace_json()).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod json;
+pub mod observer;
+pub mod report;
+pub mod trace;
+
+pub use hist::{HistSummary, Histogram};
+pub use json::{parse_json, Json, JsonError};
+pub use observer::{HistTimer, Observer, SpanGuard, SpanId, SpanRecord};
+pub use report::{fmt_duration, Snapshot, StageAgg};
+pub use trace::{validate_chrome_trace, TraceSummary};

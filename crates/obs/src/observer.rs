@@ -1,0 +1,537 @@
+//! The [`Observer`] handle: spans, counters, and histograms behind a
+//! single `Option` check.
+//!
+//! An enabled observer shares one `Arc`'d recorder between clones — the
+//! pipeline stores one in `DeepEyeConfig`, hands clones to worker
+//! threads, and every recording lands in the same sink. A disabled
+//! observer holds nothing: every method is a branch on `None`, so
+//! carrying one through the hot path costs nothing when tracing is off.
+
+use crate::hist::Histogram;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Identifier of a recorded span, usable as an explicit parent for spans
+/// started on other threads ([`Observer::span_under`]).
+pub type SpanId = u64;
+
+/// A finished span as stored by the recorder.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub id: SpanId,
+    pub parent: Option<SpanId>,
+    pub name: &'static str,
+    /// Logical thread id (stable per OS thread, assigned on first use).
+    pub tid: u64,
+    /// Start offset from the observer's origin, nanoseconds.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Global order of the begin/end moments; the trace exporter replays
+    /// these to emit exactly the interleaving that happened, which keeps
+    /// B/E events balanced even under timestamp ties.
+    pub begin_seq: u64,
+    pub end_seq: u64,
+}
+
+pub(crate) struct State {
+    pub spans: Vec<SpanRecord>,
+    pub counters: BTreeMap<&'static str, u64>,
+    pub hists: BTreeMap<&'static str, Histogram>,
+}
+
+pub(crate) struct Inner {
+    origin: Instant,
+    next_id: AtomicU64,
+    seq: AtomicU64,
+    state: Mutex<State>,
+}
+
+impl Inner {
+    pub(crate) fn lock(&self) -> MutexGuard<'_, State> {
+        // A poisoned lock only means a panicking thread held it; the
+        // recorder's data is append-only and still usable.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stable per-thread id for trace lanes.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Per-thread stack of open spans: (observer token, span id). The
+    /// token distinguishes concurrently live observers so one observer's
+    /// spans never become parents of another's.
+    static SPAN_STACK: RefCell<Vec<(usize, SpanId)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// The observability handle. See the crate docs for the overall model.
+#[derive(Clone, Default)]
+pub struct Observer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.inner.is_some() {
+            "Observer(enabled)"
+        } else {
+            "Observer(disabled)"
+        })
+    }
+}
+
+impl Observer {
+    /// An observer that records. Clones share the same recorder.
+    pub fn enabled() -> Self {
+        Observer {
+            inner: Some(Arc::new(Inner {
+                origin: Instant::now(),
+                next_id: AtomicU64::new(1),
+                seq: AtomicU64::new(1),
+                state: Mutex::new(State {
+                    spans: Vec::new(),
+                    counters: BTreeMap::new(),
+                    hists: BTreeMap::new(),
+                }),
+            })),
+        }
+    }
+
+    /// The no-op observer (also `Default`): every method is a single
+    /// branch, no allocation, no clock reads.
+    pub fn disabled() -> Self {
+        Observer { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn token(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|inner| Arc::as_ptr(inner) as usize)
+            .unwrap_or(0)
+    }
+
+    /// Start a span; it ends when the returned guard drops. The parent is
+    /// the innermost open span of this observer on the current thread.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let parent = self.inner.as_ref().and_then(|_| {
+            let token = self.token();
+            SPAN_STACK.with(|stack| {
+                stack
+                    .borrow()
+                    .iter()
+                    .rev()
+                    .find(|(t, _)| *t == token)
+                    .map(|&(_, id)| id)
+            })
+        });
+        self.span_under(name, parent)
+    }
+
+    /// Start a span under an explicit parent (e.g. a stage span owned by
+    /// another thread). `parent: None` makes a root span.
+    pub fn span_under(&self, name: &'static str, parent: Option<SpanId>) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { ctx: None };
+        };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let begin_seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let token = self.token();
+        SPAN_STACK.with(|stack| stack.borrow_mut().push((token, id)));
+        SpanGuard {
+            ctx: Some(SpanCtx {
+                inner: Arc::clone(inner),
+                token,
+                id,
+                parent,
+                name,
+                tid: current_tid(),
+                start_ns: inner.origin.elapsed().as_nanos() as u64,
+                begin_seq,
+            }),
+        }
+    }
+
+    /// Add `by` to a named counter.
+    pub fn incr(&self, name: &'static str, by: u64) {
+        if let Some(inner) = &self.inner {
+            *inner.lock().counters.entry(name).or_insert(0) += by;
+        }
+    }
+
+    /// Record one sample into a named histogram.
+    pub fn record_ns(&self, name: &'static str, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.lock().hists.entry(name).or_default().record(ns);
+        }
+    }
+
+    /// Record a batch of samples with one lock acquisition — worker
+    /// threads buffer per-query latencies locally and flush once.
+    pub fn record_many_ns(&self, name: &'static str, samples: &[u64]) {
+        if samples.is_empty() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let mut state = inner.lock();
+            let hist = state.hists.entry(name).or_default();
+            for &ns in samples {
+                hist.record(ns);
+            }
+        }
+    }
+
+    /// Time a region into a histogram: the sample is recorded when the
+    /// returned guard drops. No-op (no clock read) when disabled.
+    pub fn timer(&self, name: &'static str) -> HistTimer {
+        HistTimer {
+            ctx: self
+                .inner
+                .as_ref()
+                .map(|inner| (Arc::clone(inner), name, Instant::now())),
+        }
+    }
+
+    /// Current value of a counter (0 if never incremented or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.lock().counters.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// Total recorded duration of all finished spans with this name.
+    pub fn stage_duration(&self, name: &str) -> Duration {
+        let Some(inner) = &self.inner else {
+            return Duration::ZERO;
+        };
+        let ns: u64 = inner
+            .lock()
+            .spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum();
+        Duration::from_nanos(ns)
+    }
+
+    /// Duration of one finished span by id (`None` while it is open, when
+    /// the id is unknown, or when disabled).
+    pub fn span_duration(&self, id: SpanId) -> Option<Duration> {
+        let inner = self.inner.as_ref()?;
+        inner
+            .lock()
+            .spans
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| Duration::from_nanos(s.dur_ns))
+    }
+
+    /// All finished spans (empty when disabled).
+    pub fn finished_spans(&self) -> Vec<SpanRecord> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.lock().spans.clone())
+            .unwrap_or_default()
+    }
+
+    /// Point-in-time aggregate of everything recorded so far.
+    pub fn snapshot(&self) -> crate::report::Snapshot {
+        let Some(inner) = &self.inner else {
+            return crate::report::Snapshot::default();
+        };
+        let state = inner.lock();
+        crate::report::Snapshot::build(&state.spans, &state.counters, &state.hists)
+    }
+
+    /// Human-readable per-stage report (span tree, counters, histograms).
+    pub fn stage_report(&self) -> String {
+        self.snapshot().stage_report()
+    }
+
+    /// JSON metrics snapshot (counters, histogram summaries, span
+    /// aggregates by path).
+    pub fn metrics_json(&self) -> String {
+        self.snapshot().metrics_json()
+    }
+
+    /// Chrome trace-event JSON of all finished spans, loadable in
+    /// `chrome://tracing` or Perfetto.
+    pub fn chrome_trace_json(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return crate::trace::chrome_trace_json(&[]);
+        };
+        let spans = inner.lock().spans.clone();
+        crate::trace::chrome_trace_json(&spans)
+    }
+}
+
+struct SpanCtx {
+    inner: Arc<Inner>,
+    token: usize,
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: &'static str,
+    tid: u64,
+    start_ns: u64,
+    begin_seq: u64,
+}
+
+/// RAII guard for an open span; the span is recorded when this drops.
+#[must_use = "a span ends when its guard drops — binding to `_` ends it immediately"]
+pub struct SpanGuard {
+    ctx: Option<SpanCtx>,
+}
+
+impl SpanGuard {
+    /// Id of this span for use as an explicit cross-thread parent.
+    /// `None` when the observer is disabled.
+    pub fn id(&self) -> Option<SpanId> {
+        self.ctx.as_ref().map(|c| c.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(ctx) = self.ctx.take() else { return };
+        // End time on the same monotonic origin as the start: begin/end
+        // timestamps of successive spans on one thread can then never
+        // regress, which the trace validator checks per lane.
+        let end_ns = ctx.inner.origin.elapsed().as_nanos() as u64;
+        let dur_ns = end_ns.saturating_sub(ctx.start_ns);
+        let end_seq = ctx.inner.seq.fetch_add(1, Ordering::Relaxed);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Usually the top entry; search backwards to stay correct if
+            // guards are dropped out of order.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(t, id)| t == ctx.token && id == ctx.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        ctx.inner.lock().spans.push(SpanRecord {
+            id: ctx.id,
+            parent: ctx.parent,
+            name: ctx.name,
+            tid: ctx.tid,
+            start_ns: ctx.start_ns,
+            dur_ns,
+            begin_seq: ctx.begin_seq,
+            end_seq,
+        });
+    }
+}
+
+/// RAII guard from [`Observer::timer`]: records the elapsed time into a
+/// histogram on drop.
+#[must_use = "a timer records when its guard drops — binding to `_` records immediately"]
+pub struct HistTimer {
+    ctx: Option<(Arc<Inner>, &'static str, Instant)>,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        if let Some((inner, name, start)) = self.ctx.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            inner.lock().hists.entry(name).or_default().record(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_records_nothing() {
+        let obs = Observer::disabled();
+        assert!(!obs.is_enabled());
+        {
+            let guard = obs.span("never");
+            assert_eq!(guard.id(), None);
+            obs.incr("c", 5);
+            obs.record_ns("h", 100);
+            let _t = obs.timer("h");
+        }
+        assert_eq!(obs.counter("c"), 0);
+        assert!(obs.finished_spans().is_empty());
+        let snap = obs.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.hists.is_empty());
+        assert!(snap.stages.is_empty());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Observer::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let obs = Observer::enabled();
+        {
+            let outer = obs.span("outer");
+            let outer_id = outer.id();
+            {
+                let _inner = obs.span("inner");
+            }
+            assert!(outer_id.is_some());
+        }
+        let spans = obs.finished_spans();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").map(|s| s.parent);
+        let outer = spans.iter().find(|s| s.name == "outer").cloned();
+        assert_eq!(inner.flatten(), outer.as_ref().map(|s| s.id));
+        assert_eq!(outer.and_then(|s| s.parent), None);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let obs = Observer::enabled();
+        let root = obs.span("root");
+        let root_id = root.id();
+        {
+            let _a = obs.span("a");
+        }
+        {
+            let _b = obs.span("b");
+        }
+        drop(root);
+        let spans = obs.finished_spans();
+        for name in ["a", "b"] {
+            let s = spans.iter().find(|s| s.name == name);
+            assert_eq!(s.and_then(|s| s.parent), root_id, "{name}");
+        }
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let obs = Observer::enabled();
+        let stage = obs.span("stage");
+        let stage_id = stage.id();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    let _w = obs.span_under("worker", stage_id);
+                });
+            }
+        });
+        drop(stage);
+        let spans = obs.finished_spans();
+        let workers: Vec<_> = spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 3);
+        for w in &workers {
+            assert_eq!(w.parent, stage_id);
+        }
+        // Worker spans carry their own thread ids.
+        let stage_tid = spans
+            .iter()
+            .find(|s| s.name == "stage")
+            .map(|s| s.tid)
+            .unwrap_or(0);
+        assert!(workers.iter().all(|w| w.tid != stage_tid));
+    }
+
+    #[test]
+    fn two_observers_do_not_cross_parent() {
+        let a = Observer::enabled();
+        let b = Observer::enabled();
+        let _outer_a = a.span("a.outer");
+        {
+            let _inner_b = b.span("b.inner");
+        }
+        drop(_outer_a);
+        let b_spans = b.finished_spans();
+        assert_eq!(b_spans.len(), 1);
+        assert_eq!(b_spans[0].parent, None, "b must not parent under a's span");
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let obs = Observer::enabled();
+        obs.incr("n", 2);
+        obs.incr("n", 3);
+        obs.record_ns("lat", 10);
+        obs.record_many_ns("lat", &[20, 30]);
+        assert_eq!(obs.counter("n"), 5);
+        let snap = obs.snapshot();
+        let lat = snap.hist("lat").expect("histogram recorded");
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.sum, 60);
+    }
+
+    #[test]
+    fn timer_records_into_histogram() {
+        let obs = Observer::enabled();
+        {
+            let _t = obs.timer("work_ns");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = obs.snapshot();
+        let h = snap.hist("work_ns").expect("recorded");
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 1_000_000, "slept ≥ 1ms, got {}ns", h.max);
+    }
+
+    #[test]
+    fn stage_and_span_durations() {
+        let obs = Observer::enabled();
+        let id = {
+            let g = obs.span("stage");
+            std::thread::sleep(Duration::from_millis(1));
+            g.id()
+        };
+        assert!(obs.stage_duration("stage") >= Duration::from_millis(1));
+        assert_eq!(obs.stage_duration("missing"), Duration::ZERO);
+        let id = id.expect("enabled span has an id");
+        assert!(obs.span_duration(id).expect("finished") >= Duration::from_millis(1));
+        assert_eq!(obs.span_duration(9999), None);
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let obs = Observer::enabled();
+        let clone = obs.clone();
+        clone.incr("shared", 7);
+        {
+            let _s = clone.span("from_clone");
+        }
+        assert_eq!(obs.counter("shared"), 7);
+        assert_eq!(obs.finished_spans().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_complete() {
+        let obs = Observer::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        obs.incr("ops", 1);
+                        let _s = obs.span("op");
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.counter("ops"), 800);
+        assert_eq!(obs.finished_spans().len(), 800);
+    }
+}

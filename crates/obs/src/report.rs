@@ -1,0 +1,327 @@
+//! Aggregation and the human/JSON exporters.
+//!
+//! A [`Snapshot`] collapses raw span records into per-*path* aggregates
+//! (`pipeline.recommend/pipeline.execute/execute.worker`), carrying
+//! counters and histogram summaries alongside. The same snapshot feeds
+//! both the human-readable stage report and the JSON metrics export, so
+//! every consumer reads identical numbers.
+
+use crate::hist::{HistSummary, Histogram};
+use crate::json::escape;
+use crate::observer::{SpanId, SpanRecord};
+use std::collections::BTreeMap;
+
+/// Aggregate of all spans sharing one path (root-to-leaf name chain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageAgg {
+    /// Slash-joined name chain, e.g. `pipeline.recommend/pipeline.rank`.
+    pub path: String,
+    /// Leaf name of the path.
+    pub name: &'static str,
+    /// Nesting depth (0 = root).
+    pub depth: usize,
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+/// Point-in-time aggregate view of an observer's recordings.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Stage aggregates sorted by path (so children follow parents).
+    pub stages: Vec<StageAgg>,
+    pub counters: Vec<(String, u64)>,
+    pub hists: Vec<(String, HistSummary)>,
+}
+
+impl Snapshot {
+    pub(crate) fn build(
+        spans: &[SpanRecord],
+        counters: &BTreeMap<&'static str, u64>,
+        hists: &BTreeMap<&'static str, Histogram>,
+    ) -> Snapshot {
+        let by_id: BTreeMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+        let mut agg: BTreeMap<String, StageAgg> = BTreeMap::new();
+        for span in spans {
+            // Walk the parent chain to the root. An unknown parent id
+            // (still-open span) terminates the chain there.
+            let mut names = vec![span.name];
+            let mut cursor = span.parent;
+            // Depth cap guards against a (buggy) parent cycle.
+            for _ in 0..64 {
+                let Some(parent) = cursor.and_then(|id| by_id.get(&id)) else {
+                    break;
+                };
+                names.push(parent.name);
+                cursor = parent.parent;
+            }
+            names.reverse();
+            let depth = names.len() - 1;
+            let path = names.join("/");
+            let entry = agg.entry(path.clone()).or_insert(StageAgg {
+                path,
+                name: span.name,
+                depth,
+                count: 0,
+                total_ns: 0,
+            });
+            entry.count += 1;
+            entry.total_ns += span.dur_ns;
+        }
+        Snapshot {
+            stages: agg.into_values().collect(),
+            counters: counters
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            hists: hists
+                .iter()
+                .map(|(k, h)| ((*k).to_owned(), h.summary()))
+                .collect(),
+        }
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Histogram summary by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSummary> {
+        self.hists.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// Stage aggregate whose leaf name matches (first in path order).
+    pub fn stage(&self, name: &str) -> Option<&StageAgg> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// The human-readable per-stage report.
+    pub fn stage_report(&self) -> String {
+        let mut out = String::from("== pipeline stage report ==\n");
+        if self.stages.is_empty() {
+            out.push_str("(no spans recorded)\n");
+        } else {
+            let name_width = self
+                .stages
+                .iter()
+                .map(|s| 2 * s.depth + s.name.len())
+                .max()
+                .unwrap_or(0)
+                .max("stage".len());
+            out.push_str(&format!(
+                "{:<name_width$}  {:>6}  {:>10}  {:>10}\n",
+                "stage", "count", "total", "mean"
+            ));
+            for s in &self.stages {
+                let mean_ns = s.total_ns.checked_div(s.count).unwrap_or(0);
+                out.push_str(&format!(
+                    "{:<name_width$}  {:>6}  {:>10}  {:>10}\n",
+                    format!("{}{}", "  ".repeat(s.depth), s.name),
+                    s.count,
+                    fmt_duration(s.total_ns),
+                    fmt_duration(mean_ns),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            let width = self
+                .counters
+                .iter()
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("\nhistograms:\n");
+            for (name, h) in &self.hists {
+                out.push_str(&format!(
+                    "  {name}  count={} mean={} p50={} p95={} p99={} max={}\n",
+                    h.count,
+                    fmt_duration(h.mean as u64),
+                    fmt_duration(h.p50),
+                    fmt_duration(h.p95),
+                    fmt_duration(h.p99),
+                    fmt_duration(h.max),
+                ));
+            }
+        }
+        out
+    }
+
+    /// The JSON metrics export: counters, histogram summaries, and span
+    /// aggregates keyed by path.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", escape(name), value));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean,
+                h.p50,
+                h.p95,
+                h.p99
+            ));
+        }
+        if !self.hists.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"stages\": {");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}}}",
+                escape(&s.path),
+                s.count,
+                s.total_ns
+            ));
+        }
+        if !self.stages.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Render nanoseconds human-readably (`532ns`, `1.2µs`, `43ms`, `2.1s`).
+pub fn fmt_duration(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_json, Json};
+    use crate::Observer;
+
+    fn sample_observer() -> Observer {
+        let obs = Observer::enabled();
+        {
+            let _root = obs.span("pipeline.recommend");
+            {
+                let _e = obs.span("pipeline.enumerate");
+            }
+            {
+                let _x = obs.span("pipeline.execute");
+            }
+        }
+        obs.incr("enumerate.candidates", 12);
+        obs.record_many_ns("exec.query_ns", &[100, 2_000, 30_000]);
+        obs
+    }
+
+    #[test]
+    fn stage_paths_nest() {
+        let snap = sample_observer().snapshot();
+        let paths: Vec<&str> = snap.stages.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"pipeline.recommend"));
+        assert!(paths.contains(&"pipeline.recommend/pipeline.enumerate"));
+        assert!(paths.contains(&"pipeline.recommend/pipeline.execute"));
+        let root = snap.stage("pipeline.recommend").expect("root present");
+        assert_eq!(root.depth, 0);
+        assert_eq!(root.count, 1);
+        let child = snap.stage("pipeline.enumerate").expect("child present");
+        assert_eq!(child.depth, 1);
+    }
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        let obs = Observer::enabled();
+        for _ in 0..5 {
+            let _s = obs.span("op");
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.stage("op").map(|s| s.count), Some(5));
+        assert_eq!(snap.stages.len(), 1);
+    }
+
+    #[test]
+    fn stage_report_renders_everything() {
+        let report = sample_observer().stage_report();
+        assert!(report.contains("pipeline.recommend"));
+        assert!(report.contains("  pipeline.enumerate"), "indented child");
+        assert!(report.contains("enumerate.candidates"));
+        assert!(report.contains("exec.query_ns"));
+        assert!(report.contains("count=3"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let report = Observer::enabled().stage_report();
+        assert!(report.contains("no spans recorded"));
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_faithful() {
+        let obs = sample_observer();
+        let doc = parse_json(&obs.metrics_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("enumerate.candidates"))
+                .and_then(Json::as_f64),
+            Some(12.0)
+        );
+        let hist = doc
+            .get("histograms")
+            .and_then(|h| h.get("exec.query_ns"))
+            .expect("histogram exported");
+        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(hist.get("sum_ns").and_then(Json::as_f64), Some(32_100.0));
+        let stages = doc.get("stages").and_then(Json::as_object).expect("stages");
+        assert!(stages
+            .iter()
+            .any(|(k, _)| k == "pipeline.recommend/pipeline.execute"));
+    }
+
+    #[test]
+    fn disabled_metrics_json_is_valid() {
+        let doc = parse_json(&Observer::disabled().metrics_json()).expect("valid JSON");
+        assert!(doc
+            .get("counters")
+            .and_then(Json::as_object)
+            .map(<[(String, Json)]>::is_empty)
+            .unwrap_or(false));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(0), "0ns");
+        assert_eq!(fmt_duration(532), "532ns");
+        assert_eq!(fmt_duration(1_200), "1.2µs");
+        assert_eq!(fmt_duration(43_000_000), "43.0ms");
+        assert_eq!(fmt_duration(2_100_000_000), "2.10s");
+    }
+}

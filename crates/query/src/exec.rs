@@ -46,6 +46,22 @@ pub fn execute(table: &Table, query: &VisQuery) -> Result<ChartData, QueryError>
     execute_with(table, query, &UdfRegistry::default())
 }
 
+/// [`execute_with`], recording observability signals: the per-query wall
+/// latency into the `exec.query_ns` histogram and the `exec.ok` /
+/// `exec.err` outcome counters. Free when the observer is disabled.
+pub fn execute_observed(
+    table: &Table,
+    query: &VisQuery,
+    udfs: &UdfRegistry,
+    obs: &deepeye_obs::Observer,
+) -> Result<ChartData, QueryError> {
+    let timer = obs.timer("exec.query_ns");
+    let out = execute_with(table, query, udfs);
+    drop(timer);
+    obs.incr(if out.is_ok() { "exec.ok" } else { "exec.err" }, 1);
+    out
+}
+
 /// Execute `query` against `table`, resolving UDF bins in `udfs`.
 ///
 /// Runs [`crate::sema::check_executable`] first: every statically-detectable

@@ -3,6 +3,9 @@
 //!
 //! ```sh
 //! cargo run --example quickstart
+//! # with pipeline tracing:
+//! DEEPEYE_TRACE_OUT=trace.json DEEPEYE_METRICS_OUT=metrics.json \
+//!     cargo run --example quickstart
 //! ```
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
@@ -35,8 +38,23 @@ month,region,revenue,units
     println!("loaded {}\n", table.schema_string());
 
     // Out of the box: rule-based candidates ranked by the expert partial
-    // order — no training data needed.
-    let eye = DeepEye::with_defaults();
+    // order — no training data needed. DEEPEYE_TRACE_OUT /
+    // DEEPEYE_METRICS_OUT turn on pipeline tracing and export it.
+    let trace_out = std::env::var("DEEPEYE_TRACE_OUT")
+        .ok()
+        .filter(|p| !p.is_empty());
+    let metrics_out = std::env::var("DEEPEYE_METRICS_OUT")
+        .ok()
+        .filter(|p| !p.is_empty());
+    let observer = if trace_out.is_some() || metrics_out.is_some() {
+        Observer::enabled()
+    } else {
+        Observer::disabled()
+    };
+    let eye = DeepEye::new(DeepEyeConfig {
+        observer: observer.clone(),
+        ..Default::default()
+    });
     let recommendations = eye.recommend(&table, 3);
     println!("top-{} recommendations:\n", recommendations.len());
     for rec in &recommendations {
@@ -60,4 +78,16 @@ month,region,revenue,units
     .expect("valid query");
     let chart = execute(&table, &parsed.query).expect("executable");
     println!("\nmanual query result:\n{chart}");
+
+    if let Some(path) = trace_out {
+        std::fs::write(&path, observer.chrome_trace_json()).expect("write trace");
+        eprintln!("wrote Chrome trace to {path} (load in Perfetto / chrome://tracing)");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, observer.metrics_json()).expect("write metrics");
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    if observer.is_enabled() {
+        eprint!("{}", observer.stage_report());
+    }
 }

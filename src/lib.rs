@@ -43,6 +43,7 @@
 //! | [`ml`] | decision tree, naive Bayes, SVM, LambdaMART, metrics |
 //! | [`core`] | features, recognition, partial order, graph, rules, progressive selection |
 //! | [`datagen`] | synthetic corpus, flight data, the perception oracle |
+//! | [`obs`] | tracing spans, stage metrics, Chrome-trace / JSON exporters |
 
 #![forbid(unsafe_code)]
 
@@ -50,6 +51,7 @@ pub use deepeye_core as core;
 pub use deepeye_data as data;
 pub use deepeye_datagen as datagen;
 pub use deepeye_ml as ml;
+pub use deepeye_obs as obs;
 pub use deepeye_query as query;
 
 /// The commonly needed names in one import.
@@ -61,6 +63,7 @@ pub mod prelude {
     pub use deepeye_data::{
         table_from_csv_path, table_from_csv_str, DataType, Table, TableBuilder,
     };
+    pub use deepeye_obs::Observer;
     pub use deepeye_query::{
         execute, parse_query, Aggregate, BinStrategy, ChartType, SortOrder, Transform, VisQuery,
     };

@@ -8,6 +8,11 @@
 //! deepeye dashboard <csv> [out.html]   offline HTML dashboard (inline SVG)
 //! deepeye inspect <csv>                schema and detected column types
 //! ```
+//!
+//! Pipeline-running commands accept `--metrics-out <file>` (JSON metrics
+//! snapshot) and `--trace-out <file>` (Chrome trace-event timeline —
+//! load in Perfetto or chrome://tracing). Either flag also prints a
+//! per-stage timing report to stderr.
 
 use deepeye::core::{keyword_search, render_svg, SvgOptions};
 use deepeye::prelude::*;
@@ -17,7 +22,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  deepeye recommend <csv> [k]\n  deepeye search <csv> <keywords> [k]\n  \
          deepeye query <csv> <query.vql>\n  deepeye svg <csv> <out-dir> [k]\n  \
-         deepeye dashboard <csv> [out.html]\n  deepeye inspect <csv>"
+         deepeye dashboard <csv> [out.html]\n  deepeye inspect <csv>\n\
+         options:\n  --metrics-out <file>   write a JSON metrics snapshot\n  \
+         --trace-out <file>     write a Chrome trace (Perfetto-loadable)"
     );
     ExitCode::from(2)
 }
@@ -29,8 +36,88 @@ fn load(path: &str) -> Result<Table, ExitCode> {
     })
 }
 
+/// Observability outputs requested on the command line.
+struct ObsFlags {
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+impl ObsFlags {
+    /// Strip `--metrics-out <file>` / `--trace-out <file>` from `args`
+    /// (any position), so positional parsing below stays index-based.
+    /// `Err` means a flag was given without a value.
+    fn strip(args: &mut Vec<String>) -> Result<ObsFlags, ()> {
+        let mut flags = ObsFlags {
+            metrics_out: None,
+            trace_out: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let slot = match args[i].as_str() {
+                "--metrics-out" => &mut flags.metrics_out,
+                "--trace-out" => &mut flags.trace_out,
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            if i + 1 >= args.len() {
+                return Err(());
+            }
+            *slot = Some(args[i + 1].clone());
+            args.drain(i..i + 2);
+        }
+        Ok(flags)
+    }
+
+    fn wanted(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// An observer matching the flags: enabled only when an output was
+    /// requested, so the default CLI path stays observation-free.
+    fn observer(&self) -> Observer {
+        if self.wanted() {
+            Observer::enabled()
+        } else {
+            Observer::disabled()
+        }
+    }
+
+    /// Write the requested exports and print the stage report to stderr.
+    fn finish(&self, obs: &Observer) -> Result<(), ExitCode> {
+        if !self.wanted() {
+            return Ok(());
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, obs.metrics_json()).map_err(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                ExitCode::FAILURE
+            })?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, obs.chrome_trace_json()).map_err(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                ExitCode::FAILURE
+            })?;
+            eprintln!("wrote Chrome trace to {path} (load in Perfetto / chrome://tracing)");
+        }
+        eprint!("{}", obs.stage_report());
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let Ok(flags) = ObsFlags::strip(&mut args) else {
+        return usage();
+    };
+    let obs = flags.observer();
+    let eye = DeepEye::new(DeepEyeConfig {
+        observer: obs.clone(),
+        ..Default::default()
+    });
     let Some(command) = args.first().map(String::as_str) else {
         return usage();
     };
@@ -45,7 +132,7 @@ fn main() -> ExitCode {
             };
             let k = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(5);
             println!("{}\n", table.schema_string());
-            let recs = DeepEye::with_defaults().recommend(&table, k);
+            let recs = eye.recommend(&table, k);
             if recs.is_empty() {
                 println!("no meaningful visualizations found");
             }
@@ -59,6 +146,9 @@ fn main() -> ExitCode {
                     rec.node.data.ascii_sketch(10)
                 );
             }
+            if let Err(code) = flags.finish(&obs) {
+                return code;
+            }
             ExitCode::SUCCESS
         }
         "search" => {
@@ -70,9 +160,11 @@ fn main() -> ExitCode {
                 Err(code) => return code,
             };
             let k = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(3);
-            let eye = DeepEye::with_defaults();
             for rec in keyword_search(&eye, &table, keywords, k) {
                 println!("#{}\n{}", rec.rank, rec.node.data.ascii_sketch(10));
+            }
+            if let Err(code) = flags.finish(&obs) {
+                return code;
             }
             ExitCode::SUCCESS
         }
@@ -120,13 +212,16 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             let opts = SvgOptions::default();
-            for rec in DeepEye::with_defaults().recommend(&table, k) {
+            for rec in eye.recommend(&table, k) {
                 let file = format!("{out_dir}/chart{}.svg", rec.rank);
                 if let Err(e) = std::fs::write(&file, render_svg(&rec.node, &opts)) {
                     eprintln!("error: cannot write {file}: {e}");
                     return ExitCode::FAILURE;
                 }
                 println!("wrote {file}");
+            }
+            if let Err(code) = flags.finish(&obs) {
+                return code;
             }
             ExitCode::SUCCESS
         }
@@ -149,7 +244,7 @@ fn main() -> ExitCode {
                  grid-template-columns:repeat(auto-fill,minmax(500px,1fr));gap:16px;padding:16px}\
                  .card{border:1px solid #ddd;border-radius:8px;padding:8px}</style></head><body>\n",
             );
-            for rec in DeepEye::with_defaults().recommend(&table, 8) {
+            for rec in eye.recommend(&table, 8) {
                 html.push_str("<div class=\"card\">");
                 html.push_str(&render_svg(&rec.node, &opts));
                 html.push_str("</div>\n");
@@ -160,6 +255,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote {out} (fully offline, inline SVG)");
+            if let Err(code) = flags.finish(&obs) {
+                return code;
+            }
             ExitCode::SUCCESS
         }
         "inspect" => {
