@@ -1,24 +1,54 @@
-//! Validate a Chrome trace-event file produced by the observability layer
-//! (`--trace-out`, `DEEPEYE_TRACE_OUT`): well-formed JSON, known phase
-//! types, balanced name-matched B/E pairs, monotone per-lane timestamps.
+//! Validate the JSON artifacts the observability and provenance layers
+//! export:
 //!
-//! Usage: `trace_check <trace.json> [<trace.json> ...]`
+//! - Chrome trace-event files (`--trace-out`, `DEEPEYE_TRACE_OUT`):
+//!   well-formed JSON, known phase types, balanced name-matched B/E
+//!   pairs, monotone per-lane timestamps.
+//! - Metrics files (`--metrics-out`, `DEEPEYE_METRICS_OUT`): schema,
+//!   non-negative integer counters, internally consistent histogram
+//!   summaries (`min ≤ p50 ≤ p95 ≤ p99 ≤ max`).
+//! - Provenance files (`--provenance-out`): schema, known outcomes, the
+//!   tournament leaf invariant, and hybrid scores that recompute from
+//!   their recorded parts.
+//!
+//! Usage: `trace_check [<trace.json> ...] [--metrics <metrics.json>]...
+//! [--provenance <prov.json>]...`
 //!
 //! Exits nonzero (via `ExitCode`, so the workspace `clippy::exit` lint
 //! stays intact) if any file fails validation — CI runs this against the
-//! quickstart example's trace.
+//! quickstart example's exports.
 
-use deepeye_obs::validate_chrome_trace;
+use deepeye_core::validate_provenance_json;
+use deepeye_obs::{validate_chrome_trace, validate_metrics_json};
 use std::process::ExitCode;
 
+enum Kind {
+    Trace,
+    Metrics,
+    Provenance,
+}
+
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() {
-        eprintln!("usage: trace_check <trace.json> [<trace.json> ...]");
-        return ExitCode::FAILURE;
+    let mut jobs: Vec<(Kind, String)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics" => match args.next() {
+                Some(path) => jobs.push((Kind::Metrics, path)),
+                None => return usage(),
+            },
+            "--provenance" => match args.next() {
+                Some(path) => jobs.push((Kind::Provenance, path)),
+                None => return usage(),
+            },
+            _ => jobs.push((Kind::Trace, arg)),
+        }
+    }
+    if jobs.is_empty() {
+        return usage();
     }
     let mut failed = false;
-    for path in &paths {
+    for (kind, path) in &jobs {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -27,21 +57,55 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        match validate_chrome_trace(&text) {
-            Ok(summary) => {
-                println!(
-                    "{path}: ok — {} events, {} spans, depth {}, {} thread lane(s)",
-                    summary.events, summary.spans, summary.max_depth, summary.threads
-                );
-                if summary.spans == 0 {
-                    eprintln!("{path}: no spans recorded — was the observer enabled?");
+        match kind {
+            Kind::Trace => match validate_chrome_trace(&text) {
+                Ok(summary) => {
+                    println!(
+                        "{path}: ok — {} events, {} spans, depth {}, {} thread lane(s)",
+                        summary.events, summary.spans, summary.max_depth, summary.threads
+                    );
+                    if summary.spans == 0 {
+                        eprintln!("{path}: no spans recorded — was the observer enabled?");
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
                     failed = true;
                 }
-            }
-            Err(e) => {
-                eprintln!("{path}: INVALID — {e}");
-                failed = true;
-            }
+            },
+            Kind::Metrics => match validate_metrics_json(&text) {
+                Ok(summary) => {
+                    println!(
+                        "{path}: ok — {} counters, {} histograms, {} stages",
+                        summary.counters, summary.histograms, summary.stages
+                    );
+                    if summary.stages == 0 {
+                        eprintln!("{path}: no stages recorded — was the observer enabled?");
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
+            Kind::Provenance => match validate_provenance_json(&text) {
+                Ok(summary) => {
+                    println!(
+                        "{path}: ok — {} records ({} ranked, {} rejected/pruned)",
+                        summary.records, summary.ranked, summary.rejected
+                    );
+                    if summary.records == 0 {
+                        eprintln!("{path}: no records — was provenance enabled?");
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
         }
     }
     if failed {
@@ -49,4 +113,12 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace_check [<trace.json> ...] [--metrics <metrics.json>]... \
+         [--provenance <prov.json>]..."
+    );
+    ExitCode::FAILURE
 }

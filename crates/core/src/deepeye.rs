@@ -2,15 +2,17 @@
 //! recognizer, and a ranking method; get back the top-k visualizations of a
 //! table (the full online pipeline of Figure 4).
 
+use crate::graph::{partial_order_log_scores, DominanceGraph, STREAMING_THRESHOLD};
 use crate::node::VisNode;
-use crate::partial_order::compute_factors;
+use crate::partial_order::{compute_factor_breakdowns, FactorBreakdown, Factors};
 use crate::progressive::ProgressiveSelector;
+use crate::provenance::{HybridParts, Outcome, Provenance, RankBreakdown};
 use crate::ranking::{rank_by_partial_order_observed, HybridRanker, LtrRanker};
 use crate::recognition::Recognizer;
 use crate::rules;
 use deepeye_data::Table;
 use deepeye_obs::Observer;
-use deepeye_query::{valid_queries_observed, UdfRegistry, VisQuery};
+use deepeye_query::{queries_with_verdict, valid_queries_observed, UdfRegistry, VisQuery};
 
 /// How candidate visualizations are enumerated (the `E`/`R` split of the
 /// efficiency experiment, Figure 12).
@@ -53,6 +55,14 @@ pub struct DeepEyeConfig {
     /// costs one branch per instrumentation site and allocates nothing —
     /// pass [`Observer::enabled`] to collect and export.
     pub observer: Observer,
+    /// Decision-provenance hook: records a per-candidate [`Explanation`]
+    /// (sema verdict, classifier evidence, factor breakdown, dominance,
+    /// rank parts, prune reason). Defaults to [`Provenance::disabled`] —
+    /// one branch per site, nothing allocated — pass
+    /// [`Provenance::enabled`] to collect and export.
+    ///
+    /// [`Explanation`]: crate::provenance::Explanation
+    pub provenance: Provenance,
 }
 
 impl Default for DeepEyeConfig {
@@ -63,6 +73,7 @@ impl Default for DeepEyeConfig {
             ranking: RankingMethod::default(),
             parallel: true,
             observer: Observer::disabled(),
+            provenance: Provenance::disabled(),
         }
     }
 }
@@ -91,81 +102,105 @@ impl Recommendation {
         self.node.query.to_language(table_name)
     }
 
-    /// A one-paragraph human-readable explanation of why this chart
-    /// ranked where it did, grounded in the partial-order factors.
+    /// A human-readable explanation of why this chart ranked where it
+    /// did, grounded in the partial-order factors: the rendered view of
+    /// [`Recommendation::explanation`] — the same record/render split the
+    /// provenance export uses, so the CLI `explain` subcommand and this
+    /// method can never drift apart.
     pub fn explain(&self) -> String {
-        let node = &self.node;
-        let f = &self.factors;
-        let mut parts: Vec<String> = Vec::new();
-        match node.chart_type() {
-            deepeye_query::ChartType::Scatter => {
-                parts.push(format!(
-                    "the plotted series are {}correlated (|c| = {:.2})",
-                    if node.features.correlation.abs() >= 0.5 {
-                        "strongly "
-                    } else {
-                        "weakly "
-                    },
-                    node.features.correlation.abs()
-                ));
-            }
-            deepeye_query::ChartType::Line => {
-                parts.push(if node.features.trend {
-                    format!(
-                        "the series follows a clear trend (fit {:.2})",
-                        node.features.trend_fit
-                    )
-                } else {
-                    "the series shows no clear trend".to_owned()
-                });
-            }
-            deepeye_query::ChartType::Bar => {
-                parts.push(format!(
-                    "{} bars is a legible comparison",
-                    node.transformed_rows()
-                ));
-            }
-            deepeye_query::ChartType::Pie => {
-                parts.push(format!(
-                    "{} slices with {} size diversity",
-                    node.transformed_rows(),
-                    if node.features.y_entropy > 0.8 {
-                        "even"
-                    } else if node.features.y_entropy > 0.4 {
-                        "varied"
-                    } else {
-                        "one dominant"
-                    }
-                ));
-            }
-        }
-        if node.query.transform != deepeye_query::Transform::None {
+        self.explanation().render()
+    }
+
+    /// The structured [`Explanation`] record behind [`explain`]
+    /// (self-contained view: raw M is recomputed per Eqs. 1–4; the
+    /// set-relative raw W is not recoverable from a single node, so it
+    /// mirrors the normalized value).
+    ///
+    /// [`Explanation`]: crate::provenance::Explanation
+    /// [`explain`]: Recommendation::explain
+    pub fn explanation(&self) -> crate::provenance::Explanation {
+        let mut e = crate::provenance::Explanation::new(self.node.id());
+        e.chart = self.node.chart_type().name().to_owned();
+        e.outcome = Outcome::Ranked(self.rank);
+        e.factors = Some(FactorBreakdown {
+            raw_m: crate::partial_order::raw_match_quality(&self.node),
+            m: self.factors.m,
+            q: self.factors.q,
+            raw_w: self.factors.w,
+            w: self.factors.w,
+        });
+        e.notes = narrative_notes(&self.node, &self.factors);
+        e
+    }
+}
+
+/// The chart-specific "why" sentences for a ranked node — shared between
+/// [`Recommendation::explanation`] and the top-N provenance records.
+fn narrative_notes(node: &VisNode, f: &Factors) -> Vec<String> {
+    let mut parts: Vec<String> = Vec::new();
+    match node.chart_type() {
+        deepeye_query::ChartType::Scatter => {
             parts.push(format!(
-                "the transform condenses {} rows into {} marks (Q = {:.2})",
-                node.source_rows(),
-                node.transformed_rows(),
-                f.q
+                "The plotted series are {}correlated (|c| = {:.2}).",
+                if node.features.correlation.abs() >= 0.5 {
+                    "strongly "
+                } else {
+                    "weakly "
+                },
+                node.features.correlation.abs()
             ));
         }
-        parts.push(format!(
-            "its columns ({}) appear in {} of the valid charts (W = {:.2})",
-            node.columns().join(", "),
-            if f.w > 0.8 {
-                "most"
-            } else if f.w > 0.4 {
-                "many"
+        deepeye_query::ChartType::Line => {
+            parts.push(if node.features.trend {
+                format!(
+                    "The series follows a clear trend (fit {:.2}).",
+                    node.features.trend_fit
+                )
             } else {
-                "few"
-            },
-            f.w
-        ));
-        format!(
-            "Ranked #{} as a {} chart: {}.",
-            self.rank,
-            node.chart_type(),
-            parts.join("; ")
-        )
+                "The series shows no clear trend.".to_owned()
+            });
+        }
+        deepeye_query::ChartType::Bar => {
+            parts.push(format!(
+                "{} bars is a legible comparison.",
+                node.transformed_rows()
+            ));
+        }
+        deepeye_query::ChartType::Pie => {
+            parts.push(format!(
+                "{} slices with {} size diversity.",
+                node.transformed_rows(),
+                if node.features.y_entropy > 0.8 {
+                    "even"
+                } else if node.features.y_entropy > 0.4 {
+                    "varied"
+                } else {
+                    "one dominant"
+                }
+            ));
+        }
     }
+    if node.query.transform != deepeye_query::Transform::None {
+        parts.push(format!(
+            "The transform condenses {} rows into {} marks (Q = {:.2}).",
+            node.source_rows(),
+            node.transformed_rows(),
+            f.q
+        ));
+    }
+    parts.push(format!(
+        "Its columns ({}) appear in {} of the valid charts (W = {:.2}).",
+        node.columns().join(", "),
+        if f.w > 0.8 {
+            "most"
+        } else if f.w > 0.4 {
+            "many"
+        } else {
+            "few"
+        },
+        f.w
+    ));
+    parts
 }
 
 /// The DeepEye system.
@@ -201,21 +236,80 @@ impl DeepEye {
     /// nodes of a table.
     pub fn candidates(&self, table: &Table) -> Vec<VisNode> {
         let obs = &self.config.observer;
+        let prov = &self.config.provenance;
+        prov.set_table(table.name());
         let queries: Vec<VisQuery> = {
             let _enumerate = obs.span("pipeline.enumerate");
             match self.config.enumeration {
                 // The statically-executable subset: identical resulting nodes
                 // (ill-typed queries would only fail execution below), minus
                 // the wasted error paths.
+                EnumerationMode::Exhaustive if prov.is_enabled() => {
+                    // Same space, same counters as `valid_queries_observed`,
+                    // plus a provenance record per candidate: why sema
+                    // admitted or rejected it.
+                    let mut out = Vec::new();
+                    let mut enumerated = 0u64;
+                    let mut sema_rejected = 0u64;
+                    for (q, verdict) in queries_with_verdict(table, &self.udfs) {
+                        obs.incr("enumerate.raw", 1);
+                        let id = crate::provenance::query_id(&q);
+                        match verdict {
+                            Some(diag) => {
+                                obs.incr("sema.rejected", 1);
+                                sema_rejected += 1;
+                                prov.record_rejected(&id, Outcome::SemaRejected, |e| {
+                                    e.query = q.to_language(table.name());
+                                    e.chart = q.chart.name().to_owned();
+                                    e.sema.push((diag.code.as_str().to_owned(), diag.message));
+                                });
+                            }
+                            None => {
+                                obs.incr("enumerate.candidates", 1);
+                                enumerated += 1;
+                                prov.record(&id, |e| {
+                                    e.query = q.to_language(table.name());
+                                    e.chart = q.chart.name().to_owned();
+                                    e.outcome = Outcome::Enumerated;
+                                });
+                                out.push(q);
+                            }
+                        }
+                    }
+                    prov.bump(|c| {
+                        c.enumerated += enumerated;
+                        c.sema_rejected += sema_rejected;
+                    });
+                    out
+                }
                 EnumerationMode::Exhaustive => {
                     valid_queries_observed(table, &self.udfs, obs).collect()
                 }
                 EnumerationMode::RuleBased => {
                     let qs = rules::rule_based_queries(table);
                     obs.incr("enumerate.candidates", qs.len() as u64);
+                    if prov.is_enabled() {
+                        for q in &qs {
+                            let id = crate::provenance::query_id(q);
+                            prov.record(&id, |e| {
+                                e.query = q.to_language(table.name());
+                                e.chart = q.chart.name().to_owned();
+                                e.outcome = Outcome::Enumerated;
+                            });
+                        }
+                        let n = qs.len() as u64;
+                        prov.bump(|c| c.enumerated += n);
+                    }
                     qs
                 }
             }
+        };
+        // Ids of everything admitted to execution, so execution failures
+        // (runtime errors, empty results) can be charged to their candidate.
+        let admitted: Vec<String> = if prov.is_enabled() {
+            queries.iter().map(crate::provenance::query_id).collect()
+        } else {
+            Vec::new()
         };
         let nodes = {
             let execute = obs.span("pipeline.execute");
@@ -230,8 +324,24 @@ impl DeepEye {
                 )
             }
         };
+        if prov.is_enabled() {
+            let built: std::collections::HashSet<String> = nodes.iter().map(VisNode::id).collect();
+            let mut failed = 0u64;
+            for id in &admitted {
+                if !built.contains(id) {
+                    failed += 1;
+                    prov.record_rejected(id, Outcome::ExecFailed, |e| {
+                        e.notes
+                            .push("Execution failed (runtime error or empty result).".to_owned());
+                    });
+                }
+            }
+            if failed > 0 {
+                prov.bump(|c| c.exec_failed += failed);
+            }
+        }
         match &self.config.recognizer {
-            Some(r) => r.filter_good_observed(nodes, obs),
+            Some(r) => r.filter_good_explained(nodes, obs, prov),
             None => nodes,
         }
     }
@@ -248,11 +358,28 @@ impl DeepEye {
     /// annotators did.
     pub fn recommend(&self, table: &Table, k: usize) -> Vec<Recommendation> {
         let _recommend = self.config.observer.span("pipeline.recommend");
-        let nodes: Vec<VisNode> = self
-            .candidates(table)
-            .into_iter()
-            .filter(|n| n.data.series.len() >= 2)
-            .collect();
+        let prov = &self.config.provenance;
+        let all = self.candidates(table);
+        let mut nodes: Vec<VisNode> = Vec::with_capacity(all.len());
+        let mut single_mark = 0u64;
+        for n in all {
+            if n.data.series.len() >= 2 {
+                nodes.push(n);
+            } else if prov.is_enabled() {
+                single_mark += 1;
+                let marks = n.data.series.len();
+                prov.record_rejected(&n.id(), Outcome::SingleMark, |e| {
+                    e.chart = n.chart_type().name().to_owned();
+                    e.notes.push(format!(
+                        "Dropped before ranking: only {marks} mark(s), \
+                         d(X) = 1 significance is zeroed (Eqs. 1-2)."
+                    ));
+                });
+            }
+        }
+        if single_mark > 0 {
+            prov.bump(|c| c.single_mark += single_mark);
+        }
         self.rank_nodes(nodes, k)
     }
 
@@ -267,14 +394,38 @@ impl DeepEye {
             return Vec::new();
         }
         let obs = &self.config.observer;
+        let prov = &self.config.provenance;
         let _rank = obs.span("pipeline.rank");
         obs.incr("rank.nodes", nodes.len() as u64);
-        let factors = compute_factors(&nodes);
+        let breakdowns = compute_factor_breakdowns(&nodes);
+        let factors: Vec<Factors> = breakdowns.iter().map(FactorBreakdown::factors).collect();
+        // When explaining a hybrid run, the two component orders are needed
+        // per node; `rank_observed` computes them internally but does not
+        // expose them, so the explained path replicates its exact span
+        // structure and combines by hand.
+        let mut hybrid_detail: Option<(Vec<usize>, Vec<usize>)> = None;
         let order: Vec<usize> = match &self.config.ranking {
             RankingMethod::PartialOrder => rank_by_partial_order_observed(&nodes, obs),
             RankingMethod::LearningToRank(ltr) => ltr.rank_observed(&nodes, obs),
+            RankingMethod::Hybrid(ltr, hybrid) if prov.is_enabled() => {
+                let _span = obs.span("rank.hybrid");
+                let ltr_order = ltr.rank_observed(&nodes, obs);
+                let po_order = rank_by_partial_order_observed(&nodes, obs);
+                let combined = hybrid.combine(&ltr_order, &po_order);
+                hybrid_detail = Some((ltr_order, po_order));
+                combined
+            }
             RankingMethod::Hybrid(ltr, hybrid) => hybrid.rank_observed(ltr, &nodes, obs),
         };
+        if prov.is_enabled() {
+            self.record_rank_provenance(
+                &nodes,
+                &breakdowns,
+                &factors,
+                &order,
+                hybrid_detail.as_ref(),
+            );
+        }
         let variant_key = |n: &VisNode| {
             format!(
                 "{}|{}|{}|{:?}|{:?}",
@@ -288,6 +439,7 @@ impl DeepEye {
         let mut seen = std::collections::HashSet::new();
         let mut nodes: Vec<Option<VisNode>> = nodes.into_iter().map(Some).collect();
         let mut out = Vec::with_capacity(k.min(nodes.len()));
+        let mut ranked = 0u64;
         for idx in order {
             // Rankers emit each index at most once; a repeat is a ranker bug,
             // surfaced in debug builds and skipped in release.
@@ -301,6 +453,11 @@ impl DeepEye {
             let Some(node) = nodes[idx].take() else {
                 continue;
             };
+            if prov.is_enabled() {
+                ranked += 1;
+                let rank = out.len() + 1;
+                prov.record(&node.id(), |e| e.outcome = Outcome::Ranked(rank));
+            }
             out.push(Recommendation {
                 rank: out.len() + 1,
                 node,
@@ -310,7 +467,138 @@ impl DeepEye {
                 break;
             }
         }
+        if ranked > 0 {
+            prov.bump(|c| c.ranked += ranked);
+        }
         out
+    }
+
+    /// Fill the per-node ranking provenance: factor breakdowns, component
+    /// positions and scores of the active ranking method, and — for the
+    /// candidates landing in the top `ProvenanceCaps::top_n` pre-dedup
+    /// positions — a dominance-graph summary and the narrative notes.
+    fn record_rank_provenance(
+        &self,
+        nodes: &[VisNode],
+        breakdowns: &[crate::partial_order::FactorBreakdown],
+        factors: &[Factors],
+        order: &[usize],
+        hybrid_detail: Option<&(Vec<usize>, Vec<usize>)>,
+    ) {
+        use crate::provenance::DominanceSummary;
+        let prov = &self.config.provenance;
+        let caps = prov.caps();
+        let n = nodes.len();
+        let mut final_pos = vec![usize::MAX; n];
+        for (pos, &i) in order.iter().enumerate() {
+            final_pos[i] = pos;
+        }
+
+        let mut po_pos: Vec<Option<usize>> = vec![None; n];
+        let mut po_log: Vec<Option<f64>> = vec![None; n];
+        let mut ltr_pos: Vec<Option<usize>> = vec![None; n];
+        let mut ltr_score: Vec<Option<f64>> = vec![None; n];
+        let mut hybrid_parts: Vec<Option<HybridParts>> = vec![None; n];
+        match &self.config.ranking {
+            RankingMethod::PartialOrder => {
+                let scores = partial_order_log_scores(factors);
+                for (pos, &i) in order.iter().enumerate() {
+                    po_pos[i] = Some(pos);
+                }
+                for (slot, score) in po_log.iter_mut().zip(scores) {
+                    *slot = Some(score);
+                }
+            }
+            RankingMethod::LearningToRank(ltr) => {
+                for (pos, &i) in order.iter().enumerate() {
+                    ltr_pos[i] = Some(pos);
+                }
+                for (slot, node) in ltr_score.iter_mut().zip(nodes) {
+                    *slot = Some(ltr.score(node));
+                }
+            }
+            RankingMethod::Hybrid(ltr, hybrid) => {
+                if let Some((ltr_order, po_order)) = hybrid_detail {
+                    let scores = partial_order_log_scores(factors);
+                    for (pos, &i) in ltr_order.iter().enumerate() {
+                        ltr_pos[i] = Some(pos);
+                    }
+                    for (pos, &i) in po_order.iter().enumerate() {
+                        po_pos[i] = Some(pos);
+                    }
+                    for i in 0..n {
+                        po_log[i] = Some(scores[i]);
+                        ltr_score[i] = Some(ltr.score(&nodes[i]));
+                        let (l, p) = (ltr_pos[i].unwrap_or(0), po_pos[i].unwrap_or(0));
+                        hybrid_parts[i] = Some(HybridParts {
+                            l_pos: l,
+                            p_pos: p,
+                            alpha: hybrid.alpha,
+                            combined: hybrid.combined_score(l, p),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Dominance summaries for the top-N: one pass over the graph's
+        // edges, touching only detail-worthy endpoints. The graph is only
+        // built at sizes where the rankers themselves would build it.
+        let mut summaries: Vec<Option<DominanceSummary>> = vec![None; n];
+        if n <= STREAMING_THRESHOLD {
+            let graph = DominanceGraph::build_pruned(factors);
+            let detail = |i: usize| final_pos[i] < caps.top_n;
+            for i in (0..n).filter(|&i| detail(i)) {
+                summaries[i] = Some(DominanceSummary::default());
+            }
+            for u in 0..n {
+                for &(v, w) in graph.out_edges(u) {
+                    if let Some(s) = summaries[u].as_mut() {
+                        s.dominates += 1;
+                        if s.strongest_out.as_ref().is_none_or(|(_, best)| w > *best) {
+                            s.strongest_out = Some((nodes[v].id(), w));
+                        }
+                    }
+                    if let Some(s) = summaries[v].as_mut() {
+                        s.dominated_by += 1;
+                        if s.strongest_in.as_ref().is_none_or(|(_, best)| w > *best) {
+                            s.strongest_in = Some((nodes[u].id(), w));
+                        }
+                    }
+                }
+            }
+        }
+
+        for (i, node) in nodes.iter().enumerate() {
+            let rank_bd = RankBreakdown {
+                po_log_score: po_log[i],
+                po_pos: po_pos[i],
+                ltr_score: ltr_score[i],
+                ltr_pos: ltr_pos[i],
+                hybrid: hybrid_parts[i],
+                final_pos: (final_pos[i] != usize::MAX).then_some(final_pos[i]),
+            };
+            let breakdown = breakdowns[i];
+            let dominance = summaries[i].take();
+            let notes = if final_pos[i] < caps.top_n {
+                narrative_notes(node, &factors[i])
+            } else {
+                Vec::new()
+            };
+            prov.record(&node.id(), |e| {
+                if e.chart.is_empty() {
+                    e.chart = node.chart_type().name().to_owned();
+                }
+                e.factors = Some(breakdown);
+                e.rank = Some(rank_bd);
+                if dominance.is_some() {
+                    e.dominance = dominance;
+                }
+                if !notes.is_empty() {
+                    e.notes = notes;
+                }
+            });
+        }
     }
 
     /// Fast top-k via the progressive tournament of §V-B (rule-based
@@ -319,9 +607,11 @@ impl DeepEye {
     /// wide table.
     pub fn recommend_progressive(&self, table: &Table, k: usize) -> Vec<Recommendation> {
         let obs = &self.config.observer;
+        let prov = &self.config.provenance;
         let _progressive = obs.span("pipeline.progressive");
+        prov.set_table(table.name());
         let selector = ProgressiveSelector::new(table, &self.udfs);
-        let (scored, _) = selector.top_k_observed(k, obs);
+        let (scored, _) = selector.top_k_explained(k, obs, prov);
         scored
             .into_iter()
             .enumerate()

@@ -205,6 +205,27 @@ impl NodeFeatures {
 /// Dimension of [`NodeFeatures::to_vector`].
 pub const FEATURE_DIM: usize = 14;
 
+/// Human-readable names for the dimensions of [`NodeFeatures::to_vector`]
+/// (and [`pair_feature_vector`], which shares the layout), in order.
+/// Classifier decision paths are recorded as feature *indices*; provenance
+/// rendering maps them back through this table.
+pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+    "x.distinct",
+    "x.tuples",
+    "x.unique_ratio",
+    "x.min",
+    "x.max",
+    "x.dtype",
+    "y.distinct",
+    "y.tuples",
+    "y.unique_ratio",
+    "y.min",
+    "y.max",
+    "y.dtype",
+    "correlation",
+    "chart",
+];
+
 /// The paper-faithful 14-feature vector computed from the **original**
 /// columns (§III lists features (1)–(6) over the table's columns `X`, `Y`
 /// plus (7) the chart type). Under this reading the ML models cannot see

@@ -92,6 +92,13 @@ impl DominanceGraph {
         self.edges[u].iter().any(|&(t, _)| t == v)
     }
 
+    /// Outgoing dominance edges of `u` as `(target, Eq. 9 weight)` pairs.
+    /// Empty for out-of-range indices, so provenance readers need no
+    /// bounds bookkeeping.
+    pub fn out_edges(&self, u: usize) -> &[(usize, f64)] {
+        self.edges.get(u).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// The score S(v) of every node: 0 for sinks, otherwise the sum of
     /// `w(v, u) + S(u)` over out-edges. Returned in linear scale; on a
     /// densely dominated set the recurrence grows exponentially with chain

@@ -44,6 +44,7 @@ pub mod node;
 pub mod parallel;
 pub mod partial_order;
 pub mod progressive;
+pub mod provenance;
 pub mod range_tree;
 pub mod ranking;
 pub mod recognition;
@@ -56,7 +57,7 @@ pub use deepeye::{DeepEye, DeepEyeConfig, EnumerationMode, RankingMethod, Recomm
 pub use deviation::{
     deviation_between, deviation_from_uniform, rank_by_deviation, DeviationMetric,
 };
-pub use features::{pair_feature_vector, ColumnFeatures, NodeFeatures, FEATURE_DIM};
+pub use features::{pair_feature_vector, ColumnFeatures, NodeFeatures, FEATURE_DIM, FEATURE_NAMES};
 pub use graph::{
     partial_order_log_scores, streaming_log_scores, DominanceGraph, STREAMING_THRESHOLD,
 };
@@ -69,10 +70,14 @@ pub use node::VisNode;
 pub use parallel::{
     build_nodes_parallel, build_nodes_parallel_observed, build_nodes_serial_observed,
 };
-pub use partial_order::{compute_factors, Factors};
+pub use partial_order::{compute_factor_breakdowns, compute_factors, FactorBreakdown, Factors};
 pub use progressive::{
     canonical_candidates, exhaustive_top_k, exhaustive_top_k_parallel, ProgressiveSelector,
     ScoredNode, SelectionStats,
+};
+pub use provenance::{
+    query_id, validate_provenance_json, ClassifierEvidence, Explanation, Outcome, Provenance,
+    ProvenanceCaps, ProvenanceCounts, ProvenanceLog, ProvenanceSummary,
 };
 pub use range_tree::{build_with_range_tree, RangeTree3};
 pub use ranking::{

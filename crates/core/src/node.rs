@@ -76,17 +76,11 @@ impl VisNode {
         self.data.series = deepeye_query::Series::Keyed(Vec::new());
     }
 
-    /// Stable identity string for deduplication and test assertions.
+    /// Stable identity string for deduplication, provenance records, and
+    /// test assertions (shared with [`crate::provenance::query_id`] so
+    /// never-built candidates live in the same id space).
     pub fn id(&self) -> String {
-        format!(
-            "{}|{}|{}|{:?}|{:?}|{:?}",
-            self.query.chart,
-            self.query.x,
-            self.query.y.as_deref().unwrap_or(""),
-            self.query.transform,
-            self.query.aggregate,
-            self.query.order,
-        )
+        crate::provenance::query_id(&self.query)
     }
 }
 

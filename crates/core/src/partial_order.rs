@@ -113,12 +113,49 @@ pub fn column_importance(nodes: &[VisNode]) -> HashMap<String, f64> {
         .collect()
 }
 
+/// One node's factor triple *with* the raw per-equation values that fed
+/// the set-relative normalization — the provenance layer records these so
+/// "why did M come out 0.8?" is answerable without rerunning Eqs. 1–8.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FactorBreakdown {
+    /// Raw matching quality per Eqs. 1–4, before the per-chart max divide.
+    pub raw_m: f64,
+    /// Normalized M(v) (Eq. 5).
+    pub m: f64,
+    /// Q(v) = 1 − |X'|/|X| (Eq. 6) — raw and normalized coincide.
+    pub q: f64,
+    /// Raw column-importance sum (Eq. 7), before the global max divide.
+    pub raw_w: f64,
+    /// Normalized W(v) (Eq. 8).
+    pub w: f64,
+}
+
+impl FactorBreakdown {
+    /// The normalized triple, dropping the raw components.
+    pub fn factors(&self) -> Factors {
+        Factors {
+            m: self.m,
+            q: self.q,
+            w: self.w,
+        }
+    }
+}
+
 /// Compute the normalized factor triples for a set of valid nodes.
 ///
 /// Normalization is set-relative exactly as the paper specifies: M is
 /// divided by the max M among nodes of the *same chart type* (Eq. 5) and W
 /// by the max W over *all* nodes (Eq. 8). Q is already in [0, 1].
 pub fn compute_factors(nodes: &[VisNode]) -> Vec<Factors> {
+    compute_factor_breakdowns(nodes)
+        .iter()
+        .map(FactorBreakdown::factors)
+        .collect()
+}
+
+/// Like [`compute_factors`] but keeps the raw per-equation values
+/// alongside the normalized ones.
+pub fn compute_factor_breakdowns(nodes: &[VisNode]) -> Vec<FactorBreakdown> {
     let importance = column_importance(nodes);
 
     let raw_m: Vec<f64> = nodes.iter().map(raw_match_quality).collect();
@@ -149,9 +186,11 @@ pub fn compute_factors(nodes: &[VisNode]) -> Vec<Factors> {
                 .get(&node.chart_type())
                 .copied()
                 .unwrap_or(0.0);
-            Factors {
+            FactorBreakdown {
+                raw_m: raw_m[i],
                 m: if max_m > 0.0 { raw_m[i] / max_m } else { 0.0 },
                 q: transform_quality(node),
+                raw_w: raw_w[i],
                 w: if max_w > 0.0 { raw_w[i] / max_w } else { 0.0 },
             }
         })

@@ -192,7 +192,24 @@ impl<'a> ProgressiveSelector<'a> {
         k: usize,
         obs: &deepeye_obs::Observer,
     ) -> (Vec<ScoredNode>, SelectionStats) {
+        self.top_k_explained(k, obs, &crate::provenance::Provenance::disabled())
+    }
+
+    /// [`ProgressiveSelector::top_k_observed`] that additionally records
+    /// tournament provenance: a `column:<name>` record per leaf (bound,
+    /// materialized-or-pruned), a record per materialized candidate
+    /// (winner rank or tournament loss), and the leaf-accounting counts.
+    /// With provenance disabled this *is* `top_k_observed` — no ids are
+    /// formatted, nothing extra allocates.
+    pub fn top_k_explained(
+        &self,
+        k: usize,
+        obs: &deepeye_obs::Observer,
+        prov: &crate::provenance::Provenance,
+    ) -> (Vec<ScoredNode>, SelectionStats) {
+        use crate::provenance::Outcome;
         let _span = obs.span("progressive.top_k");
+        let explaining = prov.is_enabled();
         let (by_column, max_w) = self.candidates_by_column();
         let mut stats = SelectionStats::default();
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
@@ -203,22 +220,37 @@ impl<'a> ProgressiveSelector<'a> {
             stats.leaves_total += 1;
             // Optimistic bound: M ≤ 1, Q ≤ 1, exact W known upfront.
             let w_best = cands.iter().map(|c| c.w_raw).fold(0.0f64, f64::max) / max_w;
-            heap.push(Entry::Leaf {
-                column,
-                bound: (1.0 + 1.0 + w_best) / 3.0,
-            });
+            let bound = (1.0 + 1.0 + w_best) / 3.0;
+            heap.push(Entry::Leaf { column, bound });
         }
 
         let mut materialized: Vec<ScoredNode> = Vec::new();
+        let mut emitted: Vec<usize> = Vec::new();
         let mut out = Vec::with_capacity(k);
         while out.len() < k {
             match heap.pop() {
                 None => break,
                 Some(Entry::Node { seq, .. }) => {
+                    if explaining {
+                        emitted.push(seq);
+                    }
                     out.push(materialized[seq].clone());
                 }
-                Some(Entry::Leaf { column, .. }) => {
+                Some(Entry::Leaf { column, bound }) => {
                     stats.leaves_materialized += 1;
+                    if explaining {
+                        let name = self
+                            .table
+                            .column(column)
+                            .map(deepeye_data::Column::name)
+                            .unwrap_or("?");
+                        prov.record(&format!("column:{name}"), |e| {
+                            e.outcome = Outcome::LeafMaterialized;
+                            e.tournament_score = Some(bound);
+                            e.notes
+                                .push(format!("Leaf bound {bound:.4} surfaced; column scanned."));
+                        });
+                    }
                     let leaf_timer = obs.timer("progressive.leaf_ns");
                     let nodes = self.materialize_column(&by_column[column], max_w, &mut stats);
                     drop(leaf_timer);
@@ -241,6 +273,49 @@ impl<'a> ProgressiveSelector<'a> {
             .iter()
             .filter(|e| matches!(e, Entry::Leaf { .. }))
             .count();
+        if explaining {
+            for entry in heap.iter() {
+                if let Entry::Leaf { column, bound } = entry {
+                    let name = self
+                        .table
+                        .column(*column)
+                        .map(deepeye_data::Column::name)
+                        .unwrap_or("?");
+                    let bound = *bound;
+                    prov.record_rejected(&format!("column:{name}"), Outcome::LeafPruned, |e| {
+                        e.tournament_score = Some(bound);
+                        e.notes.push(format!(
+                            "Bound {bound:.4} never reached the heap top; \
+                                 column never scanned."
+                        ));
+                    });
+                }
+            }
+            for (rank, scored) in out.iter().enumerate() {
+                let score = scored.score;
+                prov.record(&scored.node.id(), |e| {
+                    e.chart = scored.node.chart_type().name().to_owned();
+                    e.outcome = Outcome::TournamentRanked(rank + 1);
+                    e.tournament_score = Some(score);
+                });
+            }
+            for (seq, scored) in materialized.iter().enumerate() {
+                if emitted.contains(&seq) {
+                    continue;
+                }
+                let score = scored.score;
+                let chart = scored.node.chart_type().name();
+                prov.record_rejected(&scored.node.id(), Outcome::TournamentLost, |e| {
+                    e.chart = chart.to_owned();
+                    e.tournament_score = Some(score);
+                });
+            }
+            prov.bump(|c| {
+                c.leaves_materialized += stats.leaves_materialized as u64;
+                c.leaves_pruned += stats.leaves_pruned as u64;
+                c.leaves_total += stats.leaves_total as u64;
+            });
+        }
         obs.incr(
             "progressive.leaves_materialized",
             stats.leaves_materialized as u64,

@@ -144,6 +144,15 @@ impl HybridRanker {
         HybridRanker { alpha }
     }
 
+    /// The §IV-D combined score for a node at position `l_pos` under LTR
+    /// and `p_pos` under the partial order: `l_v + α·p_v`, lower is
+    /// better. Provenance records recompute exactly this expression, so
+    /// the exported hybrid parts reconcile with the ranking by
+    /// construction.
+    pub fn combined_score(&self, l_pos: usize, p_pos: usize) -> f64 {
+        l_pos as f64 + self.alpha * p_pos as f64
+    }
+
     /// Combine two rankings (each a best-first list of node indices over
     /// the same node set) into a hybrid best-first list.
     pub fn combine(&self, ltr_order: &[usize], po_order: &[usize]) -> Vec<usize> {
@@ -159,8 +168,8 @@ impl HybridRanker {
         }
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            let sa = l_pos[a] as f64 + self.alpha * p_pos[a] as f64;
-            let sb = l_pos[b] as f64 + self.alpha * p_pos[b] as f64;
+            let sa = self.combined_score(l_pos[a], p_pos[a]);
+            let sb = self.combined_score(l_pos[b], p_pos[b]);
             sa.total_cmp(&sb).then(a.cmp(&b))
         });
         order

@@ -4,6 +4,7 @@
 //! tree.
 
 use crate::node::VisNode;
+use crate::provenance::{ClassifierEvidence, Outcome, Provenance, TreeStep};
 use deepeye_ml::{Dataset, DecisionTree, GaussianNb, LinearSvm, SvmParams, TreeParams};
 
 /// Which classifier backs the recognizer.
@@ -105,6 +106,39 @@ impl Recognizer {
         self.predict(&node.feature_vector())
     }
 
+    /// The evidence behind [`Recognizer::predict`] for one feature
+    /// vector: the CART decision path, the SVM margin, or the Bayes
+    /// per-class log-likelihoods.
+    pub fn evidence(&self, features: &[f64]) -> ClassifierEvidence {
+        match &self.model {
+            Model::Tree(m) => {
+                let (path, leaf_value) = m.decision_path(features);
+                ClassifierEvidence::Tree {
+                    path: path
+                        .iter()
+                        .map(|s| TreeStep {
+                            feature: s.feature,
+                            threshold: s.threshold,
+                            value: s.value,
+                            went_left: s.went_left,
+                        })
+                        .collect(),
+                    leaf_value,
+                }
+            }
+            Model::Bayes(m) => {
+                let (log_likelihood_good, log_likelihood_bad) = m.log_likelihoods(features);
+                ClassifierEvidence::Bayes {
+                    log_likelihood_good,
+                    log_likelihood_bad,
+                }
+            }
+            Model::Svm(m) => ClassifierEvidence::Svm {
+                margin: m.decision(features),
+            },
+        }
+    }
+
     /// Filter a candidate set down to the nodes judged good.
     pub fn filter_good(&self, nodes: Vec<VisNode>) -> Vec<VisNode> {
         nodes.into_iter().filter(|n| self.is_good(n)).collect()
@@ -122,6 +156,50 @@ impl Recognizer {
         let kept = self.filter_good(nodes);
         obs.incr("recognize.kept", kept.len() as u64);
         obs.incr("recognize.rejected", total - kept.len() as u64);
+        kept
+    }
+
+    /// [`Recognizer::filter_good_observed`] that additionally records a
+    /// per-candidate provenance verdict (kept with evidence, or a
+    /// classifier-rejected record). Falls back to the plain observed
+    /// filter when provenance is disabled, so the hot path stays
+    /// allocation-free.
+    pub fn filter_good_explained(
+        &self,
+        nodes: Vec<VisNode>,
+        obs: &deepeye_obs::Observer,
+        prov: &Provenance,
+    ) -> Vec<VisNode> {
+        if !prov.is_enabled() {
+            return self.filter_good_observed(nodes, obs);
+        }
+        let _span = obs.span("pipeline.recognize");
+        let mut kept = Vec::with_capacity(nodes.len());
+        let mut rejected = 0u64;
+        for node in nodes {
+            let features = node.feature_vector();
+            let id = node.id();
+            let evidence = self.evidence(&features);
+            if self.predict(&features) {
+                prov.record(&id, |e| {
+                    e.outcome = Outcome::Kept;
+                    e.classifier = Some(evidence);
+                });
+                kept.push(node);
+            } else {
+                prov.record_rejected(&id, Outcome::ClassifierRejected, |e| {
+                    e.classifier = Some(evidence);
+                });
+                rejected += 1;
+            }
+        }
+        let kept_n = kept.len() as u64;
+        prov.bump(|c| {
+            c.classifier_kept += kept_n;
+            c.classifier_rejected += rejected;
+        });
+        obs.incr("recognize.kept", kept_n);
+        obs.incr("recognize.rejected", rejected);
         kept
     }
 

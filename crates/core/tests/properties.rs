@@ -17,12 +17,16 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Dominance is a partial order: reflexive (⪰), antisymmetric on ≻,
-    /// transitive.
+    /// transitive — for ⪰ on every generated triple, for ≻ whenever it
+    /// holds pairwise.
     #[test]
     fn dominance_axioms(a in factor_strategy(), b in factor_strategy(), c in factor_strategy()) {
         prop_assert!(a.dominates(&a));
         prop_assert!(!a.strictly_dominates(&a));
         prop_assert!(!(a.strictly_dominates(&b) && b.strictly_dominates(&a)));
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
         if a.strictly_dominates(&b) && b.strictly_dominates(&c) {
             prop_assert!(a.strictly_dominates(&c));
         }
@@ -35,6 +39,15 @@ proptest! {
             let w = a.edge_weight(&b);
             prop_assert!(w > 0.0 && w <= 1.0, "w={w}");
         }
+    }
+
+    /// Eq. 9 is antisymmetric as a function of its endpoints —
+    /// `w(a, b) == -w(b, a)` exactly (the factor differences negate
+    /// term-by-term, so no epsilon is needed) — and zero on the diagonal.
+    #[test]
+    fn edge_weight_antisymmetric(a in factor_strategy(), b in factor_strategy()) {
+        prop_assert_eq!(a.edge_weight(&b), -b.edge_weight(&a));
+        prop_assert_eq!(a.edge_weight(&a), 0.0);
     }
 
     /// Pruned and naive graph construction agree exactly on edges and

@@ -119,10 +119,21 @@ impl GaussianNb {
         }
     }
 
+    /// Per-class log-likelihoods `(positive, negative)` — each including
+    /// its class log-prior — after feature compression. The pair is the
+    /// full evidence behind a prediction: `decision` is their difference.
+    pub fn log_likelihoods(&self, row: &[f64]) -> (f64, f64) {
+        let z = compress_row(row);
+        (
+            self.positive.log_likelihood(&z),
+            self.negative.log_likelihood(&z),
+        )
+    }
+
     /// Log-odds of the positive class.
     pub fn decision(&self, row: &[f64]) -> f64 {
-        let z = compress_row(row);
-        self.positive.log_likelihood(&z) - self.negative.log_likelihood(&z)
+        let (pos, neg) = self.log_likelihoods(row);
+        pos - neg
     }
 
     pub fn predict(&self, row: &[f64]) -> bool {

@@ -37,4 +37,4 @@ pub use metrics::{dcg_at, ndcg, ndcg_at, Confusion};
 pub use persist::PersistError;
 pub use split::{k_folds, stratified_split, train_test_split};
 pub use svm::{LinearSvm, SvmParams};
-pub use tree::{DecisionTree, RegressionTree, TreeParams};
+pub use tree::{DecisionTree, PathStep, RegressionTree, TreeParams};

@@ -9,6 +9,18 @@
 
 use crate::dataset::Dataset;
 
+/// One comparison along a decision path: feature `feature` of the scored
+/// row had value `value`, was compared against `threshold`, and the walk
+/// went left (`value <= threshold`) or right.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathStep {
+    pub feature: usize,
+    pub threshold: f64,
+    /// The row's value for that feature.
+    pub value: f64,
+    pub went_left: bool,
+}
+
 /// A tree node in persistence form (see [`crate::persist`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum PersistNode {
@@ -154,6 +166,36 @@ impl DecisionTree {
 
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<bool> {
         rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// The CART decision path for one row: every split comparison walked
+    /// root-to-leaf plus the reached leaf's positive-class probability.
+    /// This is the classifier *evidence* the provenance layer records —
+    /// the exact rule chain that admitted or rejected a candidate.
+    pub fn decision_path(&self, row: &[f64]) -> (Vec<PathStep>, f64) {
+        let mut steps = Vec::new();
+        let mut idx = 0;
+        loop {
+            match &self.arena.nodes[idx] {
+                Node::Leaf { value } => return (steps, *value),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let value = row.get(*feature).copied().unwrap_or(0.0);
+                    let went_left = value <= *threshold;
+                    steps.push(PathStep {
+                        feature: *feature,
+                        threshold: *threshold,
+                        value,
+                        went_left,
+                    });
+                    idx = if went_left { *left } else { *right };
+                }
+            }
+        }
     }
 
     /// Number of nodes (diagnostics).

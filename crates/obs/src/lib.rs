@@ -49,5 +49,5 @@ pub mod trace;
 pub use hist::{HistSummary, Histogram};
 pub use json::{parse_json, Json, JsonError};
 pub use observer::{HistTimer, Observer, SpanGuard, SpanId, SpanRecord};
-pub use report::{fmt_duration, Snapshot, StageAgg};
+pub use report::{fmt_duration, validate_metrics_json, MetricsSummary, Snapshot, StageAgg};
 pub use trace::{validate_chrome_trace, TraceSummary};

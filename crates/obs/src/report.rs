@@ -211,6 +211,105 @@ impl Snapshot {
     }
 }
 
+/// Summary returned by [`validate_metrics_json`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSummary {
+    pub counters: usize,
+    pub histograms: usize,
+    pub stages: usize,
+}
+
+fn non_negative_int(v: &crate::json::Json, what: &str) -> Result<u64, String> {
+    let x = v
+        .as_f64()
+        .ok_or_else(|| format!("{what} is not a number"))?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(format!("{what} = {x} is not a non-negative integer"));
+    }
+    Ok(x as u64)
+}
+
+/// Validate a [`Snapshot::metrics_json`] document: the three top-level
+/// objects must be present, counters must be non-negative integers, and
+/// each histogram summary must be internally consistent (all eight fields
+/// present; when `count > 0`, `min ≤ p50 ≤ p95 ≤ p99 ≤ max`,
+/// `min ≤ mean ≤ max`, and `sum ≥ max`).
+pub fn validate_metrics_json(text: &str) -> Result<MetricsSummary, String> {
+    use crate::json::{parse_json, Json};
+    let doc = parse_json(text).map_err(|e| e.to_string())?;
+    let counters = doc
+        .get("counters")
+        .and_then(Json::as_object)
+        .ok_or("missing `counters` object")?;
+    for (name, value) in counters {
+        non_negative_int(value, &format!("counter `{name}`"))?;
+    }
+    let hists = doc
+        .get("histograms")
+        .and_then(Json::as_object)
+        .ok_or("missing `histograms` object")?;
+    for (name, h) in hists {
+        let field = |key: &str| -> Result<u64, String> {
+            non_negative_int(
+                h.get(key)
+                    .ok_or_else(|| format!("histogram `{name}` missing `{key}`"))?,
+                &format!("histogram `{name}`.{key}"),
+            )
+        };
+        let count = field("count")?;
+        let sum = field("sum_ns")?;
+        let min = field("min_ns")?;
+        let max = field("max_ns")?;
+        let mean = h
+            .get("mean_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("histogram `{name}` missing `mean_ns`"))?;
+        let p50 = field("p50_ns")?;
+        let p95 = field("p95_ns")?;
+        let p99 = field("p99_ns")?;
+        if count > 0 {
+            if !(min <= p50 && p50 <= p95 && p95 <= p99 && p99 <= max) {
+                return Err(format!(
+                    "histogram `{name}` percentiles not monotonic: \
+                     min {min} p50 {p50} p95 {p95} p99 {p99} max {max}"
+                ));
+            }
+            if mean < min as f64 || mean > max as f64 {
+                return Err(format!(
+                    "histogram `{name}` mean {mean} outside [{min}, {max}]"
+                ));
+            }
+            if sum < max {
+                return Err(format!("histogram `{name}` sum {sum} < max {max}"));
+            }
+        }
+    }
+    let stages = doc
+        .get("stages")
+        .and_then(Json::as_object)
+        .ok_or("missing `stages` object")?;
+    for (path, s) in stages {
+        let count = non_negative_int(
+            s.get("count")
+                .ok_or_else(|| format!("stage `{path}` missing `count`"))?,
+            &format!("stage `{path}`.count"),
+        )?;
+        if count == 0 {
+            return Err(format!("stage `{path}` has zero count"));
+        }
+        non_negative_int(
+            s.get("total_ns")
+                .ok_or_else(|| format!("stage `{path}` missing `total_ns`"))?,
+            &format!("stage `{path}`.total_ns"),
+        )?;
+    }
+    Ok(MetricsSummary {
+        counters: counters.len(),
+        histograms: hists.len(),
+        stages: stages.len(),
+    })
+}
+
 /// Render nanoseconds human-readably (`532ns`, `1.2µs`, `43ms`, `2.1s`).
 pub fn fmt_duration(ns: u64) -> String {
     match ns {
@@ -314,6 +413,41 @@ mod tests {
             .and_then(Json::as_object)
             .map(<[(String, Json)]>::is_empty)
             .unwrap_or(false));
+    }
+
+    #[test]
+    fn validator_accepts_real_exports() {
+        let summary =
+            validate_metrics_json(&sample_observer().metrics_json()).expect("valid metrics");
+        assert_eq!(summary.counters, 1);
+        assert_eq!(summary.histograms, 1);
+        assert!(summary.stages >= 3);
+        // The empty (disabled) export is also well-formed.
+        let empty = validate_metrics_json(&Observer::disabled().metrics_json()).unwrap();
+        assert_eq!(empty.counters, 0);
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_metrics_json("not json").is_err());
+        assert!(validate_metrics_json("{}")
+            .unwrap_err()
+            .contains("counters"));
+        // Percentile order violated.
+        let doc = sample_observer()
+            .metrics_json()
+            .replace("\"p50_ns\": ", "\"p50_ns\": 99999999999, \"ignored\": ");
+        assert!(validate_metrics_json(&doc)
+            .unwrap_err()
+            .contains("monotonic"));
+        // Negative counter.
+        let doc = sample_observer().metrics_json().replace(
+            "\"enumerate.candidates\": 12",
+            "\"enumerate.candidates\": -3",
+        );
+        assert!(validate_metrics_json(&doc)
+            .unwrap_err()
+            .contains("non-negative"));
     }
 
     #[test]

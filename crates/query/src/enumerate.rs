@@ -120,6 +120,22 @@ pub fn valid_queries_observed<'a>(
     filtered_queries(table, udfs, Some(obs))
 }
 
+/// [`all_queries`] with each candidate's sema verdict attached: `None`
+/// for statically executable queries, `Some(diagnostic)` (the first
+/// fatal diagnostic, exactly what [`sema::check_executable`] reports)
+/// for rejected ones. The provenance layer walks this instead of
+/// [`valid_queries`] so it can record *why* each candidate was admitted
+/// or rejected while keeping identical admit/reject counts.
+pub fn queries_with_verdict<'a>(
+    table: &'a Table,
+    udfs: &'a UdfRegistry,
+) -> impl Iterator<Item = (VisQuery, Option<sema::Diagnostic>)> + 'a {
+    all_queries(table).map(move |q| {
+        let verdict = sema::check_executable(table, &q, udfs).err();
+        (q, verdict)
+    })
+}
+
 fn filtered_queries<'a>(
     table: &'a Table,
     udfs: &'a UdfRegistry,

@@ -45,8 +45,8 @@ pub use batch::execute_batch;
 pub use bins::{bin_keys, group_keys, BinError, Bucketizer, Key, UdfRegistry};
 pub use chart::{ChartData, Series};
 pub use enumerate::{
-    all_queries, one_column_queries, one_column_space_size, two_column_queries,
-    two_column_space_size, valid_queries, valid_queries_observed,
+    all_queries, one_column_queries, one_column_space_size, queries_with_verdict,
+    two_column_queries, two_column_space_size, valid_queries, valid_queries_observed,
 };
 pub use exec::{execute, execute_observed, execute_with, QueryError};
 pub use multi::{

@@ -57,8 +57,9 @@ pub use deepeye_query as query;
 /// The commonly needed names in one import.
 pub mod prelude {
     pub use deepeye_core::{
-        ClassifierKind, DeepEye, DeepEyeConfig, EnumerationMode, HybridRanker, LabeledExample,
-        LtrRanker, RankingMethod, Recognizer, Recommendation, VisNode,
+        ClassifierKind, DeepEye, DeepEyeConfig, EnumerationMode, Explanation, HybridRanker,
+        LabeledExample, LtrRanker, Provenance, ProvenanceCaps, ProvenanceLog, RankingMethod,
+        Recognizer, Recommendation, VisNode,
     };
     pub use deepeye_data::{
         table_from_csv_path, table_from_csv_str, DataType, Table, TableBuilder,

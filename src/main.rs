@@ -4,15 +4,23 @@
 //! deepeye recommend <csv> [k]          top-k charts as terminal sketches
 //! deepeye search <csv> <keywords> [k]  keyword-driven chart search
 //! deepeye query <csv> <query.vql>     run one visualization-language query
+//! deepeye explain <csv>                why each chart ranked where it did
 //! deepeye svg <csv> <out-dir> [k]      render top-k charts to SVG files
 //! deepeye dashboard <csv> [out.html]   offline HTML dashboard (inline SVG)
 //! deepeye inspect <csv>                schema and detected column types
 //! ```
 //!
 //! Pipeline-running commands accept `--metrics-out <file>` (JSON metrics
-//! snapshot) and `--trace-out <file>` (Chrome trace-event timeline —
-//! load in Perfetto or chrome://tracing). Either flag also prints a
+//! snapshot), `--trace-out <file>` (Chrome trace-event timeline — load in
+//! Perfetto or chrome://tracing), and `--provenance-out <file>` (the
+//! per-candidate decision-provenance record). The first two also print a
 //! per-stage timing report to stderr.
+//!
+//! `explain` runs the full pipeline with provenance collection on and
+//! prints the "why" report: the M/Q/W factor breakdown, dominance
+//! summary, and rank derivation per top chart, plus the admit/reject
+//! accounting. `--top <n>` widens the report; `--query '<vis query>'`
+//! explains one specific candidate (including rejected ones).
 
 use deepeye::core::{keyword_search, render_svg, SvgOptions};
 use deepeye::prelude::*;
@@ -21,10 +29,13 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  deepeye recommend <csv> [k]\n  deepeye search <csv> <keywords> [k]\n  \
-         deepeye query <csv> <query.vql>\n  deepeye svg <csv> <out-dir> [k]\n  \
+         deepeye query <csv> <query.vql>\n  \
+         deepeye explain <csv> [--top <n>] [--query '<vis query>']\n  \
+         deepeye svg <csv> <out-dir> [k]\n  \
          deepeye dashboard <csv> [out.html]\n  deepeye inspect <csv>\n\
-         options:\n  --metrics-out <file>   write a JSON metrics snapshot\n  \
-         --trace-out <file>     write a Chrome trace (Perfetto-loadable)"
+         options:\n  --metrics-out <file>     write a JSON metrics snapshot\n  \
+         --trace-out <file>       write a Chrome trace (Perfetto-loadable)\n  \
+         --provenance-out <file>  write the decision-provenance JSON"
     );
     ExitCode::from(2)
 }
@@ -36,38 +47,37 @@ fn load(path: &str) -> Result<Table, ExitCode> {
     })
 }
 
+/// Strip one `--name <value>` flag from `args` (any position). `Err`
+/// means the flag was given without a value.
+fn strip_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, ()> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(());
+    }
+    let value = args[i + 1].clone();
+    args.drain(i..i + 2);
+    Ok(Some(value))
+}
+
 /// Observability outputs requested on the command line.
 struct ObsFlags {
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    provenance_out: Option<String>,
 }
 
 impl ObsFlags {
-    /// Strip `--metrics-out <file>` / `--trace-out <file>` from `args`
-    /// (any position), so positional parsing below stays index-based.
-    /// `Err` means a flag was given without a value.
+    /// Strip the export flags from `args` (any position), so positional
+    /// parsing below stays index-based. `Err` means a flag was given
+    /// without a value.
     fn strip(args: &mut Vec<String>) -> Result<ObsFlags, ()> {
-        let mut flags = ObsFlags {
-            metrics_out: None,
-            trace_out: None,
-        };
-        let mut i = 0;
-        while i < args.len() {
-            let slot = match args[i].as_str() {
-                "--metrics-out" => &mut flags.metrics_out,
-                "--trace-out" => &mut flags.trace_out,
-                _ => {
-                    i += 1;
-                    continue;
-                }
-            };
-            if i + 1 >= args.len() {
-                return Err(());
-            }
-            *slot = Some(args[i + 1].clone());
-            args.drain(i..i + 2);
-        }
-        Ok(flags)
+        Ok(ObsFlags {
+            metrics_out: strip_flag(args, "--metrics-out")?,
+            trace_out: strip_flag(args, "--trace-out")?,
+            provenance_out: strip_flag(args, "--provenance-out")?,
+        })
     }
 
     fn wanted(&self) -> bool {
@@ -84,8 +94,26 @@ impl ObsFlags {
         }
     }
 
+    /// A provenance collector matching the flags: recording when a
+    /// provenance export was requested (or `force`d by the `explain`
+    /// subcommand), the no-op handle otherwise.
+    fn provenance(&self, force: bool) -> Provenance {
+        if force || self.provenance_out.is_some() {
+            Provenance::enabled()
+        } else {
+            Provenance::disabled()
+        }
+    }
+
     /// Write the requested exports and print the stage report to stderr.
-    fn finish(&self, obs: &Observer) -> Result<(), ExitCode> {
+    fn finish(&self, obs: &Observer, prov: &Provenance) -> Result<(), ExitCode> {
+        if let Some(path) = &self.provenance_out {
+            std::fs::write(path, prov.to_json()).map_err(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                ExitCode::FAILURE
+            })?;
+            eprintln!("wrote decision provenance to {path}");
+        }
         if !self.wanted() {
             return Ok(());
         }
@@ -114,14 +142,16 @@ fn main() -> ExitCode {
         return usage();
     };
     let obs = flags.observer();
-    let eye = DeepEye::new(DeepEyeConfig {
-        observer: obs.clone(),
-        ..Default::default()
-    });
-    let Some(command) = args.first().map(String::as_str) else {
+    let Some(command) = args.first().cloned() else {
         return usage();
     };
-    match command {
+    let prov = flags.provenance(command == "explain");
+    let eye = DeepEye::new(DeepEyeConfig {
+        observer: obs.clone(),
+        provenance: prov.clone(),
+        ..Default::default()
+    });
+    match command.as_str() {
         "recommend" => {
             let Some(path) = args.get(1) else {
                 return usage();
@@ -146,7 +176,7 @@ fn main() -> ExitCode {
                     rec.node.data.ascii_sketch(10)
                 );
             }
-            if let Err(code) = flags.finish(&obs) {
+            if let Err(code) = flags.finish(&obs, &prov) {
                 return code;
             }
             ExitCode::SUCCESS
@@ -163,7 +193,7 @@ fn main() -> ExitCode {
             for rec in keyword_search(&eye, &table, keywords, k) {
                 println!("#{}\n{}", rec.rank, rec.node.data.ascii_sketch(10));
             }
-            if let Err(code) = flags.finish(&obs) {
+            if let Err(code) = flags.finish(&obs, &prov) {
                 return code;
             }
             ExitCode::SUCCESS
@@ -198,6 +228,61 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "explain" => {
+            let (Ok(top), Ok(query_text)) = (
+                strip_flag(&mut args, "--top"),
+                strip_flag(&mut args, "--query"),
+            ) else {
+                return usage();
+            };
+            let top: usize = match top {
+                Some(t) => match t.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("error: --top wants a number, got `{t}`");
+                        return usage();
+                    }
+                },
+                None => 5,
+            };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let table = match load(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let _ = eye.recommend(&table, top.max(1));
+            let log = prov.snapshot();
+            match query_text {
+                Some(text) => {
+                    let parsed = match parse_query(&text) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let id = deepeye::core::query_id(&parsed.query);
+                    match log.find(&id) {
+                        Some(e) => print!("{}", e.render()),
+                        None => {
+                            eprintln!(
+                                "no provenance record for `{}` — the candidate was never \
+                                 enumerated (try a GROUP/BIN transform the rules propose)",
+                                parsed.query.to_language(table.name())
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => print!("{}", log.report(top)),
+            }
+            if let Err(code) = flags.finish(&obs, &prov) {
+                return code;
+            }
+            ExitCode::SUCCESS
+        }
         "svg" => {
             let (Some(path), Some(out_dir)) = (args.get(1), args.get(2)) else {
                 return usage();
@@ -220,7 +305,7 @@ fn main() -> ExitCode {
                 }
                 println!("wrote {file}");
             }
-            if let Err(code) = flags.finish(&obs) {
+            if let Err(code) = flags.finish(&obs, &prov) {
                 return code;
             }
             ExitCode::SUCCESS
@@ -255,7 +340,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote {out} (fully offline, inline SVG)");
-            if let Err(code) = flags.finish(&obs) {
+            if let Err(code) = flags.finish(&obs, &prov) {
                 return code;
             }
             ExitCode::SUCCESS

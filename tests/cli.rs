@@ -176,3 +176,96 @@ fn missing_file_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn explain_reports_all_three_factors() {
+    let dir = tmp_dir("explain");
+    let csv = sample_csv(&dir);
+    let out = bin()
+        .args(["explain", csv.to_str().unwrap(), "--top", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("why these charts"), "{stdout}");
+    assert!(stdout.contains("Ranked #1"), "{stdout}");
+    for factor in ["M = ", "Q = ", "W = "] {
+        assert!(stdout.contains(factor), "missing {factor}:\n{stdout}");
+    }
+    assert!(stdout.contains("candidates enumerated"), "{stdout}");
+}
+
+#[test]
+fn explain_single_query_and_provenance_export() {
+    let dir = tmp_dir("explain-query");
+    let csv = sample_csv(&dir);
+    let prov_path = dir.join("prov.json");
+    let query = "VISUALIZE bar\nSELECT region, AVG(revenue)\nFROM sales\nGROUP BY region";
+    let out = bin()
+        .args([
+            "explain",
+            csv.to_str().unwrap(),
+            "--query",
+            query,
+            "--provenance-out",
+            prov_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bar"), "{stdout}");
+    assert!(stdout.contains("M = "), "{stdout}");
+    // The export next to it passes the schema + invariant validator.
+    let text = std::fs::read_to_string(&prov_path).unwrap();
+    let summary = deepeye::core::validate_provenance_json(&text).expect("provenance validates");
+    assert!(summary.records > 0);
+}
+
+#[test]
+fn recommend_writes_validating_provenance_file() {
+    let dir = tmp_dir("rec-prov");
+    let csv = sample_csv(&dir);
+    let prov_path = dir.join("prov.json");
+    let out = bin()
+        .args([
+            "recommend",
+            csv.to_str().unwrap(),
+            "3",
+            "--provenance-out",
+            prov_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&prov_path).unwrap();
+    let summary = deepeye::core::validate_provenance_json(&text).expect("provenance validates");
+    assert_eq!(summary.ranked, 3);
+}
+
+#[test]
+fn explain_unknown_query_fails_cleanly() {
+    let dir = tmp_dir("explain-miss");
+    let csv = sample_csv(&dir);
+    // Executable, but not a candidate the rules enumerate (raw bar chart
+    // of two numeric columns, no transform).
+    let query = "VISUALIZE bar\nSELECT revenue, units\nFROM sales";
+    let out = bin()
+        .args(["explain", csv.to_str().unwrap(), "--query", query])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no provenance record"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -232,3 +232,69 @@ fn cli_rejects_dangling_flag() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
+
+/// DESIGN.md §6's metric-name table and the instrumentation sites in the
+/// product crates must list exactly the same names — the audit that keeps
+/// the EXPLAIN/metrics documentation from drifting out from under the
+/// code. Counters come from `.incr("…")`, histograms from `.timer("…")`
+/// and `.record_many_ns("…")`; the scan collapses whitespace so
+/// multi-line call sites count too.
+#[test]
+fn design_doc_metric_names_match_code() {
+    use std::collections::BTreeSet;
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md readable");
+    let section = design
+        .split("### Metric names")
+        .nth(1)
+        .and_then(|rest| rest.split("### Exporters").next())
+        .expect("DESIGN.md has a `Metric names` section inside §6");
+    let documented: BTreeSet<String> = section
+        .split('`')
+        .skip(1)
+        .step_by(2)
+        .filter(|tok| {
+            tok.contains('.')
+                && tok
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+        })
+        .map(str::to_owned)
+        .collect();
+
+    let mut in_code = BTreeSet::new();
+    for krate in ["core", "query", "ml"] {
+        let dir = root.join("crates").join(krate).join("src");
+        for entry in std::fs::read_dir(&dir).expect("crate src dir") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let source = std::fs::read_to_string(&path).expect("source readable");
+            let flat: String = source.chars().filter(|c| !c.is_whitespace()).collect();
+            for pattern in [".incr(\"", ".timer(\"", ".record_many_ns(\""] {
+                for (start, _) in flat.match_indices(pattern) {
+                    let name = flat[start + pattern.len()..]
+                        .split('"')
+                        .next()
+                        .unwrap_or_default();
+                    if !name.is_empty() {
+                        in_code.insert(name.to_owned());
+                    }
+                }
+            }
+        }
+    }
+
+    let undocumented: Vec<_> = in_code.difference(&documented).collect();
+    let phantom: Vec<_> = documented.difference(&in_code).collect();
+    assert!(
+        undocumented.is_empty() && phantom.is_empty(),
+        "metric names drifted — in code but not DESIGN.md §6: {undocumented:?}; \
+         documented but not in code: {phantom:?}"
+    );
+    assert!(
+        documented.len() >= 19,
+        "expected the full metric table, found {documented:?}"
+    );
+}
