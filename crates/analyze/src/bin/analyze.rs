@@ -1,0 +1,138 @@
+//! The `analyze` CLI: lint the workspace, explore the checked-in
+//! concurrency models.
+//!
+//! ```text
+//! analyze --workspace [--root DIR] [--baseline FILE] [--json FILE]
+//! analyze --models
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on violations / stale baseline entries /
+//! model-checker findings, 2 on usage or I/O errors.
+
+use deepeye_analyze::model::demo;
+use deepeye_analyze::{lint_report_json, Baseline, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<&str> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => mode = Some("workspace"),
+            "--models" => mode = Some("models"),
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a value"),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage("--baseline needs a value"),
+            },
+            "--json" => match it.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    match mode {
+        Some("workspace") => run_lint(root, baseline_path, json_out),
+        Some("models") => run_models(),
+        _ => usage("pass --workspace or --models"),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("analyze: {err}");
+    eprintln!("usage: analyze --workspace [--root DIR] [--baseline FILE] [--json FILE]");
+    eprintln!("       analyze --models");
+    ExitCode::from(2)
+}
+
+/// The workspace root: `--root`, or the manifest's grandparent (this
+/// binary lives in `crates/analyze`).
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn run_lint(
+    root: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+    json_out: Option<PathBuf>,
+) -> ExitCode {
+    let root = root.unwrap_or_else(default_root);
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_file = baseline_path.unwrap_or_else(|| root.join("analyze.allow"));
+    let baseline = match std::fs::read_to_string(&baseline_file) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("analyze: {}: {e}", baseline_file.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::default(), // missing baseline = empty
+    };
+    let outcome = deepeye_analyze::lint::run(&ws, &baseline);
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, lint_report_json(&outcome)) {
+            eprintln!("analyze: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    for d in &outcome.violations {
+        println!("{d}");
+    }
+    for s in &outcome.stale {
+        println!("stale baseline entry: {s}");
+    }
+    println!(
+        "analyze: {} file(s), {} rule(s): {} violation(s), {} suppressed, {} stale baseline entr{}",
+        outcome.files_scanned,
+        deepeye_analyze::rules::RULES.len(),
+        outcome.violations.len(),
+        outcome.suppressed.len(),
+        outcome.stale.len(),
+        if outcome.stale.len() == 1 { "y" } else { "ies" },
+    );
+    if outcome.violations.is_empty() && outcome.stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_models() -> ExitCode {
+    let mut ok = true;
+    for report in demo::demo_reports() {
+        println!("{report}");
+        for race in &report.races {
+            println!("  race: {race}");
+        }
+        for f in &report.failures {
+            println!("  failure: {} (schedule {:?})", f.message, f.schedule);
+        }
+        ok &= report.ok() && report.executions >= demo::INTERLEAVING_TARGET;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,41 @@
+//! `deepeye-analyze`: the repo's own static-analysis and concurrency
+//! checking toolbox.
+//!
+//! Two engines share this crate:
+//!
+//! * **Invariant linter** ([`lexer`], [`lint`], [`rules`], [`report`]) —
+//!   a lightweight Rust lexer plus a rule framework enforcing the
+//!   project invariants rustc and clippy cannot see: the clock
+//!   discipline (`A0001`), observability call-site guards (`A0002`),
+//!   no lock held across a recording callback (`A0003`), doc/code sync
+//!   for sema diagnostic codes (`A0004`) and metric names (`A0005`),
+//!   and structured concurrency only (`A0006`). Rules produce
+//!   `file:line` diagnostics, honour a checked-in `analyze.allow`
+//!   baseline (expected to stay empty), and export machine-readable
+//!   JSON validated by `trace_check --lint-report`.
+//!
+//! * **Loom-lite model checker** ([`model`]) — a deterministic
+//!   cooperative scheduler that runs small 2–3-thread models of the
+//!   repo's real concurrency (observer counter merging, span
+//!   parenting, top-k work partitioning) under exhaustively enumerated
+//!   or seeded-random interleavings, with vector-clock shadow state
+//!   that reports data races, deadlocks, and failed assertions together
+//!   with the schedule that produced them.
+//!
+//! The `analyze` binary drives both: `analyze --workspace` lints the
+//! tree, `analyze --models` explores the checked-in models.
+//!
+//! DESIGN.md §8 documents the rule catalog and the checker's scope and
+//! limits; a doc-sync test keeps that section and [`rules::RULES`]
+//! identical.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod lint;
+pub mod model;
+pub mod report;
+pub mod rules;
+
+pub use lint::{Baseline, Diagnostic, LintOutcome, Workspace};
+pub use report::{lint_report_json, validate_lint_report, ReportSummary};

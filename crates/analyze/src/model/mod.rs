@@ -1,0 +1,234 @@
+//! A loom-lite concurrency model checker.
+//!
+//! [`explore`] runs a model function many times: each run registers
+//! shared state and threads on a fresh [`Sim`], and the scheduler
+//! serializes every shared-memory operation under one interleaving. In
+//! [`Mode::Exhaustive`] a depth-first search over the recorded choice
+//! points enumerates *every* (bounded) interleaving; [`Mode::Random`]
+//! samples schedules from a seeded xorshift for cheap extra coverage.
+//! Along the way the vector-clock shadow state reports data
+//! races, the scheduler reports deadlocks, and panicking assertions
+//! inside model threads (or after [`Sim::run`]) are caught and recorded
+//! as failures with the schedule that produced them.
+//!
+//! This is not loom: no store buffers, no SeqCst global-order checking,
+//! no partial-order reduction. It is the 500-line subset that catches
+//! the bug classes this repo's hot paths can actually have — unordered
+//! plain-memory access, publication through an insufficient memory
+//! order, lock-order inversion — and every schedule it explores is
+//! replayable from the `(choice, enabled)` trace.
+
+pub mod demo;
+mod sched;
+mod sim;
+
+pub use sim::{MAtomicU64, MCell, MMutex, MemOrd, Sim, ThreadCtx};
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How to drive the schedule search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// DFS over every choice point (complete up to `max_executions`).
+    Exhaustive,
+    /// Seeded pseudo-random schedules, `max_executions` of them.
+    Random { seed: u64 },
+}
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    pub mode: Mode,
+    pub max_executions: usize,
+}
+
+impl Options {
+    pub fn exhaustive(max_executions: usize) -> Options {
+        Options {
+            mode: Mode::Exhaustive,
+            max_executions,
+        }
+    }
+    pub fn random(seed: u64, max_executions: usize) -> Options {
+        Options {
+            mode: Mode::Random { seed },
+            max_executions,
+        }
+    }
+}
+
+/// An execution that panicked (a model assertion fired), with the
+/// schedule (thread ids in order) that produced it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub schedule: Vec<usize>,
+    pub message: String,
+}
+
+/// The result of exploring one model.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub name: String,
+    /// Interleavings executed.
+    pub executions: usize,
+    /// Exhaustive mode only: the whole space fit under the cap.
+    pub complete: bool,
+    /// Distinct data races observed (deduplicated messages).
+    pub races: Vec<String>,
+    /// Assertion failures, with their schedules.
+    pub failures: Vec<Failure>,
+    /// Executions that ended with all live threads blocked.
+    pub deadlocks: usize,
+    /// Longest schedule seen (choice points).
+    pub max_steps: usize,
+}
+
+impl Report {
+    /// No races, no failed assertions, no deadlocks.
+    pub fn ok(&self) -> bool {
+        self.races.is_empty() && self.failures.is_empty() && self.deadlocks == 0
+    }
+
+    /// Fold another exploration of the same model into this report.
+    pub fn merge(&mut self, other: Report) {
+        self.executions += other.executions;
+        for r in other.races {
+            if !self.races.contains(&r) {
+                self.races.push(r);
+            }
+        }
+        self.failures.extend(other.failures);
+        self.deadlocks += other.deadlocks;
+        self.max_steps = self.max_steps.max(other.max_steps);
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model {}: {} interleavings{}, {} race(s), {} deadlock(s), {} assertion failure(s), max {} steps",
+            self.name,
+            self.executions,
+            if self.complete { " (exhaustive)" } else { "" },
+            self.races.len(),
+            self.deadlocks,
+            self.failures.len(),
+            self.max_steps
+        )
+    }
+}
+
+/// Explore a model under many interleavings. The model function is
+/// called once per execution; it must be deterministic apart from the
+/// schedule (build state, spawn threads, `sim.run()`, then assert).
+pub fn explore(name: &str, opts: &Options, model: impl Fn(&mut Sim)) -> Report {
+    let mut report = Report {
+        name: name.to_owned(),
+        executions: 0,
+        complete: false,
+        races: Vec::new(),
+        failures: Vec::new(),
+        deadlocks: 0,
+        max_steps: 0,
+    };
+    let mut prefix: Vec<usize> = Vec::new();
+    for exec in 0..opts.max_executions {
+        let (run_prefix, seed) = match opts.mode {
+            Mode::Exhaustive => (std::mem::take(&mut prefix), None),
+            Mode::Random { seed } => (
+                Vec::new(),
+                Some(
+                    seed.wrapping_add(exec as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+            ),
+        };
+        let mut sim = Sim::new(run_prefix, seed);
+        let res = catch_unwind(AssertUnwindSafe(|| model(&mut sim)));
+        let (races, panics, sched_out) = sim.harvest();
+        report.executions += 1;
+        report.max_steps = report.max_steps.max(sched_out.trace.len());
+        for r in races {
+            if !report.races.contains(&r) {
+                report.races.push(r);
+            }
+        }
+        for p in panics {
+            report.failures.push(Failure {
+                schedule: sched_out.trace.clone(),
+                message: p,
+            });
+        }
+        if sched_out.deadlock {
+            report.deadlocks += 1;
+        }
+        if sched_out.step_overflow {
+            report.failures.push(Failure {
+                schedule: sched_out.trace.clone(),
+                message: format!("schedule exceeded {} choice points", sched::STEP_CAP),
+            });
+        }
+        if let Err(payload) = res {
+            report.failures.push(Failure {
+                schedule: sched_out.trace.clone(),
+                message: sim_panic_msg(payload.as_ref()),
+            });
+        }
+        match opts.mode {
+            Mode::Random { .. } => {}
+            Mode::Exhaustive => {
+                // Backtrack: bump the deepest choice that still has an
+                // unexplored sibling.
+                let taken = sched_out.taken;
+                let mut next = None;
+                for k in (0..taken.len()).rev() {
+                    if taken[k].0 + 1 < taken[k].1 {
+                        next = Some(k);
+                        break;
+                    }
+                }
+                match next {
+                    Some(k) => {
+                        prefix = taken[..k].iter().map(|t| t.0).collect();
+                        prefix.push(taken[k].0 + 1);
+                    }
+                    None => {
+                        report.complete = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Exhaustive exploration topped up with seeded-random schedules until
+/// at least `target` interleavings ran — the acceptance floor the
+/// checked-in models use is 1000.
+pub fn explore_at_least(name: &str, target: usize, model: impl Fn(&mut Sim)) -> Report {
+    let mut report = explore(name, &Options::exhaustive(target), &model);
+    if !report.complete || report.executions < target {
+        // Small spaces: top up to the target. Spaces the DFS cap cut
+        // short: add seeded-random schedules anyway — the DFS tail only
+        // varies late choices, random ones restore diversity.
+        let extra = target.saturating_sub(report.executions).max(target / 2);
+        report.merge(explore(
+            name,
+            &Options::random(0x5EED_0000 + target as u64, extra),
+            &model,
+        ));
+    }
+    report
+}
+
+fn sim_panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -1,0 +1,282 @@
+//! The deterministic cooperative scheduler.
+//!
+//! Model threads are real OS threads, but only **one runs at a time**:
+//! every shared-memory operation first parks on [`Sched::wait_for_turn`]
+//! and ends with [`Sched::yield_turn`], so the whole execution is
+//! serialized by an explicit schedule. Each hand-off is a *choice point*
+//! recorded as `(choice index, enabled count)`; the explorer replays a
+//! chosen prefix and the DFS in [`crate::model::explore`] backtracks
+//! over those records to enumerate every interleaving (or samples them
+//! with a seeded xorshift in random mode).
+//!
+//! Termination discipline: a thread may only retire via [`Sched::finish`]
+//! *while holding the turn*. Without that rule the enabled set at a
+//! choice point would depend on OS timing (did the neighbour's guard
+//! drop yet?), and replaying a recorded schedule would diverge.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Hard per-execution bound on choice points — a backstop against a
+/// model that livelocks (correct models are far below it).
+pub const STEP_CAP: usize = 10_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting on the lock with this id.
+    Blocked(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct St {
+    status: Vec<Status>,
+    /// The thread currently holding the turn.
+    current: Option<usize>,
+    /// Replay prefix: forced choice indices for the first decisions.
+    prefix: Vec<usize>,
+    /// Every decision made: (choice index, enabled count at that point).
+    taken: Vec<(usize, usize)>,
+    /// The thread ids actually scheduled, in order.
+    trace: Vec<usize>,
+    /// Random-mode xorshift state (`None` = deterministic DFS order).
+    rng: Option<u64>,
+    deadlock: bool,
+    step_overflow: bool,
+    abort: bool,
+}
+
+/// What one execution's schedule looked like, read back after the run.
+#[derive(Debug, Clone)]
+pub struct SchedOutcome {
+    pub taken: Vec<(usize, usize)>,
+    pub trace: Vec<usize>,
+    pub deadlock: bool,
+    pub step_overflow: bool,
+    pub aborted: bool,
+}
+
+pub struct Sched {
+    st: Mutex<St>,
+    cv: Condvar,
+}
+
+impl Sched {
+    pub fn new(n_threads: usize, prefix: Vec<usize>, rng_seed: Option<u64>) -> Sched {
+        Sched {
+            st: Mutex::new(St {
+                status: vec![Status::Runnable; n_threads],
+                current: None,
+                prefix,
+                taken: Vec::new(),
+                trace: Vec::new(),
+                rng: rng_seed.map(|s| s | 1), // xorshift state must be nonzero
+                deadlock: false,
+                step_overflow: false,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, St> {
+        self.st.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Size the thread table once the real count is known (at run
+    /// time), keeping the replay prefix and rng state.
+    pub fn reset_threads(&self, n: usize) {
+        let mut st = self.lock();
+        st.status = vec![Status::Runnable; n];
+        st.current = None;
+        st.taken.clear();
+        st.trace.clear();
+        st.deadlock = false;
+        st.step_overflow = false;
+        st.abort = false;
+    }
+
+    /// Make the first scheduling decision. Threads spawned afterwards
+    /// park in [`wait_for_turn`] until their id comes up.
+    pub fn start(&self) {
+        let mut st = self.lock();
+        pick_next(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Park until this thread holds the turn. `false` means the
+    /// execution aborted (deadlock, panic, or step overflow) and the
+    /// caller should fall through without touching shadow state.
+    pub fn wait_for_turn(&self, tid: usize) -> bool {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                return false;
+            }
+            if st.current == Some(tid) {
+                return true;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Give up the turn after one operation; the scheduler picks the
+    /// next thread (possibly the same one).
+    pub fn yield_turn(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.abort || st.current != Some(tid) {
+            return;
+        }
+        pick_next(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Block on a lock: the thread leaves the enabled set until
+    /// [`unblock`] runs for the same lock id.
+    pub fn block_on(&self, tid: usize, lock_id: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            return;
+        }
+        st.status[tid] = Status::Blocked(lock_id);
+        if st.current == Some(tid) {
+            pick_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wake every thread blocked on `lock_id`; they re-contend for the
+    /// lock next time they are scheduled.
+    pub fn unblock(&self, lock_id: usize) {
+        let mut st = self.lock();
+        for s in &mut st.status {
+            if *s == Status::Blocked(lock_id) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Retire this thread. Waits for the turn first (see the module doc
+    /// for why); on abort it just marks the slot finished.
+    pub fn finish(&self, tid: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                st.status[tid] = Status::Finished;
+                self.cv.notify_all();
+                return;
+            }
+            if st.current == Some(tid) {
+                st.status[tid] = Status::Finished;
+                pick_next(&mut st);
+                self.cv.notify_all();
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Abort the execution (thread panic); wakes every parked thread.
+    pub fn abort(&self) {
+        let mut st = self.lock();
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Read the schedule back after the run.
+    pub fn outcome(&self) -> SchedOutcome {
+        let st = self.lock();
+        SchedOutcome {
+            taken: st.taken.clone(),
+            trace: st.trace.clone(),
+            deadlock: st.deadlock,
+            step_overflow: st.step_overflow,
+            aborted: st.abort,
+        }
+    }
+}
+
+fn pick_next(st: &mut St) {
+    let enabled: Vec<usize> = st
+        .status
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == Status::Runnable)
+        .map(|(i, _)| i)
+        .collect();
+    if enabled.is_empty() {
+        st.current = None;
+        if st.status.iter().any(|s| matches!(s, Status::Blocked(_))) {
+            // Someone still waits on a lock nobody can release.
+            st.deadlock = true;
+            st.abort = true;
+        }
+        return;
+    }
+    let k = st.taken.len();
+    let choice = if k < st.prefix.len() {
+        st.prefix[k].min(enabled.len() - 1)
+    } else if let Some(state) = st.rng.as_mut() {
+        (xorshift64(state) % enabled.len() as u64) as usize
+    } else {
+        0 // DFS explores the leftmost branch beyond the prefix
+    };
+    st.taken.push((choice, enabled.len()));
+    let tid = enabled[choice];
+    st.trace.push(tid);
+    st.current = Some(tid);
+    if st.taken.len() > STEP_CAP {
+        st.step_overflow = true;
+        st.abort = true;
+    }
+}
+
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_schedule_is_deterministic() {
+        let sched = Sched::new(1, Vec::new(), None);
+        sched.start();
+        assert!(sched.wait_for_turn(0));
+        sched.yield_turn(0);
+        assert!(sched.wait_for_turn(0));
+        sched.finish(0);
+        let out = sched.outcome();
+        assert!(!out.aborted && !out.deadlock);
+        assert_eq!(out.trace, vec![0, 0]);
+        assert_eq!(out.taken, vec![(0, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn prefix_forces_the_other_branch() {
+        // Two threads, prefix [1]: the first decision must pick t1.
+        let sched = Sched::new(2, vec![1], None);
+        sched.start();
+        let st = sched.lock();
+        assert_eq!(st.current, Some(1));
+        assert_eq!(st.taken, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn all_blocked_is_a_deadlock() {
+        let sched = Sched::new(2, Vec::new(), None);
+        sched.start();
+        sched.block_on(0, 7);
+        sched.block_on(1, 8);
+        let out = sched.outcome();
+        assert!(out.deadlock);
+        assert!(out.aborted);
+        assert!(!sched.wait_for_turn(0), "abort unparks waiters");
+    }
+}

@@ -1,0 +1,486 @@
+//! Shared-memory primitives with shadow state.
+//!
+//! Models manipulate [`MCell`] (plain memory), [`MAtomicU64`] (atomic
+//! with an explicit [`MemOrd`]), and [`MMutex`] handles instead of the
+//! real thing. Every access is (a) serialized through the scheduler —
+//! one operation per turn — and (b) mirrored into *shadow state*: a
+//! FastTrack-style vector-clock machine that flags data races the
+//! moment two unordered accesses touch the same plain cell.
+//!
+//! The memory-order model is deliberately conservative and simple:
+//! atomics are always single-copy atomic; `Release`-class stores
+//! publish the writer's clock into the location, `Acquire`-class loads
+//! join it — `Relaxed` transfers nothing. That is exactly enough to
+//! catch the bugs this repo cares about (a `SeqCst` merge demoted to a
+//! plain read-modify-write, publication through a relaxed flag) without
+//! simulating store buffers.
+
+use super::sched::Sched;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Memory ordering for [`MAtomicU64`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOrd {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl MemOrd {
+    fn acquires(self) -> bool {
+        matches!(self, MemOrd::Acquire | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+    fn releases(self) -> bool {
+        matches!(self, MemOrd::Release | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+}
+
+type Vc = Vec<u64>;
+
+fn vc_join(into: &mut Vc, other: &Vc) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (i, v) in other.iter().enumerate() {
+        if *v > into[i] {
+            into[i] = *v;
+        }
+    }
+}
+
+/// Whether the event stamped `vc` (performed by thread `tid`) happens
+/// before an observer whose clock is `now`.
+fn ordered_before(vc: &Vc, tid: usize, now: &Vc) -> bool {
+    vc.get(tid).copied().unwrap_or(0) <= now.get(tid).copied().unwrap_or(0)
+}
+
+#[derive(Default)]
+struct CellMeta {
+    label: &'static str,
+    /// Last write: (thread, its clock at the write).
+    last_write: Option<(usize, Vc)>,
+    /// Latest read per thread since the last write.
+    reads: Vec<(usize, Vc)>,
+}
+
+#[derive(Default)]
+struct AtomicSlot {
+    val: u64,
+    /// Clock published by Release-class stores, joined by Acquire loads.
+    sync_vc: Vc,
+}
+
+#[derive(Default)]
+struct LockSlot {
+    held: bool,
+    /// Clock left behind by the last unlock.
+    vc: Vc,
+}
+
+#[derive(Default)]
+struct Shared {
+    /// Per-thread vector clocks (sized when the run starts).
+    vcs: Vec<Vc>,
+    cells: Vec<CellMeta>,
+    atomics: Vec<AtomicSlot>,
+    locks: Vec<LockSlot>,
+    races: Vec<String>,
+    panics: Vec<String>,
+}
+
+impl Shared {
+    fn note_race(&mut self, msg: String) {
+        if !self.races.contains(&msg) {
+            self.races.push(msg);
+        }
+    }
+}
+
+pub(super) struct SimInner {
+    pub(super) sched: Sched,
+    shared: Mutex<Shared>,
+}
+
+impl SimInner {
+    fn shared(&self) -> MutexGuard<'_, Shared> {
+        self.shared.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Handed to every model thread; carries its scheduler identity.
+pub struct ThreadCtx {
+    pub(super) tid: usize,
+}
+
+impl ThreadCtx {
+    /// This thread's 0-based id (handy for labelling pushed values).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+/// A registered model-thread body, boxed for storage until [`Sim::run`].
+type ThreadBody = Box<dyn FnOnce(&ThreadCtx) + Send + 'static>;
+
+/// One model execution under construction: register shared state,
+/// spawn threads, then [`Sim::run`].
+pub struct Sim {
+    inner: Arc<SimInner>,
+    threads: Vec<ThreadBody>,
+    ran_clean: bool,
+}
+
+impl Sim {
+    pub(super) fn new(prefix: Vec<usize>, rng_seed: Option<u64>) -> Sim {
+        Sim {
+            inner: Arc::new(SimInner {
+                sched: Sched::new(0, prefix, rng_seed),
+                shared: Mutex::new(Shared::default()),
+            }),
+            threads: Vec::new(),
+            ran_clean: true,
+        }
+    }
+
+    /// A plain (non-atomic) shared cell. Unordered concurrent access is
+    /// a data race and will be reported.
+    pub fn cell<T: Clone + Send + 'static>(&mut self, label: &'static str, init: T) -> MCell<T> {
+        let id = {
+            let mut sh = self.inner.shared();
+            sh.cells.push(CellMeta {
+                label,
+                ..CellMeta::default()
+            });
+            sh.cells.len() - 1
+        };
+        MCell {
+            id,
+            val: Arc::new(Mutex::new(init)),
+            sim: Arc::clone(&self.inner),
+        }
+    }
+
+    /// An atomic u64 with explicit memory orders.
+    pub fn atomic_u64(&mut self, label: &'static str, init: u64) -> MAtomicU64 {
+        let id = {
+            let mut sh = self.inner.shared();
+            sh.atomics.push(AtomicSlot {
+                val: init,
+                sync_vc: Vc::new(),
+            });
+            sh.atomics.len() - 1
+        };
+        let _ = label;
+        MAtomicU64 {
+            id,
+            sim: Arc::clone(&self.inner),
+        }
+    }
+
+    /// A model mutex: blocking, deadlock-detected, and a
+    /// happens-before edge from each unlock to the next lock.
+    pub fn mutex(&mut self, label: &'static str) -> MMutex {
+        let id = {
+            let mut sh = self.inner.shared();
+            sh.locks.push(LockSlot::default());
+            sh.locks.len() - 1
+        };
+        let _ = label;
+        MMutex {
+            id,
+            sim: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Register a model thread. Nothing runs until [`Sim::run`].
+    pub fn spawn(&mut self, body: impl FnOnce(&ThreadCtx) + Send + 'static) {
+        self.threads.push(Box::new(body));
+    }
+
+    /// Execute the registered threads under the schedule. Returns `true`
+    /// when the execution ran to completion (no deadlock, panic, or
+    /// step overflow) — post-run assertions are only meaningful then.
+    pub fn run(&mut self) -> bool {
+        let n = self.threads.len();
+        if n == 0 {
+            return self.ran_clean;
+        }
+        {
+            let mut sh = self.inner.shared();
+            sh.vcs = vec![vec![0; n]; n];
+        }
+        self.inner.sched.reset_threads(n);
+        self.inner.sched.start();
+        let bodies: Vec<_> = self.threads.drain(..).collect();
+        std::thread::scope(|scope| {
+            for (tid, body) in bodies.into_iter().enumerate() {
+                let inner = Arc::clone(&self.inner);
+                scope.spawn(move || {
+                    let guard = FinishGuard {
+                        inner: Arc::clone(&inner),
+                        tid,
+                    };
+                    let ctx = ThreadCtx { tid };
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&ctx))) {
+                        let msg = payload_msg(&payload);
+                        inner
+                            .shared()
+                            .panics
+                            .push(format!("t{tid} panicked: {msg}"));
+                        inner.sched.abort();
+                    }
+                    drop(guard);
+                });
+            }
+        });
+        let out = self.inner.sched.outcome();
+        self.ran_clean = !out.aborted;
+        self.ran_clean
+    }
+
+    pub(super) fn harvest(&self) -> (Vec<String>, Vec<String>, super::sched::SchedOutcome) {
+        let sh = self.inner.shared();
+        (
+            sh.races.clone(),
+            sh.panics.clone(),
+            self.inner.sched.outcome(),
+        )
+    }
+}
+
+struct FinishGuard {
+    inner: Arc<SimInner>,
+    tid: usize,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.inner.sched.finish(self.tid);
+    }
+}
+
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Plain shared memory; see [`Sim::cell`].
+#[derive(Clone)]
+pub struct MCell<T> {
+    id: usize,
+    val: Arc<Mutex<T>>,
+    sim: Arc<SimInner>,
+}
+
+impl<T: Clone + Send + 'static> MCell<T> {
+    pub fn load(&self, ctx: &ThreadCtx) -> T {
+        if self.sim.sched.wait_for_turn(ctx.tid) {
+            {
+                let mut sh = self.sim.shared();
+                sh.vcs[ctx.tid][ctx.tid] += 1;
+                let now = sh.vcs[ctx.tid].clone();
+                let meta = &mut sh.cells[self.id];
+                let mut race = None;
+                if let Some((wt, wvc)) = &meta.last_write {
+                    if *wt != ctx.tid && !ordered_before(wvc, *wt, &now) {
+                        race = Some(format!(
+                            "data race on `{}`: read by t{} concurrent with write by t{wt}",
+                            meta.label, ctx.tid
+                        ));
+                    }
+                }
+                match meta.reads.iter_mut().find(|(t, _)| *t == ctx.tid) {
+                    Some((_, vc)) => *vc = now,
+                    None => meta.reads.push((ctx.tid, now)),
+                }
+                if let Some(msg) = race {
+                    sh.note_race(msg);
+                }
+            }
+            let v = self.val.lock().unwrap_or_else(|p| p.into_inner()).clone();
+            self.sim.sched.yield_turn(ctx.tid);
+            v
+        } else {
+            // Aborted execution: raw passthrough so the thread can wind
+            // down without scheduling.
+            self.val.lock().unwrap_or_else(|p| p.into_inner()).clone()
+        }
+    }
+
+    pub fn store(&self, ctx: &ThreadCtx, v: T) {
+        if self.sim.sched.wait_for_turn(ctx.tid) {
+            {
+                let mut sh = self.sim.shared();
+                sh.vcs[ctx.tid][ctx.tid] += 1;
+                let now = sh.vcs[ctx.tid].clone();
+                let meta = &mut sh.cells[self.id];
+                let mut races = Vec::new();
+                if let Some((wt, wvc)) = &meta.last_write {
+                    if *wt != ctx.tid && !ordered_before(wvc, *wt, &now) {
+                        races.push(format!(
+                            "data race on `{}`: write by t{} concurrent with write by t{wt}",
+                            meta.label, ctx.tid
+                        ));
+                    }
+                }
+                for (rt, rvc) in &meta.reads {
+                    if *rt != ctx.tid && !ordered_before(rvc, *rt, &now) {
+                        races.push(format!(
+                            "data race on `{}`: write by t{} concurrent with read by t{rt}",
+                            meta.label, ctx.tid
+                        ));
+                    }
+                }
+                meta.last_write = Some((ctx.tid, now));
+                meta.reads.clear();
+                for msg in races {
+                    sh.note_race(msg);
+                }
+            }
+            *self.val.lock().unwrap_or_else(|p| p.into_inner()) = v;
+            self.sim.sched.yield_turn(ctx.tid);
+        } else {
+            *self.val.lock().unwrap_or_else(|p| p.into_inner()) = v;
+        }
+    }
+
+    /// Read the settled value after [`Sim::run`] (no scheduling).
+    pub fn final_value(&self) -> T {
+        self.val.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+/// Atomic u64; see [`Sim::atomic_u64`].
+#[derive(Clone)]
+pub struct MAtomicU64 {
+    id: usize,
+    sim: Arc<SimInner>,
+}
+
+impl MAtomicU64 {
+    pub fn load(&self, ctx: &ThreadCtx, ord: MemOrd) -> u64 {
+        if !self.sim.sched.wait_for_turn(ctx.tid) {
+            return self.sim.shared().atomics[self.id].val;
+        }
+        let v = {
+            let mut sh = self.sim.shared();
+            sh.vcs[ctx.tid][ctx.tid] += 1;
+            if ord.acquires() {
+                let sync = sh.atomics[self.id].sync_vc.clone();
+                vc_join(&mut sh.vcs[ctx.tid], &sync);
+            }
+            sh.atomics[self.id].val
+        };
+        self.sim.sched.yield_turn(ctx.tid);
+        v
+    }
+
+    pub fn store(&self, ctx: &ThreadCtx, v: u64, ord: MemOrd) {
+        if !self.sim.sched.wait_for_turn(ctx.tid) {
+            self.sim.shared().atomics[self.id].val = v;
+            return;
+        }
+        {
+            let mut sh = self.sim.shared();
+            sh.vcs[ctx.tid][ctx.tid] += 1;
+            if ord.releases() {
+                let now = sh.vcs[ctx.tid].clone();
+                vc_join(&mut sh.atomics[self.id].sync_vc, &now);
+            }
+            sh.atomics[self.id].val = v;
+        }
+        self.sim.sched.yield_turn(ctx.tid);
+    }
+
+    /// Atomic read-modify-write; returns the previous value.
+    pub fn fetch_add(&self, ctx: &ThreadCtx, delta: u64, ord: MemOrd) -> u64 {
+        if !self.sim.sched.wait_for_turn(ctx.tid) {
+            let mut sh = self.sim.shared();
+            let old = sh.atomics[self.id].val;
+            sh.atomics[self.id].val = old.wrapping_add(delta);
+            return old;
+        }
+        let old = {
+            let mut sh = self.sim.shared();
+            sh.vcs[ctx.tid][ctx.tid] += 1;
+            if ord.acquires() {
+                let sync = sh.atomics[self.id].sync_vc.clone();
+                vc_join(&mut sh.vcs[ctx.tid], &sync);
+            }
+            if ord.releases() {
+                let now = sh.vcs[ctx.tid].clone();
+                vc_join(&mut sh.atomics[self.id].sync_vc, &now);
+            }
+            let old = sh.atomics[self.id].val;
+            sh.atomics[self.id].val = old.wrapping_add(delta);
+            old
+        };
+        self.sim.sched.yield_turn(ctx.tid);
+        old
+    }
+
+    /// Read the settled value after [`Sim::run`].
+    pub fn final_value(&self) -> u64 {
+        self.sim.shared().atomics[self.id].val
+    }
+}
+
+/// Model mutex; see [`Sim::mutex`]. Lock/unlock are explicit — a guard
+/// type would hide exactly the bug class (guard lifetime) the models
+/// are probing.
+#[derive(Clone)]
+pub struct MMutex {
+    id: usize,
+    sim: Arc<SimInner>,
+}
+
+impl MMutex {
+    pub fn lock(&self, ctx: &ThreadCtx) {
+        loop {
+            if !self.sim.sched.wait_for_turn(ctx.tid) {
+                return;
+            }
+            let acquired = {
+                let mut sh = self.sim.shared();
+                if sh.locks[self.id].held {
+                    false
+                } else {
+                    sh.locks[self.id].held = true;
+                    sh.vcs[ctx.tid][ctx.tid] += 1;
+                    let vc = sh.locks[self.id].vc.clone();
+                    vc_join(&mut sh.vcs[ctx.tid], &vc);
+                    true
+                }
+            };
+            if acquired {
+                self.sim.sched.yield_turn(ctx.tid);
+                return;
+            }
+            self.sim.sched.block_on(ctx.tid, self.id);
+        }
+    }
+
+    pub fn unlock(&self, ctx: &ThreadCtx) {
+        if !self.sim.sched.wait_for_turn(ctx.tid) {
+            return;
+        }
+        {
+            let mut sh = self.sim.shared();
+            sh.vcs[ctx.tid][ctx.tid] += 1;
+            let now = sh.vcs[ctx.tid].clone();
+            let slot = &mut sh.locks[self.id];
+            slot.held = false;
+            slot.vc = now;
+        }
+        self.sim.sched.unblock(self.id);
+        self.sim.sched.yield_turn(ctx.tid);
+    }
+}

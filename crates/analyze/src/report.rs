@@ -1,0 +1,299 @@
+//! JSON export of lint results, and its validating reader.
+//!
+//! The emitting and consuming sides live together so they cannot drift:
+//! [`lint_report_json`] serializes a [`LintOutcome`] and
+//! [`validate_lint_report`] (also reachable through
+//! `trace_check --lint-report`) re-parses the document, checks the
+//! schema, and enforces the stable (file, line, code) diagnostic
+//! ordering that downstream diffing relies on.
+
+use crate::lint::{Diagnostic, LintOutcome};
+use deepeye_obs::json::{escape, parse_json, Json};
+use std::fmt::Write as _;
+
+/// Schema version stamped into every report.
+pub const REPORT_VERSION: u64 = 1;
+
+/// Serialize a lint outcome as a machine-readable report.
+///
+/// Shape:
+/// ```json
+/// {
+///   "version": 1,
+///   "rules": [{"code": "A0001", "summary": "..."}, ...],
+///   "diagnostics": [{"code": "...", "file": "...", "line": 3, "message": "..."}, ...],
+///   "suppressed": [...same shape...],
+///   "summary": {"files_scanned": 40, "violations": 0, "suppressed": 0, "stale_baseline": 0}
+/// }
+/// ```
+pub fn lint_report_json(outcome: &LintOutcome) -> String {
+    let mut out = String::from("{\n");
+    let _ = write!(out, "  \"version\": {REPORT_VERSION},\n  \"rules\": [");
+    for (i, r) in crate::rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"code\": \"{}\", \"summary\": \"{}\"}}",
+            r.code,
+            escape(r.summary)
+        );
+    }
+    out.push_str("\n  ],\n");
+    emit_diag_array(&mut out, "diagnostics", &outcome.violations);
+    out.push_str(",\n");
+    emit_diag_array(&mut out, "suppressed", &outcome.suppressed);
+    let _ = write!(
+        out,
+        ",\n  \"summary\": {{\"files_scanned\": {}, \"violations\": {}, \"suppressed\": {}, \"stale_baseline\": {}}}\n}}\n",
+        outcome.files_scanned,
+        outcome.violations.len(),
+        outcome.suppressed.len(),
+        outcome.stale.len()
+    );
+    out
+}
+
+fn emit_diag_array(out: &mut String, key: &str, diags: &[Diagnostic]) {
+    let _ = write!(out, "  \"{key}\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"code\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            d.code,
+            escape(&d.file),
+            d.line,
+            escape(&d.message)
+        );
+    }
+    if diags.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+}
+
+/// What a validated report contains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportSummary {
+    pub rules: usize,
+    pub diagnostics: usize,
+    pub suppressed: usize,
+    pub files_scanned: u64,
+}
+
+/// Validate a lint-report JSON document.
+///
+/// Checks: parseable; `version` is the supported schema version; every
+/// rule entry has a well-formed `Axxxx` code and a summary; every
+/// diagnostic has `code`/`file`/`line`/`message` with a code drawn from
+/// the rule list; and the diagnostics array is sorted by
+/// (file, line, code) with no duplicates — the stable order the emitter
+/// guarantees.
+pub fn validate_lint_report(text: &str) -> Result<ReportSummary, String> {
+    let doc = parse_json(text).map_err(|e| format!("lint report: {e}"))?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_f64)
+        .ok_or("lint report: missing numeric `version`")?;
+    if version != REPORT_VERSION as f64 {
+        return Err(format!(
+            "lint report: unsupported version {version} (expected {REPORT_VERSION})"
+        ));
+    }
+
+    let rules = doc
+        .get("rules")
+        .and_then(Json::as_array)
+        .ok_or("lint report: missing `rules` array")?;
+    let mut codes: Vec<&str> = Vec::new();
+    for (i, r) in rules.iter().enumerate() {
+        let code = r
+            .get("code")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("lint report: rules[{i}] missing `code`"))?;
+        if code.len() != 5
+            || !code.starts_with('A')
+            || !code[1..].chars().all(|c| c.is_ascii_digit())
+        {
+            return Err(format!("lint report: rules[{i}] bad code {code:?}"));
+        }
+        if r.get("summary").and_then(Json::as_str).is_none() {
+            return Err(format!("lint report: rules[{i}] missing `summary`"));
+        }
+        codes.push(code);
+    }
+    if codes.is_empty() {
+        return Err("lint report: empty rule catalog".to_owned());
+    }
+
+    let mut diagnostics = 0usize;
+    let mut suppressed = 0usize;
+    for key in ["diagnostics", "suppressed"] {
+        let items = doc
+            .get(key)
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("lint report: missing `{key}` array"))?;
+        let mut prev: Option<(String, u64, String)> = None;
+        for (i, d) in items.iter().enumerate() {
+            let code = d
+                .get("code")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("lint report: {key}[{i}] missing `code`"))?;
+            if !codes.contains(&code) {
+                return Err(format!(
+                    "lint report: {key}[{i}] code {code:?} not in the rule catalog"
+                ));
+            }
+            let file = d
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("lint report: {key}[{i}] missing `file`"))?;
+            let line = d
+                .get("line")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("lint report: {key}[{i}] missing numeric `line`"))?;
+            if line < 1.0 || line.fract() != 0.0 {
+                return Err(format!("lint report: {key}[{i}] bad line {line}"));
+            }
+            if d.get("message").and_then(Json::as_str).is_none() {
+                return Err(format!("lint report: {key}[{i}] missing `message`"));
+            }
+            let this = (file.to_owned(), line as u64, code.to_owned());
+            if let Some(p) = &prev {
+                if *p >= this {
+                    return Err(format!(
+                        "lint report: `{key}` not strictly sorted by (file, line, code) at index {i}"
+                    ));
+                }
+            }
+            prev = Some(this);
+        }
+        if key == "diagnostics" {
+            diagnostics = items.len();
+        } else {
+            suppressed = items.len();
+        }
+    }
+
+    let summary = doc
+        .get("summary")
+        .ok_or("lint report: missing `summary` object")?;
+    let files_scanned = summary
+        .get("files_scanned")
+        .and_then(Json::as_f64)
+        .ok_or("lint report: summary missing `files_scanned`")?;
+    let claimed = summary
+        .get("violations")
+        .and_then(Json::as_f64)
+        .ok_or("lint report: summary missing `violations`")?;
+    if claimed as usize != diagnostics {
+        return Err(format!(
+            "lint report: summary claims {claimed} violations but `diagnostics` has {diagnostics}"
+        ));
+    }
+    Ok(ReportSummary {
+        rules: codes.len(),
+        diagnostics,
+        suppressed,
+        files_scanned: files_scanned as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{run, Baseline, Workspace};
+
+    fn outcome_with_violation() -> LintOutcome {
+        let ws = Workspace::from_sources(
+            vec![
+                (
+                    "crates/core/src/b.rs",
+                    "fn f() { std::thread::spawn(|| {}); }",
+                ),
+                ("crates/core/src/a.rs", "use std::time::Instant;"),
+            ],
+            "",
+        );
+        run(&ws, &Baseline::default())
+    }
+
+    #[test]
+    fn report_roundtrips_and_validates() {
+        let outcome = outcome_with_violation();
+        let json = lint_report_json(&outcome);
+        let summary = validate_lint_report(&json).expect("valid report");
+        assert_eq!(summary.rules, crate::rules::RULES.len());
+        assert_eq!(summary.diagnostics, 2);
+        assert_eq!(summary.files_scanned, 2);
+    }
+
+    #[test]
+    fn report_orders_diagnostics_stably() {
+        // Files were supplied b-then-a; the report must come out a-then-b.
+        let outcome = outcome_with_violation();
+        let json = lint_report_json(&outcome);
+        let a = json.find("a.rs").expect("a.rs present");
+        let b = json.find("b.rs").expect("b.rs present");
+        assert!(a < b, "diagnostics sorted by file");
+    }
+
+    #[test]
+    fn empty_outcome_validates() {
+        let ws = Workspace::from_sources(vec![("crates/core/src/a.rs", "fn f() {}")], "");
+        let json = lint_report_json(&run(&ws, &Baseline::default()));
+        let summary = validate_lint_report(&json).expect("valid");
+        assert_eq!(summary.diagnostics, 0);
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate_lint_report("not json").is_err());
+        assert!(validate_lint_report("{}").is_err());
+        assert!(validate_lint_report(
+            r#"{"version": 2, "rules": [], "diagnostics": [], "suppressed": [], "summary": {}}"#
+        )
+        .is_err());
+        // Unknown diagnostic code.
+        let bad = r#"{
+            "version": 1,
+            "rules": [{"code": "A0001", "summary": "s"}],
+            "diagnostics": [{"code": "A9999", "file": "x.rs", "line": 1, "message": "m"}],
+            "suppressed": [],
+            "summary": {"files_scanned": 1, "violations": 1, "suppressed": 0, "stale_baseline": 0}
+        }"#;
+        assert!(validate_lint_report(bad)
+            .expect_err("bad code")
+            .contains("A9999"));
+        // Unsorted diagnostics.
+        let unsorted = r#"{
+            "version": 1,
+            "rules": [{"code": "A0001", "summary": "s"}],
+            "diagnostics": [
+                {"code": "A0001", "file": "b.rs", "line": 1, "message": "m"},
+                {"code": "A0001", "file": "a.rs", "line": 1, "message": "m"}
+            ],
+            "suppressed": [],
+            "summary": {"files_scanned": 2, "violations": 2, "suppressed": 0, "stale_baseline": 0}
+        }"#;
+        assert!(validate_lint_report(unsorted)
+            .expect_err("unsorted")
+            .contains("sorted"));
+        // Summary count mismatch.
+        let mismatch = r#"{
+            "version": 1,
+            "rules": [{"code": "A0001", "summary": "s"}],
+            "diagnostics": [],
+            "suppressed": [],
+            "summary": {"files_scanned": 1, "violations": 3, "suppressed": 0, "stale_baseline": 0}
+        }"#;
+        assert!(validate_lint_report(mismatch)
+            .expect_err("mismatch")
+            .contains("claims"));
+    }
+}

@@ -1,0 +1,909 @@
+//! The project-invariant rule catalog (`A0001`–`A0006`).
+//!
+//! These are the invariants clippy cannot express because they are
+//! *ours*: which crate owns the clock, what discipline the observability
+//! layer's call sites follow, which documents must agree with which
+//! constants. Each rule is a pure function over the lexed [`Workspace`];
+//! all rules skip `#[cfg(test)]` regions and `tests/`/`benches/` files
+//! (panicking and unguarded shortcuts are the failure channel there) and
+//! never scan `vendor/*` (not loaded at all).
+//!
+//! The catalog table in DESIGN.md §8 is the human-facing mirror of
+//! [`RULES`]; a doc-sync test keeps the two identical.
+
+use crate::lexer::Token;
+use crate::lint::{Diagnostic, SourceFile, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable code, `A0001`-style.
+    pub code: &'static str,
+    /// One-line summary (matches the DESIGN.md §8 catalog row).
+    pub summary: &'static str,
+    pub check: fn(&Workspace) -> Vec<Diagnostic>,
+}
+
+/// Every rule the linter runs, in code order.
+pub static RULES: &[Rule] = &[
+    Rule {
+        code: "A0001",
+        summary: "no raw std::time::Instant outside deepeye-obs (use the span clock)",
+        check: instant_outside_obs,
+    },
+    Rule {
+        code: "A0002",
+        summary:
+            "provenance/observer record calls with eager arguments must sit behind is_enabled()",
+        check: unguarded_record_calls,
+    },
+    Rule {
+        code: "A0003",
+        summary: "no Mutex guard held across an observer/provenance callback",
+        check: lock_across_callback,
+    },
+    Rule {
+        code: "A0004",
+        summary:
+            "sema diagnostic codes are unique and in sync with the sema doc table and DESIGN.md",
+        check: sema_code_sync,
+    },
+    Rule {
+        code: "A0005",
+        summary: "metric name literals match the central registry (deepeye_obs::metrics)",
+        check: metric_registry_sync,
+    },
+    Rule {
+        code: "A0006",
+        summary: "no thread::spawn — threads come from thread::scope",
+        check: free_thread_spawn,
+    },
+];
+
+fn diag(file: &SourceFile, line: u32, code: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.rel.clone(),
+        line,
+        code,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A0001 — the clock discipline.
+
+fn instant_outside_obs(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.in_dir("crates/obs") {
+            continue; // the span clock's home owns the raw clock
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            if t.is_ident("Instant") && file.is_product(i) {
+                out.push(diag(
+                    file,
+                    t.line,
+                    "A0001",
+                    "raw `std::time::Instant`; time through deepeye-obs \
+                     (`Observer::timer`/`span` or `Stopwatch`) so every measurement \
+                     shares the span clock"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A0002 — the no-op discipline.
+//
+// `Observer` and `Provenance` are zero-cost when disabled *inside* the
+// call — but the arguments are evaluated eagerly at the call site. A
+// provenance record's id is a heap `String` (`query_id`, `node.id()`,
+// `format!`), so an unguarded `prov.record(…)` allocates on the hot path
+// of every un-instrumented run. The rule demands a lexical
+// `is_enabled()` guard around every provenance record-family call, and
+// around observer calls whose arguments visibly allocate.
+//
+// Recognized guard shapes (all present in the codebase):
+//   if prov.is_enabled() { … }                  — direct guard
+//   Mode::X if prov.is_enabled() => { … }       — match-arm guard
+//   let explaining = prov.is_enabled(); if explaining { … }
+//                                               — named guard
+//   if !prov.is_enabled() { return …; } …       — early-return guard
+//                                                 (rest of the block counts
+//                                                 as guarded)
+
+const PROV_METHODS: &[&str] = &["record", "record_rejected", "bump"];
+const OBS_METHODS: &[&str] = &[
+    "incr",
+    "record_ns",
+    "record_many_ns",
+    "timer",
+    "span",
+    "span_under",
+];
+const ALLOC_MARKERS: &[&str] = &[
+    "format",
+    "to_owned",
+    "to_string",
+    "from",
+    "query_id",
+    "join",
+    "clone",
+    "collect",
+];
+
+fn unguarded_record_calls(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.in_dir("crates/obs") || file.is_test_file {
+            continue;
+        }
+        scan_guards(file, &mut out);
+    }
+    out
+}
+
+struct Block {
+    guarded: bool,
+    negated_guard: bool,
+    saw_return: bool,
+}
+
+fn scan_guards(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    // Pre-pass: names bound to an `is_enabled()` result.
+    let mut guard_vars: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("is_enabled") {
+            // Walk back to the statement start; if it begins with `let`,
+            // record the bound name.
+            let mut j = i;
+            while j > 0 {
+                let t = &toks[j - 1];
+                if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                    break;
+                }
+                j -= 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_ident("let")) {
+                let mut k = j + 1;
+                if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                    k += 1;
+                }
+                if let Some(name) = toks.get(k).and_then(Token::ident) {
+                    guard_vars.insert(name);
+                }
+            }
+        }
+    }
+
+    let mut stack: Vec<Block> = vec![Block {
+        guarded: false,
+        negated_guard: false,
+        saw_return: false,
+    }];
+    // Tokens since the last statement/block boundary: the "run-up" a `{`
+    // is judged by.
+    let mut window_start = 0usize;
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_punct(';') {
+            window_start = i + 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            let window = &toks[window_start..i];
+            let (hit, negated) = guard_in_window(window, &guard_vars);
+            let parent_guarded = stack.last().map(|b| b.guarded).unwrap_or(false);
+            stack.push(Block {
+                guarded: parent_guarded || (hit && !negated),
+                negated_guard: hit && negated,
+                saw_return: false,
+            });
+            window_start = i + 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            if let Some(done) = stack.pop() {
+                if done.negated_guard && done.saw_return {
+                    if let Some(top) = stack.last_mut() {
+                        top.guarded = true;
+                    }
+                }
+            }
+            if stack.is_empty() {
+                stack.push(Block {
+                    guarded: false,
+                    negated_guard: false,
+                    saw_return: false,
+                });
+            }
+            window_start = i + 1;
+            continue;
+        }
+        if t.is_ident("return") {
+            if let Some(top) = stack.last_mut() {
+                top.saw_return = true;
+            }
+        }
+
+        // Method-call shape: Ident . Ident (
+        let Some(recv) = t.ident() else { continue };
+        if !(toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('(')))
+        {
+            continue;
+        }
+        let Some(method) = toks.get(i + 2).and_then(Token::ident) else {
+            continue;
+        };
+        if !file.is_product(i) {
+            continue;
+        }
+        let guarded = stack.last().map(|b| b.guarded).unwrap_or(false);
+        if guarded {
+            continue;
+        }
+        let recv_lower = recv.to_ascii_lowercase();
+        let is_prov_recv = recv_lower.contains("prov");
+        let is_obs_recv = recv_lower == "obs" || recv_lower.contains("observer");
+        if is_prov_recv && PROV_METHODS.contains(&method) {
+            out.push(diag(
+                file,
+                t.line,
+                "A0002",
+                format!(
+                    "`{recv}.{method}(…)` outside an `is_enabled()` guard — provenance \
+                     ids allocate eagerly even when recording is off"
+                ),
+            ));
+        } else if is_obs_recv && OBS_METHODS.contains(&method) && args_allocate(toks, i + 3) {
+            out.push(diag(
+                file,
+                t.line,
+                "A0002",
+                format!(
+                    "`{recv}.{method}(…)` builds an allocating argument outside an \
+                     `is_enabled()` guard — the disabled observer still pays for it"
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the run-up to a `{` contains a guard, and whether that guard
+/// is negated (`if !prov.is_enabled()`).
+fn guard_in_window(window: &[Token], guard_vars: &BTreeSet<&str>) -> (bool, bool) {
+    for (i, t) in window.iter().enumerate() {
+        let hit =
+            t.is_ident("is_enabled") || t.ident().is_some_and(|name| guard_vars.contains(name));
+        if !hit {
+            continue;
+        }
+        // Walk back across the receiver chain (`ident . ident .`) to see
+        // whether a `!` negates it.
+        let mut j = i;
+        while j >= 2 && window[j - 1].is_punct('.') && window[j - 2].ident().is_some() {
+            j -= 2;
+        }
+        let negated = j >= 1 && window[j - 1].is_punct('!')
+            // `!=` lexes as '!' '=' — the '=' sits before the '!' operand
+            // only in `a != b` shapes, where '!' is *followed* by '='.
+            && !window.get(j).is_some_and(|t| t.is_punct('='));
+        return (true, negated);
+    }
+    (false, false)
+}
+
+/// Whether the argument list opening at `toks[open]` (a `(`) contains an
+/// allocation marker before its matching close.
+fn args_allocate(toks: &[Token], open: usize) -> bool {
+    let mut depth = 0usize;
+    for t in &toks[open..] {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if t.ident().is_some_and(|id| ALLOC_MARKERS.contains(&id)) {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// A0003 — no lock held across an observer/provenance callback.
+//
+// Recording into the Observer/Provenance sinks takes *their* internal
+// lock; calling them while holding one of ours nests two mutexes on the
+// hot path — a contention multiplier at best, a deadlock when the sink
+// ever calls back out. `deepeye-obs` and `core::provenance` own their
+// sink locks and are exempt.
+
+fn lock_across_callback(ws: &Workspace) -> Vec<Diagnostic> {
+    const CALLBACKS: &[&str] = &[
+        "incr",
+        "record_ns",
+        "record_many_ns",
+        "timer",
+        "span",
+        "span_under",
+        "record",
+        "record_rejected",
+        "bump",
+    ];
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.in_dir("crates/obs")
+            || file.rel == "crates/core/src/provenance.rs"
+            || file.is_test_file
+        {
+            continue;
+        }
+        let toks = &file.tokens;
+        // Depth of the innermost block holding a `let`-bound lock guard;
+        // None when no guard is live.
+        let mut depth = 0usize;
+        let mut locked_at: Option<usize> = None;
+        let mut lock_line = 0u32;
+        let mut stmt_start = 0usize;
+        let mut temp_lock = false; // non-`let` lock, lives to the `;`
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+                stmt_start = i + 1;
+                continue;
+            }
+            if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if locked_at.is_some_and(|d| depth < d) {
+                    locked_at = None;
+                }
+                stmt_start = i + 1;
+                continue;
+            }
+            if t.is_punct(';') {
+                stmt_start = i + 1;
+                temp_lock = false;
+                continue;
+            }
+            // `.lock()` — a guard is born.
+            if t.is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_ident("lock"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                && file.is_product(i)
+            {
+                if toks.get(stmt_start).is_some_and(|t| t.is_ident("let")) {
+                    locked_at = Some(depth);
+                    lock_line = t.line;
+                } else {
+                    temp_lock = true;
+                    lock_line = t.line;
+                }
+                continue;
+            }
+            if locked_at.is_none() && !temp_lock {
+                continue;
+            }
+            // Observer/provenance callback while the guard lives?
+            if t.is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .and_then(Token::ident)
+                    .is_some_and(|m| CALLBACKS.contains(&m))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                && file.is_product(i)
+            {
+                let method = toks[i + 1].ident().unwrap_or_default();
+                out.push(diag(
+                    file,
+                    toks[i + 1].line,
+                    "A0003",
+                    format!(
+                        "`.{method}(…)` called while a Mutex guard taken on line \
+                         {lock_line} is still held — drop the guard before recording"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A0004 — sema diagnostic-code sync.
+
+fn sema_code_sync(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(sema) = ws.file("crates/query/src/sema.rs") else {
+        return Vec::new(); // partial workspace (unit tests)
+    };
+    let is_code = |s: &str| {
+        s.len() == 5
+            && (s.starts_with("E00") || s.starts_with("W01"))
+            && s[1..].chars().all(|c| c.is_ascii_digit())
+    };
+
+    // Emitted codes: string literals in non-test sema code (the
+    // `Code::as_str` table is the only place they occur).
+    let mut emitted: BTreeMap<String, u32> = BTreeMap::new();
+    let mut dups: Vec<(String, u32)> = Vec::new();
+    for (i, t) in sema.tokens.iter().enumerate() {
+        if let Some(lit) = t.str_lit() {
+            if is_code(lit) && sema.is_product(i) {
+                if emitted.contains_key(lit) {
+                    dups.push((lit.to_owned(), t.line));
+                } else {
+                    emitted.insert(lit.to_owned(), t.line);
+                }
+            }
+        }
+    }
+
+    // The module-doc table: `//! | E0001 | … |` rows in the raw text.
+    let mut doc_table: BTreeSet<String> = BTreeSet::new();
+    for line in sema.raw.lines() {
+        let line = line.trim_start();
+        let Some(rest) = line.strip_prefix("//!") else {
+            continue;
+        };
+        let Some(cell) = rest.trim_start().strip_prefix('|') else {
+            continue;
+        };
+        let code = cell.split('|').next().unwrap_or("").trim();
+        if is_code(code) {
+            doc_table.insert(code.to_owned());
+        }
+    }
+
+    // Codes mentioned anywhere in DESIGN.md.
+    let mut design: BTreeSet<String> = BTreeSet::new();
+    let text = &ws.design;
+    let chars: Vec<char> = text.chars().collect();
+    let mut k = 0usize;
+    while k < chars.len() {
+        if (chars[k] == 'E' || chars[k] == 'W')
+            && k + 5 <= chars.len()
+            && chars[k + 1..k + 5].iter().all(|c| c.is_ascii_digit())
+            && (k == 0 || !chars[k - 1].is_ascii_alphanumeric())
+            && (k + 5 == chars.len() || !chars[k + 5].is_ascii_alphanumeric())
+        {
+            let code: String = chars[k..k + 5].iter().collect();
+            if is_code(&code) {
+                design.insert(code);
+            }
+            k += 5;
+        } else {
+            k += 1;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (code, line) in dups {
+        out.push(diag(
+            sema,
+            line,
+            "A0004",
+            format!("diagnostic code {code} emitted twice — codes must be unique"),
+        ));
+    }
+    for (code, &line) in &emitted {
+        if !doc_table.contains(code) {
+            out.push(diag(
+                sema,
+                line,
+                "A0004",
+                format!("code {code} is emitted but missing from the sema module-doc table"),
+            ));
+        }
+        if !ws.design.is_empty() && !design.contains(code) {
+            out.push(diag(
+                sema,
+                line,
+                "A0004",
+                format!("code {code} is emitted but never mentioned in DESIGN.md"),
+            ));
+        }
+    }
+    for code in &doc_table {
+        if !emitted.contains_key(code) {
+            out.push(diag(
+                sema,
+                1,
+                "A0004",
+                format!("doc table lists {code} but sema never emits it"),
+            ));
+        }
+    }
+    if !ws.design.is_empty() {
+        for code in &design {
+            if !emitted.contains_key(code) {
+                out.push(Diagnostic {
+                    file: "DESIGN.md".to_owned(),
+                    line: 1,
+                    code: "A0004",
+                    message: format!("DESIGN.md mentions {code} but sema never emits it"),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A0005 — metric names come from the registry.
+
+fn metric_registry_sync(ws: &Workspace) -> Vec<Diagnostic> {
+    const COUNTER_CALLS: &[&str] = &["incr"];
+    const HIST_CALLS: &[&str] = &["timer", "record_ns", "record_many_ns"];
+    let metric_shaped = |s: &str| {
+        s.contains('.')
+            && !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c))
+    };
+    let mut used_counters: BTreeSet<String> = BTreeSet::new();
+    let mut used_hists: BTreeSet<String> = BTreeSet::new();
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.in_dir("crates/obs") || file.in_dir("crates/analyze") {
+            continue; // the registry's own crate and this linter's fixtures
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_punct('.') {
+                continue;
+            }
+            let Some(method) = toks.get(i + 1).and_then(Token::ident) else {
+                continue;
+            };
+            let is_counter_call = COUNTER_CALLS.contains(&method);
+            let is_hist_call = HIST_CALLS.contains(&method);
+            if !(is_counter_call || is_hist_call)
+                || !toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            {
+                continue;
+            }
+            if !file.is_product(i) {
+                continue;
+            }
+            // Every metric-shaped string literal inside the argument list
+            // (covers `incr(if ok { "exec.ok" } else { "exec.err" }, 1)`).
+            let mut depth = 0usize;
+            for t in &toks[i + 2..] {
+                if t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if let Some(lit) = t.str_lit() {
+                    if !metric_shaped(lit) {
+                        continue;
+                    }
+                    let known = if is_counter_call {
+                        used_counters.insert(lit.to_owned());
+                        deepeye_obs::metrics::is_counter(lit)
+                    } else {
+                        used_hists.insert(lit.to_owned());
+                        deepeye_obs::metrics::is_histogram(lit)
+                    };
+                    if !known {
+                        let kind = if is_counter_call {
+                            "counter"
+                        } else {
+                            "histogram"
+                        };
+                        out.push(diag(
+                            file,
+                            t.line,
+                            "A0005",
+                            format!(
+                                "{kind} {lit:?} is not in the central metric registry \
+                                 (deepeye_obs::metrics) — a typo forks the metric"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Dead registry entries: only meaningful on a full workspace scan.
+    if ws.file("crates/core/src/deepeye.rs").is_some() {
+        for name in deepeye_obs::metrics::COUNTERS {
+            if !used_counters.contains(*name) {
+                out.push(Diagnostic {
+                    file: "crates/obs/src/metrics.rs".to_owned(),
+                    line: 1,
+                    code: "A0005",
+                    message: format!("registered counter {name:?} is recorded nowhere"),
+                });
+            }
+        }
+        for name in deepeye_obs::metrics::HISTOGRAMS {
+            if !used_hists.contains(*name) {
+                out.push(Diagnostic {
+                    file: "crates/obs/src/metrics.rs".to_owned(),
+                    line: 1,
+                    code: "A0005",
+                    message: format!("registered histogram {name:?} is recorded nowhere"),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A0006 — structured concurrency only.
+
+fn free_thread_spawn(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].is_ident("thread")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("spawn"))
+                && file.is_product(i)
+            {
+                out.push(diag(
+                    file,
+                    toks[i].line,
+                    "A0006",
+                    "free `thread::spawn` — use `thread::scope` so every worker joins \
+                     before its borrowed data dies and panics surface at the join"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::Baseline;
+
+    fn run_rule(code: &str, files: Vec<(&str, &str)>, design: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::from_sources(files, design);
+        RULES
+            .iter()
+            .find(|r| r.code == code)
+            .map(|r| (r.check)(&ws))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn a0001_flags_instant_outside_obs() {
+        let hits = run_rule(
+            "A0001",
+            vec![
+                (
+                    "crates/core/src/x.rs",
+                    "use std::time::Instant;\nfn f() { let t = Instant::now(); }",
+                ),
+                ("crates/obs/src/clock.rs", "use std::time::Instant;"),
+                (
+                    "crates/core/src/y.rs",
+                    "// Instant only in a comment\nfn g() {}",
+                ),
+            ],
+            "",
+        );
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|d| d.file == "crates/core/src/x.rs"));
+    }
+
+    #[test]
+    fn a0001_allows_tests() {
+        let hits = run_rule(
+            "A0001",
+            vec![(
+                "crates/core/src/x.rs",
+                "#[cfg(test)]\nmod tests { use std::time::Instant; }",
+            )],
+            "",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn a0002_flags_unguarded_and_accepts_guarded() {
+        let src = r#"
+fn bad(prov: &Provenance) {
+    prov.record("id", |e| e.x = 1);
+}
+fn good(prov: &Provenance) {
+    if prov.is_enabled() {
+        prov.record("id", |e| e.x = 1);
+    }
+}
+fn named(prov: &Provenance) {
+    let explaining = prov.is_enabled();
+    if explaining {
+        prov.bump(|c| c.n += 1);
+    }
+}
+fn early(prov: &Provenance) {
+    if !prov.is_enabled() {
+        return;
+    }
+    prov.record_rejected("id", Outcome::X, |e| e.x = 1);
+}
+fn arm(prov: &Provenance, m: Mode) {
+    match m {
+        Mode::A if prov.is_enabled() => {
+            prov.record("id", |e| e.x = 1);
+        }
+        _ => {}
+    }
+}
+"#;
+        let hits = run_rule("A0002", vec![("crates/core/src/x.rs", src)], "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn a0002_negated_guard_block_is_not_guarded() {
+        let src = r#"
+fn f(prov: &Provenance) {
+    if !prov.is_enabled() {
+        prov.bump(|c| c.n += 1);
+        return;
+    }
+}
+"#;
+        let hits = run_rule("A0002", vec![("crates/core/src/x.rs", src)], "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn a0002_observer_allocating_args() {
+        let src = r#"
+fn f(obs: &Observer, name: &str) {
+    obs.incr("plain.name", 1);
+    obs.record_many_ns(&format!("dyn.{name}"), &[1]);
+}
+"#;
+        let hits = run_rule("A0002", vec![("crates/core/src/x.rs", src)], "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 4);
+    }
+
+    #[test]
+    fn a0003_lock_across_callback() {
+        let src = r#"
+fn bad(state: &Mutex<u64>, obs: &Observer) {
+    let guard = state.lock().unwrap_or_else(|p| p.into_inner());
+    obs.incr("exec.ok", *guard);
+}
+fn good(state: &Mutex<u64>, obs: &Observer) {
+    let n = {
+        let guard = state.lock().unwrap_or_else(|p| p.into_inner());
+        *guard
+    };
+    obs.incr("exec.ok", n);
+}
+"#;
+        let hits = run_rule("A0003", vec![("crates/core/src/x.rs", src)], "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 4);
+    }
+
+    #[test]
+    fn a0004_detects_drift() {
+        let sema = r#"
+//! | E0001 | SELECT | x missing |
+//! | E0002 | SELECT | y missing |
+impl Code {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::A => "E0001",
+            Code::B => "E0003",
+        }
+    }
+}
+"#;
+        let hits = run_rule(
+            "A0004",
+            vec![("crates/query/src/sema.rs", sema)],
+            "codes `E0001` and `E0003` plus phantom `E0004`.",
+        );
+        let msgs: Vec<_> = hits.iter().map(|d| d.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("E0003") && m.contains("doc table")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("E0002") && m.contains("never emits")),
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("E0004")), "{msgs:?}");
+    }
+
+    #[test]
+    fn a0004_flags_duplicate_codes() {
+        let sema = "//! | E0001 | SELECT | x |\nfn f() { let a = \"E0001\"; let b = \"E0001\"; }";
+        let hits = run_rule("A0004", vec![("crates/query/src/sema.rs", sema)], "`E0001`");
+        assert!(
+            hits.iter().any(|d| d.message.contains("unique")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn a0005_flags_unregistered_metric() {
+        let src = r#"fn f(obs: &Observer) { obs.incr("exec.okay", 1); obs.incr("exec.ok", 1); }"#;
+        let hits = run_rule("A0005", vec![("crates/core/src/x.rs", src)], "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("exec.okay"));
+    }
+
+    #[test]
+    fn a0005_checks_kind_not_just_name() {
+        // A histogram name passed to a counter call is a category error.
+        let src = r#"fn f(obs: &Observer) { obs.incr("exec.query_ns", 1); }"#;
+        let hits = run_rule("A0005", vec![("crates/core/src/x.rs", src)], "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn a0006_flags_free_spawn() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\nfn g() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        let hits = run_rule("A0006", vec![("crates/core/src/x.rs", src)], "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn clean_sources_produce_no_findings() {
+        let ws = Workspace::from_sources(
+            vec![(
+                "crates/core/src/x.rs",
+                r#"
+fn f(obs: &Observer, prov: &Provenance) {
+    obs.incr("exec.ok", 1);
+    if prov.is_enabled() {
+        prov.record("id", |e| e.x = 1);
+    }
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}
+"#,
+            )],
+            "",
+        );
+        let outcome = crate::lint::run(&ws, &Baseline::default());
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+    }
+
+    #[test]
+    fn baseline_suppresses_and_reports_stale() {
+        let ws = Workspace::from_sources(
+            vec![("crates/core/src/x.rs", "use std::time::Instant;")],
+            "",
+        );
+        let baseline =
+            Baseline::parse("A0001 crates/core/src/x.rs\nA0006 crates/core/src/gone.rs\n")
+                .expect("parses");
+        let outcome = crate::lint::run(&ws, &baseline);
+        assert!(outcome.violations.is_empty());
+        assert_eq!(outcome.suppressed.len(), 1);
+        assert_eq!(outcome.stale, vec!["A0006 crates/core/src/gone.rs"]);
+    }
+}

@@ -26,8 +26,8 @@ use deepeye_datagen::{
     build_table, candidate_nodes, dense_relevance, test_specs, PerceptionOracle,
 };
 use deepeye_ml::ndcg;
+use deepeye_obs::Stopwatch;
 use deepeye_query::UdfRegistry;
-use std::time::Instant;
 
 fn main() {
     let scale = scale_from_env();
@@ -50,10 +50,10 @@ fn main() {
         let table = build_table(&spec.scaled(scale * 0.5));
         let nodes = candidate_nodes(&table);
         let factors = compute_factors(&nodes);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let naive = DominanceGraph::build_naive(&factors);
         let naive_time = t0.elapsed();
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let pruned = DominanceGraph::build_pruned(&factors);
         let pruned_time = t1.elapsed();
         // Edge sets are identical by construction (property-tested); the

@@ -10,14 +10,18 @@
 //! - Provenance files (`--provenance-out`): schema, known outcomes, the
 //!   tournament leaf invariant, and hybrid scores that recompute from
 //!   their recorded parts.
+//! - Lint reports (`--lint-report`, from `analyze --workspace --json`):
+//!   schema, codes drawn from the rule catalog, and the stable
+//!   (file, line, code) diagnostic ordering.
 //!
 //! Usage: `trace_check [<trace.json> ...] [--metrics <metrics.json>]...
-//! [--provenance <prov.json>]...`
+//! [--provenance <prov.json>]... [--lint-report <report.json>]...`
 //!
 //! Exits nonzero (via `ExitCode`, so the workspace `clippy::exit` lint
 //! stays intact) if any file fails validation — CI runs this against the
 //! quickstart example's exports.
 
+use deepeye_analyze::validate_lint_report;
 use deepeye_core::validate_provenance_json;
 use deepeye_obs::{validate_chrome_trace, validate_metrics_json};
 use std::process::ExitCode;
@@ -26,6 +30,7 @@ enum Kind {
     Trace,
     Metrics,
     Provenance,
+    LintReport,
 }
 
 fn main() -> ExitCode {
@@ -39,6 +44,10 @@ fn main() -> ExitCode {
             },
             "--provenance" => match args.next() {
                 Some(path) => jobs.push((Kind::Provenance, path)),
+                None => return usage(),
+            },
+            "--lint-report" => match args.next() {
+                Some(path) => jobs.push((Kind::LintReport, path)),
                 None => return usage(),
             },
             _ => jobs.push((Kind::Trace, arg)),
@@ -106,6 +115,25 @@ fn main() -> ExitCode {
                     failed = true;
                 }
             },
+            Kind::LintReport => match validate_lint_report(&text) {
+                Ok(summary) => {
+                    println!(
+                        "{path}: ok — {} rules over {} files: {} violation(s), {} suppressed",
+                        summary.rules,
+                        summary.files_scanned,
+                        summary.diagnostics,
+                        summary.suppressed
+                    );
+                    if summary.diagnostics > 0 {
+                        eprintln!("{path}: report records unsuppressed violations");
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
         }
     }
     if failed {
@@ -118,7 +146,7 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: trace_check [<trace.json> ...] [--metrics <metrics.json>]... \
-         [--provenance <prov.json>]..."
+         [--provenance <prov.json>]... [--lint-report <report.json>]..."
     );
     ExitCode::FAILURE
 }

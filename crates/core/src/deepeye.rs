@@ -377,7 +377,7 @@ impl DeepEye {
                 });
             }
         }
-        if single_mark > 0 {
+        if prov.is_enabled() && single_mark > 0 {
             prov.bump(|c| c.single_mark += single_mark);
         }
         self.rank_nodes(nodes, k)
@@ -467,7 +467,7 @@ impl DeepEye {
                 break;
             }
         }
-        if ranked > 0 {
+        if prov.is_enabled() && ranked > 0 {
             prov.bump(|c| c.ranked += ranked);
         }
         out
@@ -487,6 +487,12 @@ impl DeepEye {
     ) {
         use crate::provenance::DominanceSummary;
         let prov = &self.config.provenance;
+        // Callers only reach here when provenance is on; the guard keeps
+        // the invariant locally checkable (analyze rule A0002) and makes
+        // a stray unguarded call harmless.
+        if !prov.is_enabled() {
+            return;
+        }
         let caps = prov.caps();
         let n = nodes.len();
         let mut final_pos = vec![usize::MAX; n];

@@ -6,10 +6,9 @@
 
 use crate::node::VisNode;
 use deepeye_data::Table;
-use deepeye_obs::{Observer, SpanId};
+use deepeye_obs::{Observer, SpanId, Stopwatch};
 use deepeye_query::{UdfRegistry, VisQuery};
 use std::num::NonZeroUsize;
-use std::time::Instant;
 
 /// Number of worker threads to use: the available parallelism, capped by
 /// the work size (no point spawning more threads than queries).
@@ -120,9 +119,9 @@ fn build_chunk(
         let mut latencies = Vec::with_capacity(chunk.len());
         let (mut ok, mut err) = (0u64, 0u64);
         for q in chunk {
-            let start = Instant::now();
+            let start = Stopwatch::start();
             let built = VisNode::build(table, q.clone(), udfs);
-            latencies.push(start.elapsed().as_nanos() as u64);
+            latencies.push(start.elapsed_ns());
             match built {
                 Ok(mut node) => {
                     if slim {

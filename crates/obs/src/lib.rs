@@ -40,12 +40,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod clock;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod observer;
 pub mod report;
 pub mod trace;
 
+pub use clock::Stopwatch;
 pub use hist::{HistSummary, Histogram};
 pub use json::{parse_json, Json, JsonError};
 pub use observer::{HistTimer, Observer, SpanGuard, SpanId, SpanRecord};

@@ -65,14 +65,16 @@ fn q(
 // analyzer, E0014/E0015 via the multi-column analyzers.
 // ---------------------------------------------------------------------------
 
-#[test]
-fn each_error_code_has_a_witness_query() {
+/// One rejected query per fatal scalar code (E0001–E0013). E0014/E0015
+/// come from the multi-column analyzers (see their dedicated tests);
+/// `every_code_in_all_is_exercised_by_a_witness` accounts for them.
+fn error_witnesses() -> Vec<(Code, VisQuery)> {
     use Aggregate::*;
     use ChartType::*;
     use SortOrder::None as NoOrder;
     use Transform::{Bin, Group, None as NoT};
 
-    let cases: Vec<(Code, VisQuery)> = vec![
+    vec![
         (
             Code::UnknownXColumn,
             q(Bar, "nope", None, Group, Cnt, NoOrder),
@@ -150,11 +152,14 @@ fn each_error_code_has_a_witness_query() {
             Code::AggregateNeedsNumericY,
             q(Bar, "cat", Some("cat"), Group, Sum, NoOrder),
         ),
-    ];
+    ]
+}
 
+#[test]
+fn each_error_code_has_a_witness_query() {
     let table = fixture();
     let udfs = UdfRegistry::default();
-    for (expected, query) in cases {
+    for (expected, query) in error_witnesses() {
         let first = check_executable(&table, &query, &udfs)
             .expect_err(&format!("{expected:?} witness must be rejected: {query:?}"));
         assert_eq!(
@@ -213,13 +218,13 @@ fn xyz_without_transform_is_e0015() {
 // Warning witnesses: each W-code query executes, but analyze() flags it.
 // ---------------------------------------------------------------------------
 
-#[test]
-fn each_warning_code_has_an_executable_witness() {
+/// One executable-but-flagged query per warning code (W0101–W0108).
+fn warning_witnesses() -> Vec<(Code, VisQuery)> {
     use Aggregate::*;
     use ChartType::*;
     use Transform::{Bin, Group, None as NoT};
 
-    let cases: Vec<(Code, VisQuery)> = vec![
+    vec![
         (
             Code::RawOnCategoricalX,
             q(Line, "cat", Some("num"), NoT, Raw, SortOrder::None),
@@ -259,11 +264,14 @@ fn each_warning_code_has_an_executable_witness() {
             Code::RawOrderByY,
             q(Line, "num", Some("num"), NoT, Raw, SortOrder::ByY),
         ),
-    ];
+    ]
+}
 
+#[test]
+fn each_warning_code_has_an_executable_witness() {
     let table = fixture();
     let udfs = UdfRegistry::default();
-    for (expected, query) in cases {
+    for (expected, query) in warning_witnesses() {
         assert_eq!(expected.severity(), Severity::Warning);
         let diags = analyze(&table, &query, &udfs);
         assert!(
@@ -280,6 +288,41 @@ fn each_warning_code_has_an_executable_witness() {
             Err(e) => panic!("warning witness for {expected:?} failed to execute: {e:?}"),
         }
     }
+}
+
+/// Completeness regression: **every** code in [`Code::ALL`] is
+/// exercised by a negative witness above. Adding a new diagnostic code
+/// without a witness query fails here, so coverage cannot silently rot.
+#[test]
+fn every_code_in_all_is_exercised_by_a_witness() {
+    let mut covered: Vec<Code> = error_witnesses()
+        .into_iter()
+        .chain(warning_witnesses())
+        .map(|(code, _)| code)
+        // Multi-column codes have dedicated witnesses in
+        // `multi_y_arity_is_e0014` / `xyz_without_transform_is_e0015`.
+        .chain([Code::MultiYNeedsTwoColumns, Code::XyzNeedsTransform])
+        .collect();
+    let before = covered.len();
+    covered.sort_by_key(|c| c.as_str());
+    covered.dedup();
+    assert_eq!(
+        before,
+        covered.len(),
+        "a code has two witnesses in one table"
+    );
+    let all: Vec<Code> = Code::ALL.to_vec();
+    for code in &all {
+        assert!(
+            covered.contains(code),
+            "{code} ({code:?}) is in Code::ALL but no negative witness exercises it"
+        );
+    }
+    assert_eq!(
+        covered.len(),
+        all.len(),
+        "witness for a code not in Code::ALL"
+    );
 }
 
 #[test]
