@@ -1,4 +1,4 @@
-//! The project-invariant rule catalog (`A0001`–`A0006`).
+//! The project-invariant rule catalog (`A0001`–`A0007`).
 //!
 //! These are the invariants clippy cannot express because they are
 //! *ours*: which crate owns the clock, what discipline the observability
@@ -57,6 +57,11 @@ pub static RULES: &[Rule] = &[
         code: "A0006",
         summary: "no thread::spawn — threads come from thread::scope",
         check: free_thread_spawn,
+    },
+    Rule {
+        code: "A0007",
+        summary: "bench.* metric names agree across the perf harness, the registry, and DESIGN.md",
+        check: bench_registry_sync,
     },
 ];
 
@@ -117,6 +122,9 @@ fn instant_outside_obs(ws: &Workspace) -> Vec<Diagnostic> {
 
 const PROV_METHODS: &[&str] = &["record", "record_rejected", "bump"];
 const OBS_METHODS: &[&str] = &[
+    "alloc",
+    "alloc_many",
+    "alloc_release",
     "incr",
     "record_ns",
     "record_many_ns",
@@ -329,6 +337,9 @@ fn args_allocate(toks: &[Token], open: usize) -> bool {
 
 fn lock_across_callback(ws: &Workspace) -> Vec<Diagnostic> {
     const CALLBACKS: &[&str] = &[
+        "alloc",
+        "alloc_many",
+        "alloc_release",
         "incr",
         "record_ns",
         "record_many_ns",
@@ -670,6 +681,119 @@ fn free_thread_spawn(ws: &Workspace) -> Vec<Diagnostic> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// A0007 — the bench perf layer, the registry, and DESIGN.md agree.
+//
+// The perf harness is a third consumer of the metric namespace: its JSON
+// artifact names the `bench.*` histogram each stage records into, the
+// budget table constrains those same histograms, and DESIGN.md §9
+// documents them. A0005 already rejects unregistered names at record
+// call sites; this rule closes the remaining drift channels — a
+// `bench.*` literal anywhere in the harness layer that the registry
+// does not know, a registered `bench.*` histogram the harness never
+// wires up, and DESIGN.md naming a `bench.*` metric that does not exist.
+
+fn bench_registry_sync(ws: &Workspace) -> Vec<Diagnostic> {
+    const BENCH_FILES: &[&str] = &[
+        "crates/bench/src/perf.rs",
+        "crates/bench/src/bin/harness.rs",
+        "crates/bench/src/bin/perfgate.rs",
+    ];
+    let metric_shaped = |s: &str| {
+        s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c))
+    };
+    let mut out = Vec::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for rel in BENCH_FILES {
+        let Some(file) = ws.file(rel) else { continue };
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(lit) = t.str_lit() else { continue };
+            if !lit.starts_with("bench.") || !metric_shaped(lit) || !file.is_product(i) {
+                continue;
+            }
+            used.insert(lit.to_owned());
+            if !deepeye_obs::metrics::is_histogram(lit) {
+                out.push(diag(
+                    file,
+                    t.line,
+                    "A0007",
+                    format!(
+                        "bench metric {lit:?} is not a registered histogram \
+                         (deepeye_obs::metrics) — the artifact would name a \
+                         metric dashboards cannot find"
+                    ),
+                ));
+            }
+        }
+    }
+    // The reverse directions only make sense when the harness layer is in
+    // the scanned set (full workspace runs; unit fixtures gate themselves
+    // by including crates/bench/src/perf.rs).
+    if ws.file("crates/bench/src/perf.rs").is_some() {
+        for name in deepeye_obs::metrics::HISTOGRAMS {
+            if !name.starts_with("bench.") {
+                continue;
+            }
+            if !used.contains(*name) {
+                out.push(Diagnostic {
+                    file: "crates/bench/src/perf.rs".to_owned(),
+                    line: 1,
+                    code: "A0007",
+                    message: format!(
+                        "registered bench histogram {name:?} is not wired into the \
+                         perf harness layer"
+                    ),
+                });
+            }
+            if !ws.design.is_empty() && !ws.design.contains(name) {
+                out.push(Diagnostic {
+                    file: "DESIGN.md".to_owned(),
+                    line: 1,
+                    code: "A0007",
+                    message: format!(
+                        "registered bench histogram {name:?} is not documented in DESIGN.md"
+                    ),
+                });
+            }
+        }
+        // DESIGN.md → registry: a `bench.*_ns`-shaped token in the prose
+        // that the registry does not know is a doc lie.
+        let design = ws.design.as_str();
+        let mut pos = 0usize;
+        while let Some(found) = design[pos..].find("bench.") {
+            let start = pos + found;
+            pos = start + "bench.".len();
+            // Skip words like "microbench." or "deepeye-bench.": only a
+            // standalone `bench.` token starts a metric name.
+            if start > 0
+                && design[..start]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || "_-.".contains(c))
+            {
+                continue;
+            }
+            let rest = &design[pos..];
+            let word_len = rest
+                .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+                .unwrap_or(rest.len());
+            let token = &design[start..pos + word_len];
+            if token.ends_with("_ns") && !deepeye_obs::metrics::is_histogram(token) {
+                out.push(Diagnostic {
+                    file: "DESIGN.md".to_owned(),
+                    line: (design[..start].matches('\n').count() + 1) as u32,
+                    code: "A0007",
+                    message: format!(
+                        "DESIGN.md names bench metric {token:?}, which is not in the registry"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -905,5 +1029,113 @@ fn f(obs: &Observer, prov: &Provenance) {
         assert!(outcome.violations.is_empty());
         assert_eq!(outcome.suppressed.len(), 1);
         assert_eq!(outcome.stale, vec!["A0006 crates/core/src/gone.rs"]);
+    }
+
+    /// A perf-layer fixture wiring every registered `bench.*` histogram.
+    const PERF_FIXTURE: &str = r#"
+pub fn metric(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Enumerate => "bench.enumerate_ns",
+        Stage::Execute => "bench.execute_ns",
+        Stage::Recognize => "bench.recognize_ns",
+        Stage::Rank => "bench.rank_ns",
+        Stage::TopK => "bench.topk_ns",
+    }
+}
+"#;
+
+    /// A DESIGN.md fixture documenting every registered `bench.*` histogram.
+    const DESIGN_FIXTURE: &str = "## 9. Performance observability\n\
+        `bench.enumerate_ns` `bench.execute_ns` `bench.recognize_ns` \
+        `bench.rank_ns` `bench.topk_ns`\n";
+
+    #[test]
+    fn a0007_clean_when_all_three_agree() {
+        let hits = run_rule(
+            "A0007",
+            vec![("crates/bench/src/perf.rs", PERF_FIXTURE)],
+            DESIGN_FIXTURE,
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn a0007_flags_unregistered_literal_in_harness() {
+        let hits = run_rule(
+            "A0007",
+            vec![
+                ("crates/bench/src/perf.rs", PERF_FIXTURE),
+                (
+                    "crates/bench/src/bin/harness.rs",
+                    r#"fn f(obs: &Observer) { obs.record_many_ns("bench.enumarate_ns", &[1]); }"#,
+                ),
+            ],
+            DESIGN_FIXTURE,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "crates/bench/src/bin/harness.rs");
+        assert!(hits[0].message.contains("bench.enumarate_ns"));
+    }
+
+    #[test]
+    fn a0007_flags_unwired_registry_entry() {
+        let reduced = PERF_FIXTURE.replace("\"bench.topk_ns\"", "\"bench.rank_ns\"");
+        let hits = run_rule(
+            "A0007",
+            vec![("crates/bench/src/perf.rs", reduced.as_str())],
+            DESIGN_FIXTURE,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "crates/bench/src/perf.rs");
+        assert!(hits[0].message.contains("bench.topk_ns"));
+    }
+
+    #[test]
+    fn a0007_flags_design_doc_drift_both_ways() {
+        // Docs miss a registered metric.
+        let missing = DESIGN_FIXTURE.replace("`bench.rank_ns` ", "");
+        let hits = run_rule(
+            "A0007",
+            vec![("crates/bench/src/perf.rs", PERF_FIXTURE)],
+            &missing,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "DESIGN.md");
+        assert!(hits[0].message.contains("not documented"));
+        // Docs invent an unregistered metric.
+        let invented = format!("{DESIGN_FIXTURE}\nAlso `bench.bogus_ns` is great.\n");
+        let hits = run_rule(
+            "A0007",
+            vec![("crates/bench/src/perf.rs", PERF_FIXTURE)],
+            &invented,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "DESIGN.md");
+        assert_eq!(hits[0].line, 4);
+        assert!(hits[0].message.contains("bench.bogus_ns"));
+    }
+
+    #[test]
+    fn a0007_ignores_prefixed_and_non_metric_tokens() {
+        let prose = format!(
+            "{DESIGN_FIXTURE}\nThe microbench.speed_ns suite and the bench. \
+             directory are unrelated; deepeye-bench.total_ns too.\n"
+        );
+        let hits = run_rule(
+            "A0007",
+            vec![("crates/bench/src/perf.rs", PERF_FIXTURE)],
+            &prose,
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn a0007_skips_partial_workspaces() {
+        let hits = run_rule(
+            "A0007",
+            vec![("crates/core/src/x.rs", "fn f() {}")],
+            "whatever `bench.bogus_ns`",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
     }
 }

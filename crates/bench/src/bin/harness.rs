@@ -1,0 +1,205 @@
+//! The continuous-performance harness: runs the fixed scenario matrix
+//! (table shapes × the five pipeline stages), times each stage over
+//! warmup + repeated runs on the span clock, and writes the versioned
+//! `BENCH_results.json` document that `perfgate` diffs and
+//! `trace_check --bench --budgets` validates.
+//!
+//! Usage: `harness [--smoke] [--out <path>] [--warmup N] [--reps N]
+//! [--stacks <path>] [--flame <path>]`
+//!
+//! `--smoke` keeps only the smallest scenario (CI mode). `--stacks` /
+//! `--flame` additionally export the run's span tree as a folded-stack
+//! file / self-contained flame SVG.
+
+// Experiment drivers are report scripts: aborting on a broken
+// invariant is the right behavior, so the workspace unwrap/panic
+// lints are relaxed here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use deepeye_bench::perf::{
+    record_stage_samples, results_json, scenario_matrix, RobustTiming, ScenarioRun, Stage,
+};
+use deepeye_core::{
+    build_nodes_parallel_observed, ClassifierKind, ProgressiveSelector, Recognizer,
+};
+use deepeye_datagen::{build_table, recognition_examples, training_tables, PerceptionOracle};
+use deepeye_obs::{Observer, Stopwatch};
+use deepeye_query::UdfRegistry;
+use std::process::ExitCode;
+
+struct Args {
+    smoke: bool,
+    out: String,
+    warmup: usize,
+    reps: usize,
+    stacks: Option<String>,
+    flame: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        smoke: false,
+        out: "BENCH_results.json".to_owned(),
+        warmup: 1,
+        reps: 5,
+        stacks: None,
+        flame: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--out" => parsed.out = value("--out")?,
+            "--warmup" => {
+                parsed.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--reps" => {
+                let reps: usize = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+                if reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+                parsed.reps = reps;
+            }
+            "--stacks" => parsed.stacks = Some(value("--stacks")?),
+            "--flame" => parsed.flame = Some(value("--flame")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Time one stage: warmup runs (discarded), then `reps` timed runs on the
+/// span clock, each under the stage's span so the trace, flame view, and
+/// `alloc.*` aggregates attribute the work. The closure receives the
+/// stage span's id so cross-thread work (the parallel executor's worker
+/// spans) parents under the stage being measured. Returns the raw
+/// samples.
+fn time_stage<T>(
+    obs: &Observer,
+    stage: Stage,
+    warmup: usize,
+    reps: usize,
+    mut run: impl FnMut(Option<deepeye_obs::SpanId>) -> T,
+) -> Vec<u64> {
+    for _ in 0..warmup {
+        let span = obs.span(stage.span_name());
+        std::hint::black_box(run(span.id()));
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let span = obs.span(stage.span_name());
+        let clock = Stopwatch::start();
+        std::hint::black_box(run(span.id()));
+        samples.push(clock.elapsed_ns());
+    }
+    samples
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("harness: {e}");
+            eprintln!(
+                "usage: harness [--smoke] [--out <path>] [--warmup N] [--reps N] \
+                 [--stacks <path>] [--flame <path>]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "harness: {} matrix, warmup {}, reps {}",
+        if args.smoke { "smoke" } else { "full" },
+        args.warmup,
+        args.reps
+    );
+
+    // Offline phase (untimed): train the recognizer and the LTR ranker
+    // once; the matrix measures the online pipeline only.
+    let oracle = PerceptionOracle::default();
+    let train = training_tables(0.03);
+    let recognizer = Recognizer::train(
+        ClassifierKind::DecisionTree,
+        &recognition_examples(&train, &oracle),
+    );
+    let ltr = deepeye_bench::efficiency::offline_ltr(0.03, &oracle);
+
+    let obs = Observer::enabled();
+    let udfs = UdfRegistry::default();
+    let mut runs: Vec<ScenarioRun> = Vec::new();
+    for spec in scenario_matrix(args.smoke) {
+        let table = build_table(&spec.corpus_spec());
+        eprintln!(
+            "  scenario {} — {} rows x {} columns",
+            spec.name,
+            table.row_count(),
+            table.column_count()
+        );
+        let mut stages: Vec<(Stage, RobustTiming)> = Vec::new();
+        let queries = deepeye_core::rules::rule_based_queries(&table);
+        let nodes =
+            build_nodes_parallel_observed(&table, queries.clone(), &udfs, false, &obs, None);
+        for stage in Stage::ALL {
+            let samples = match stage {
+                Stage::Enumerate => time_stage(&obs, stage, args.warmup, args.reps, |_| {
+                    deepeye_core::rules::rule_based_queries(&table)
+                }),
+                Stage::Execute => time_stage(&obs, stage, args.warmup, args.reps, |parent| {
+                    build_nodes_parallel_observed(
+                        &table,
+                        queries.clone(),
+                        &udfs,
+                        true,
+                        &obs,
+                        parent,
+                    )
+                }),
+                Stage::Recognize => time_stage(&obs, stage, args.warmup, args.reps, |_| {
+                    nodes.iter().filter(|n| recognizer.is_good(n)).count()
+                }),
+                Stage::Rank => {
+                    time_stage(&obs, stage, args.warmup, args.reps, |_| ltr.rank(&nodes))
+                }
+                Stage::TopK => time_stage(&obs, stage, args.warmup, args.reps, |_| {
+                    ProgressiveSelector::new(&table, &udfs).top_k_observed(10, &obs)
+                }),
+            };
+            record_stage_samples(&obs, stage, &samples);
+            stages.push((stage, RobustTiming::from_samples(&samples)));
+        }
+        runs.push(ScenarioRun {
+            name: spec.name.to_owned(),
+            rows: table.row_count(),
+            columns: table.column_count(),
+            stages,
+        });
+    }
+
+    let json = results_json(&runs, &obs.snapshot());
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("harness: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("harness: wrote {}", args.out);
+    if let Some(path) = &args.stacks {
+        if let Err(e) = std::fs::write(path, obs.folded_stacks()) {
+            eprintln!("harness: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("harness: wrote folded stacks to {path}");
+    }
+    if let Some(path) = &args.flame {
+        if let Err(e) = std::fs::write(path, obs.flame_svg()) {
+            eprintln!("harness: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("harness: wrote flame SVG to {path}");
+    }
+    println!("{}", obs.snapshot().stage_report());
+    ExitCode::SUCCESS
+}

@@ -13,15 +13,22 @@
 //! - Lint reports (`--lint-report`, from `analyze --workspace --json`):
 //!   schema, codes drawn from the rule catalog, and the stable
 //!   (file, line, code) diagnostic ordering.
+//! - Bench results (`--bench`, from `harness` or `fig12_efficiency`'s
+//!   `DEEPEYE_BENCH_OUT`): versioned schema, registered metric names,
+//!   internally consistent robust timings.
+//! - Stage budgets (`--budgets`): a harness document's per-stage medians
+//!   against the declarative budget table (`deepeye_bench::perf::BUDGETS`).
 //!
 //! Usage: `trace_check [<trace.json> ...] [--metrics <metrics.json>]...
-//! [--provenance <prov.json>]... [--lint-report <report.json>]...`
+//! [--provenance <prov.json>]... [--lint-report <report.json>]...
+//! [--bench <bench.json>]... [--budgets <bench.json>]...`
 //!
 //! Exits nonzero (via `ExitCode`, so the workspace `clippy::exit` lint
 //! stays intact) if any file fails validation — CI runs this against the
 //! quickstart example's exports.
 
 use deepeye_analyze::validate_lint_report;
+use deepeye_bench::perf::{check_budgets, validate_bench_json};
 use deepeye_core::validate_provenance_json;
 use deepeye_obs::{validate_chrome_trace, validate_metrics_json};
 use std::process::ExitCode;
@@ -31,6 +38,8 @@ enum Kind {
     Metrics,
     Provenance,
     LintReport,
+    Bench,
+    Budgets,
 }
 
 fn main() -> ExitCode {
@@ -48,6 +57,14 @@ fn main() -> ExitCode {
             },
             "--lint-report" => match args.next() {
                 Some(path) => jobs.push((Kind::LintReport, path)),
+                None => return usage(),
+            },
+            "--bench" => match args.next() {
+                Some(path) => jobs.push((Kind::Bench, path)),
+                None => return usage(),
+            },
+            "--budgets" => match args.next() {
+                Some(path) => jobs.push((Kind::Budgets, path)),
                 None => return usage(),
             },
             _ => jobs.push((Kind::Trace, arg)),
@@ -115,6 +132,33 @@ fn main() -> ExitCode {
                     failed = true;
                 }
             },
+            Kind::Bench => match validate_bench_json(&text) {
+                Ok(summary) => {
+                    println!(
+                        "{path}: ok — {} with {} scenario(s), {} stage row(s)",
+                        summary.experiment, summary.scenarios, summary.stage_rows
+                    );
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
+            Kind::Budgets => match check_budgets(&text) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("{path}: ok — all stage medians within budget");
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("{path}: {v}");
+                    }
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
             Kind::LintReport => match validate_lint_report(&text) {
                 Ok(summary) => {
                     println!(
@@ -146,7 +190,8 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: trace_check [<trace.json> ...] [--metrics <metrics.json>]... \
-         [--provenance <prov.json>]... [--lint-report <report.json>]..."
+         [--provenance <prov.json>]... [--lint-report <report.json>]... \
+         [--bench <bench.json>]... [--budgets <bench.json>]..."
     );
     ExitCode::FAILURE
 }

@@ -193,7 +193,12 @@ pub struct DatasetRun {
 /// when `DEEPEYE_BENCH_OUT` is set.
 pub fn bench_json(scale: f64, datasets: &[DatasetRun], snapshot: &deepeye_obs::Snapshot) -> String {
     use deepeye_obs::json::escape;
-    let mut out = String::from("{\n  \"experiment\": \"fig12_efficiency\",\n");
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"schema\": \"{}\",\n",
+        crate::perf::BENCH_SCHEMA
+    ));
+    out.push_str("  \"experiment\": \"fig12_efficiency\",\n");
     out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str("  \"datasets\": [");
     for (i, d) in datasets.iter().enumerate() {
@@ -225,32 +230,8 @@ pub fn bench_json(scale: f64, datasets: &[DatasetRun], snapshot: &deepeye_obs::S
     if !datasets.is_empty() {
         out.push_str("\n  ");
     }
-    out.push_str("],\n  \"counters\": {");
-    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("\n    \"{}\": {}", escape(name), value));
-    }
-    if !snapshot.counters.is_empty() {
-        out.push_str("\n  ");
-    }
-    out.push_str("},\n  \"stages\": {");
-    for (i, s) in snapshot.stages.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}}}",
-            escape(&s.path),
-            s.count,
-            s.total_ns
-        ));
-    }
-    if !snapshot.stages.is_empty() {
-        out.push_str("\n  ");
-    }
-    out.push_str("}\n}\n");
+    out.push_str("],\n");
+    out.push_str(&crate::perf::snapshot_tail(snapshot));
     out
 }
 
@@ -321,6 +302,9 @@ mod tests {
             bars,
         }];
         let text = bench_json(0.03, &runs, &obs.snapshot());
+        let summary = crate::perf::validate_bench_json(&text).expect("versioned schema validates");
+        assert_eq!(summary.experiment, "fig12_efficiency");
+        assert_eq!(summary.scenarios, 1);
         let doc = deepeye_obs::parse_json(&text).expect("valid JSON");
         let datasets = doc
             .get("datasets")

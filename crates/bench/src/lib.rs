@@ -25,6 +25,7 @@
 
 pub mod efficiency;
 pub mod fmt;
+pub mod perf;
 pub mod ranking;
 pub mod recognition;
 

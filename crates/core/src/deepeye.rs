@@ -240,7 +240,7 @@ impl DeepEye {
         prov.set_table(table.name());
         let queries: Vec<VisQuery> = {
             let _enumerate = obs.span("pipeline.enumerate");
-            match self.config.enumeration {
+            let qs = match self.config.enumeration {
                 // The statically-executable subset: identical resulting nodes
                 // (ill-typed queries would only fail execution below), minus
                 // the wasted error paths.
@@ -302,7 +302,21 @@ impl DeepEye {
                     }
                     qs
                 }
+            };
+            if obs.is_enabled() {
+                // Arena point: the enumerated candidate set is the stage's
+                // dominant allocation; one batched charge covers it.
+                let bytes: u64 = qs
+                    .iter()
+                    .map(|q| {
+                        (std::mem::size_of::<VisQuery>()
+                            + q.x.len()
+                            + q.y.as_ref().map_or(0, String::len)) as u64
+                    })
+                    .sum();
+                obs.alloc_many(qs.len() as u64, bytes);
             }
+            qs
         };
         // Ids of everything admitted to execution, so execution failures
         // (runtime errors, empty results) can be charged to their candidate.

@@ -76,6 +76,34 @@ impl VisNode {
         self.data.series = deepeye_query::Series::Keyed(Vec::new());
     }
 
+    /// Rough heap footprint of the materialized series and labels, for
+    /// allocation attribution ([`deepeye_obs::Observer::alloc_many`] at
+    /// the executor's arena points). An estimate — allocator slack and
+    /// enum niche layout are not modeled — but deterministic, O(marks)
+    /// cheap, and stable enough for stage-relative comparison.
+    pub fn approx_heap_bytes(&self) -> u64 {
+        use deepeye_query::{Key, Series};
+        let series_bytes = match &self.data.series {
+            Series::Keyed(pairs) => {
+                let inline = pairs.len() * std::mem::size_of::<(Key, f64)>();
+                let text: usize = pairs
+                    .iter()
+                    .map(|(k, _)| match k {
+                        Key::Text(s) => s.len(),
+                        _ => 0,
+                    })
+                    .sum();
+                inline + text
+            }
+            Series::Points(points) => points.len() * std::mem::size_of::<(f64, f64)>(),
+        };
+        let labels = self.data.x_label.len()
+            + self.data.y_label.len()
+            + self.query.x.len()
+            + self.query.y.as_ref().map_or(0, String::len);
+        (series_bytes + labels) as u64
+    }
+
     /// Stable identity string for deduplication, provenance records, and
     /// test assertions (shared with [`crate::provenance::query_id`] so
     /// never-built candidates live in the same id space).
@@ -138,6 +166,19 @@ mod tests {
         };
         let node = VisNode::build(&table(), q, &UdfRegistry::default()).unwrap();
         assert_eq!(node.columns(), vec!["carrier"]);
+    }
+
+    #[test]
+    fn approx_heap_bytes_tracks_materialization() {
+        let node = VisNode::build(&table(), group_avg(), &UdfRegistry::default()).unwrap();
+        let full = node.approx_heap_bytes();
+        assert!(full > 0, "materialized node has a footprint");
+        let mut slimmed = node.clone();
+        slimmed.slim();
+        assert!(
+            slimmed.approx_heap_bytes() < full,
+            "slimming shrinks the estimate"
+        );
     }
 
     #[test]

@@ -118,6 +118,7 @@ fn build_chunk(
     if obs.is_enabled() {
         let mut latencies = Vec::with_capacity(chunk.len());
         let (mut ok, mut err) = (0u64, 0u64);
+        let mut bytes = 0u64;
         for q in chunk {
             let start = Stopwatch::start();
             let built = VisNode::build(table, q.clone(), udfs);
@@ -128,6 +129,7 @@ fn build_chunk(
                         node.slim();
                     }
                     ok += 1;
+                    bytes += node.approx_heap_bytes();
                     out.push(node);
                 }
                 Err(_) => err += 1,
@@ -136,6 +138,8 @@ fn build_chunk(
         obs.record_many_ns("exec.query_ns", &latencies);
         obs.incr("exec.ok", ok);
         obs.incr("exec.err", err);
+        // One batched charge per chunk, attributed to this worker's span.
+        obs.alloc_many(ok, bytes);
     } else {
         for q in chunk {
             if let Ok(mut node) = VisNode::build(table, q.clone(), udfs) {

@@ -254,6 +254,13 @@ impl<'a> ProgressiveSelector<'a> {
                     let leaf_timer = obs.timer("progressive.leaf_ns");
                     let nodes = self.materialize_column(&by_column[column], max_w, &mut stats);
                     drop(leaf_timer);
+                    if obs.is_enabled() {
+                        // Arena point: leaf materialization is where the
+                        // progressive path allocates; charge the batch to
+                        // the open `progressive.top_k` span.
+                        let bytes: u64 = nodes.iter().map(|s| s.node.approx_heap_bytes()).sum();
+                        obs.alloc_many(nodes.len() as u64, bytes);
+                    }
                     for scored in nodes {
                         let seq = materialized.len();
                         heap.push(Entry::Node {

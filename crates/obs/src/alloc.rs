@@ -1,0 +1,166 @@
+//! Scoped allocation accounting attributed to spans.
+//!
+//! The workspace lint wall forbids `unsafe`, so a tracking
+//! `#[global_allocator]` (which must `unsafe impl GlobalAlloc`) is off the
+//! table. Instead the pipeline's arena points — the places that
+//! materialize query results, feature vectors, and top-k leaves — report
+//! their allocations explicitly via [`Observer::alloc`],
+//! [`Observer::alloc_many`], and [`Observer::alloc_release`]. Each call
+//! attributes to the innermost open span of that observer on the calling
+//! thread, exactly like automatic span parenting, so the per-stage
+//! reports and the JSON metrics snapshot gain `alloc.*` columns without
+//! any instrumentation site naming a stage.
+//!
+//! Accounting is *self* (per-span) at record time; [`Snapshot::build`]
+//! folds every span's self stats into all of its ancestors' paths, so
+//! stage aggregates read **inclusive** — a stage's `alloc_bytes` covers
+//! everything allocated underneath it. `peak` tracks the high-water mark
+//! of live bytes within one span (`alloc` raises it, `alloc_release`
+//! lowers the live count); aggregated peaks are summed, which makes the
+//! reported number an upper bound on concurrent live bytes, never an
+//! undercount. The invariant `peak ≤ bytes` holds per span and survives
+//! aggregation, and `trace_check --metrics` checks it on every export.
+//!
+//! A disabled observer takes the same single-`Option`-check early exit as
+//! every other recording method: the accounting calls sit behind
+//! `is_enabled()` guards at the call sites anyway (rule A0002 enforces
+//! that for allocating arguments), so the disabled path never computes a
+//! byte count at all.
+//!
+//! [`Observer::alloc`]: crate::Observer::alloc
+//! [`Observer::alloc_many`]: crate::Observer::alloc_many
+//! [`Observer::alloc_release`]: crate::Observer::alloc_release
+//! [`Snapshot::build`]: crate::report::Snapshot
+
+/// Allocation totals attributed to one span (self, not inclusive).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of attributed allocation events.
+    pub count: u64,
+    /// Total bytes attributed (gross — releases do not subtract).
+    pub bytes: u64,
+    /// High-water mark of live (allocated minus released) bytes.
+    pub peak: u64,
+}
+
+impl AllocStats {
+    /// Whether nothing was attributed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0 && self.bytes == 0 && self.peak == 0
+    }
+
+    /// Fold another span's stats in (counts and bytes add; peaks add too,
+    /// making the aggregate an upper bound on concurrent live bytes).
+    pub fn merge(&mut self, other: &AllocStats) {
+        self.count += other.count;
+        self.bytes += other.bytes;
+        self.peak += other.peak;
+    }
+}
+
+/// Live accounting for one *open* span: [`AllocStats`] plus the current
+/// live-byte count the peak is tracked against.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct AllocCell {
+    pub(crate) stats: AllocStats,
+    live: u64,
+}
+
+impl AllocCell {
+    pub(crate) fn charge(&mut self, count: u64, bytes: u64) {
+        self.stats.count += count;
+        self.stats.bytes += bytes;
+        self.live += bytes;
+        self.stats.peak = self.stats.peak.max(self.live);
+    }
+
+    pub(crate) fn release(&mut self, bytes: u64) {
+        self.live = self.live.saturating_sub(bytes);
+    }
+}
+
+/// Render a byte count human-readably (`0B`, `1.5KiB`, `43.0MiB`,
+/// `2.10GiB`).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: u64 = 1 << 10;
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+    if bytes < KIB {
+        format!("{bytes}B")
+    } else if bytes < MIB {
+        format!("{:.1}KiB", bytes as f64 / KIB as f64)
+    } else if bytes < GIB {
+        format!("{:.1}MiB", bytes as f64 / MIB as f64)
+    } else {
+        format!("{:.2}GiB", bytes as f64 / GIB as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_tracks_peak_of_live_bytes() {
+        let mut cell = AllocCell::default();
+        cell.charge(1, 100);
+        cell.charge(1, 50);
+        cell.release(120);
+        cell.charge(1, 10);
+        assert_eq!(cell.stats.count, 3);
+        assert_eq!(cell.stats.bytes, 160);
+        assert_eq!(cell.stats.peak, 150, "peak is the pre-release high-water");
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut cell = AllocCell::default();
+        cell.charge(1, 10);
+        cell.release(1_000);
+        cell.charge(1, 5);
+        assert_eq!(cell.stats.peak, 10, "over-release clamps live to zero");
+    }
+
+    #[test]
+    fn peak_never_exceeds_bytes() {
+        let mut cell = AllocCell::default();
+        for (charge, release) in [(10, 0), (20, 15), (5, 100), (40, 1)] {
+            cell.charge(1, charge);
+            cell.release(release);
+            assert!(cell.stats.peak <= cell.stats.bytes);
+        }
+    }
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = AllocStats {
+            count: 1,
+            bytes: 10,
+            peak: 8,
+        };
+        a.merge(&AllocStats {
+            count: 2,
+            bytes: 20,
+            peak: 20,
+        });
+        assert_eq!(
+            a,
+            AllocStats {
+                count: 3,
+                bytes: 30,
+                peak: 28
+            }
+        );
+        assert!(!a.is_empty());
+        assert!(AllocStats::default().is_empty());
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(0), "0B");
+        assert_eq!(fmt_bytes(532), "532B");
+        assert_eq!(fmt_bytes(1_536), "1.5KiB");
+        assert_eq!(fmt_bytes(45_088_768), "43.0MiB");
+        assert_eq!(fmt_bytes(2_254_857_830), "2.10GiB");
+    }
+}

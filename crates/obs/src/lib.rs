@@ -40,7 +40,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod alloc;
 pub mod clock;
+pub mod flame;
 pub mod hist;
 pub mod json;
 pub mod metrics;
@@ -48,7 +50,9 @@ pub mod observer;
 pub mod report;
 pub mod trace;
 
+pub use alloc::{fmt_bytes, AllocStats};
 pub use clock::Stopwatch;
+pub use flame::{flame_svg, folded_stacks, spans_from_chrome_trace, FlameSpan};
 pub use hist::{HistSummary, Histogram};
 pub use json::{parse_json, Json, JsonError};
 pub use observer::{HistTimer, Observer, SpanGuard, SpanId, SpanRecord};

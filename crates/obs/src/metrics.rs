@@ -43,7 +43,16 @@ pub const COUNTERS: &[&str] = &[
 /// [`Observer::record_ns`](crate::Observer::record_ns),
 /// [`Observer::record_many_ns`](crate::Observer::record_many_ns)) the
 /// pipeline records, sorted.
-pub const HISTOGRAMS: &[&str] = &["exec.query_ns", "ltr.epoch_ns", "progressive.leaf_ns"];
+pub const HISTOGRAMS: &[&str] = &[
+    "bench.enumerate_ns",
+    "bench.execute_ns",
+    "bench.rank_ns",
+    "bench.recognize_ns",
+    "bench.topk_ns",
+    "exec.query_ns",
+    "ltr.epoch_ns",
+    "progressive.leaf_ns",
+];
 
 /// Whether `name` is a registered counter.
 pub fn is_counter(name: &str) -> bool {

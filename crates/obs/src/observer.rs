@@ -7,6 +7,7 @@
 //! observer holds nothing: every method is a branch on `None`, so
 //! carrying one through the hot path costs nothing when tracing is off.
 
+use crate::alloc::{AllocCell, AllocStats};
 use crate::hist::Histogram;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -34,12 +35,19 @@ pub struct SpanRecord {
     /// B/E events balanced even under timestamp ties.
     pub begin_seq: u64,
     pub end_seq: u64,
+    /// Allocation accounting attributed to this span (self, not
+    /// inclusive — [`crate::report::Snapshot`] folds children into
+    /// ancestors at aggregation time).
+    pub alloc: AllocStats,
 }
 
 pub(crate) struct State {
     pub spans: Vec<SpanRecord>,
     pub counters: BTreeMap<&'static str, u64>,
     pub hists: BTreeMap<&'static str, Histogram>,
+    /// Live allocation cells of *open* spans, drained into the
+    /// [`SpanRecord`] when the owning guard drops.
+    pub open_allocs: BTreeMap<SpanId, AllocCell>,
 }
 
 pub(crate) struct Inner {
@@ -103,6 +111,7 @@ impl Observer {
                     spans: Vec::new(),
                     counters: BTreeMap::new(),
                     hists: BTreeMap::new(),
+                    open_allocs: BTreeMap::new(),
                 }),
             })),
         }
@@ -125,10 +134,9 @@ impl Observer {
             .unwrap_or(0)
     }
 
-    /// Start a span; it ends when the returned guard drops. The parent is
-    /// the innermost open span of this observer on the current thread.
-    pub fn span(&self, name: &'static str) -> SpanGuard {
-        let parent = self.inner.as_ref().and_then(|_| {
+    /// Innermost open span of this observer on the current thread.
+    fn current_span(&self) -> Option<SpanId> {
+        self.inner.as_ref().and_then(|_| {
             let token = self.token();
             SPAN_STACK.with(|stack| {
                 stack
@@ -138,7 +146,13 @@ impl Observer {
                     .find(|(t, _)| *t == token)
                     .map(|&(_, id)| id)
             })
-        });
+        })
+    }
+
+    /// Start a span; it ends when the returned guard drops. The parent is
+    /// the innermost open span of this observer on the current thread.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let parent = self.current_span();
         self.span_under(name, parent)
     }
 
@@ -191,6 +205,45 @@ impl Observer {
             let hist = state.hists.entry(name).or_default();
             for &ns in samples {
                 hist.record(ns);
+            }
+        }
+    }
+
+    /// Attribute one allocation of `bytes` bytes to the innermost open
+    /// span on the current thread. See [`crate::alloc`] for the model;
+    /// with no open span (or disabled) the call records nothing.
+    pub fn alloc(&self, bytes: u64) {
+        self.alloc_many(1, bytes);
+    }
+
+    /// Attribute a batch of `count` allocations totalling `bytes` bytes
+    /// with one lock acquisition — arena points that build many values at
+    /// once (result tables, node batches) report a single charge.
+    pub fn alloc_many(&self, count: u64, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(span) = self.current_span() {
+                inner
+                    .lock()
+                    .open_allocs
+                    .entry(span)
+                    .or_default()
+                    .charge(count, bytes);
+            }
+        }
+    }
+
+    /// Report `bytes` bytes released while the innermost open span is
+    /// live, lowering the live count its `peak` tracks. Gross `bytes`
+    /// totals are unaffected.
+    pub fn alloc_release(&self, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(span) = self.current_span() {
+                inner
+                    .lock()
+                    .open_allocs
+                    .entry(span)
+                    .or_default()
+                    .release(bytes);
             }
         }
     }
@@ -325,7 +378,13 @@ impl Drop for SpanGuard {
                 stack.remove(pos);
             }
         });
-        ctx.inner.lock().spans.push(SpanRecord {
+        let mut state = ctx.inner.lock();
+        let alloc = state
+            .open_allocs
+            .remove(&ctx.id)
+            .map(|cell| cell.stats)
+            .unwrap_or_default();
+        state.spans.push(SpanRecord {
             id: ctx.id,
             parent: ctx.parent,
             name: ctx.name,
@@ -334,6 +393,7 @@ impl Drop for SpanGuard {
             dur_ns,
             begin_seq: ctx.begin_seq,
             end_seq,
+            alloc,
         });
     }
 }
@@ -515,6 +575,78 @@ mod tests {
         }
         assert_eq!(obs.counter("shared"), 7);
         assert_eq!(obs.finished_spans().len(), 1);
+    }
+
+    #[test]
+    fn allocations_attribute_to_the_innermost_span() {
+        let obs = Observer::enabled();
+        {
+            let _outer = obs.span("outer");
+            obs.alloc(100);
+            {
+                let _inner = obs.span("inner");
+                obs.alloc_many(3, 60);
+                obs.alloc_release(50);
+                obs.alloc(10);
+            }
+            obs.alloc(1);
+        }
+        let spans = obs.finished_spans();
+        let inner = spans.iter().find(|s| s.name == "inner").expect("inner");
+        assert_eq!(inner.alloc.count, 4);
+        assert_eq!(inner.alloc.bytes, 70);
+        assert_eq!(inner.alloc.peak, 60, "release before the last alloc");
+        let outer = spans.iter().find(|s| s.name == "outer").expect("outer");
+        assert_eq!(outer.alloc.count, 2, "self stats exclude the child");
+        assert_eq!(outer.alloc.bytes, 101);
+    }
+
+    #[test]
+    fn allocations_outside_any_span_are_dropped() {
+        let obs = Observer::enabled();
+        obs.alloc(999);
+        {
+            let _s = obs.span("s");
+        }
+        obs.alloc_release(999);
+        let spans = obs.finished_spans();
+        assert!(spans.iter().all(|s| s.alloc.is_empty()));
+    }
+
+    #[test]
+    fn disabled_alloc_is_a_no_op() {
+        let obs = Observer::disabled();
+        let _g = obs.span("never");
+        obs.alloc(1);
+        obs.alloc_many(2, 2);
+        obs.alloc_release(1);
+        assert!(obs.finished_spans().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_workers_account_their_own_allocations() {
+        let obs = Observer::enabled();
+        let stage = obs.span("stage");
+        let stage_id = stage.id();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    let _w = obs.span_under("worker", stage_id);
+                    obs.alloc_many(2, 100);
+                });
+            }
+        });
+        drop(stage);
+        let spans = obs.finished_spans();
+        let worker_bytes: u64 = spans
+            .iter()
+            .filter(|s| s.name == "worker")
+            .map(|s| s.alloc.bytes)
+            .sum();
+        assert_eq!(worker_bytes, 400);
+        let stage = spans.iter().find(|s| s.name == "stage").expect("stage");
+        assert!(stage.alloc.is_empty(), "self stats; snapshot adds children");
     }
 
     #[test]

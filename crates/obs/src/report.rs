@@ -6,6 +6,7 @@
 //! both the human-readable stage report and the JSON metrics export, so
 //! every consumer reads identical numbers.
 
+use crate::alloc::{fmt_bytes, AllocStats};
 use crate::hist::{HistSummary, Histogram};
 use crate::json::escape;
 use crate::observer::{SpanId, SpanRecord};
@@ -22,6 +23,14 @@ pub struct StageAgg {
     pub depth: usize,
     pub count: u64,
     pub total_ns: u64,
+    /// Inclusive attributed allocation events (this path and everything
+    /// underneath it).
+    pub alloc_count: u64,
+    /// Inclusive attributed bytes.
+    pub alloc_bytes: u64,
+    /// Sum of per-span live-byte peaks underneath this path — an upper
+    /// bound on concurrent live bytes, never an undercount.
+    pub alloc_peak: u64,
 }
 
 /// Point-in-time aggregate view of an observer's recordings.
@@ -41,6 +50,7 @@ impl Snapshot {
     ) -> Snapshot {
         let by_id: BTreeMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
         let mut agg: BTreeMap<String, StageAgg> = BTreeMap::new();
+        let mut chains: Vec<(Vec<&'static str>, AllocStats)> = Vec::new();
         for span in spans {
             // Walk the parent chain to the root. An unknown parent id
             // (still-open span) terminates the chain there.
@@ -63,9 +73,33 @@ impl Snapshot {
                 depth,
                 count: 0,
                 total_ns: 0,
+                alloc_count: 0,
+                alloc_bytes: 0,
+                alloc_peak: 0,
             });
             entry.count += 1;
             entry.total_ns += span.dur_ns;
+            if !span.alloc.is_empty() {
+                chains.push((names, span.alloc));
+            }
+        }
+        // Second pass: fold every span's self allocation stats into its
+        // own path *and* every ancestor prefix, so stage aggregates read
+        // inclusive. A prefix without an aggregate (its span still open
+        // at snapshot time) is skipped rather than invented.
+        for (names, alloc) in chains {
+            let mut prefix = String::new();
+            for name in names {
+                if !prefix.is_empty() {
+                    prefix.push('/');
+                }
+                prefix.push_str(name);
+                if let Some(entry) = agg.get_mut(&prefix) {
+                    entry.alloc_count += alloc.count;
+                    entry.alloc_bytes += alloc.bytes;
+                    entry.alloc_peak += alloc.peak;
+                }
+            }
         }
         Snapshot {
             stages: agg.into_values().collect(),
@@ -113,17 +147,20 @@ impl Snapshot {
                 .unwrap_or(0)
                 .max("stage".len());
             out.push_str(&format!(
-                "{:<name_width$}  {:>6}  {:>10}  {:>10}\n",
-                "stage", "count", "total", "mean"
+                "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>8}  {:>10}  {:>10}\n",
+                "stage", "count", "total", "mean", "allocs", "alloc", "peak"
             ));
             for s in &self.stages {
                 let mean_ns = s.total_ns.checked_div(s.count).unwrap_or(0);
                 out.push_str(&format!(
-                    "{:<name_width$}  {:>6}  {:>10}  {:>10}\n",
+                    "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>8}  {:>10}  {:>10}\n",
                     format!("{}{}", "  ".repeat(s.depth), s.name),
                     s.count,
                     fmt_duration(s.total_ns),
                     fmt_duration(mean_ns),
+                    s.alloc_count,
+                    fmt_bytes(s.alloc_bytes),
+                    fmt_bytes(s.alloc_peak),
                 ));
             }
         }
@@ -197,10 +234,14 @@ impl Snapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}}}",
+                "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"alloc_count\": {}, \
+                 \"alloc_bytes\": {}, \"alloc_peak\": {}}}",
                 escape(&s.path),
                 s.count,
-                s.total_ns
+                s.total_ns,
+                s.alloc_count,
+                s.alloc_bytes,
+                s.alloc_peak
             ));
         }
         if !self.stages.is_empty() {
@@ -233,7 +274,9 @@ fn non_negative_int(v: &crate::json::Json, what: &str) -> Result<u64, String> {
 /// objects must be present, counters must be non-negative integers, and
 /// each histogram summary must be internally consistent (all eight fields
 /// present; when `count > 0`, `min ≤ p50 ≤ p95 ≤ p99 ≤ max`,
-/// `min ≤ mean ≤ max`, and `sum ≥ max`).
+/// `min ≤ mean ≤ max`, and `sum ≥ max`). Every stage must carry the
+/// three `alloc_*` attribution fields with `alloc_peak ≤ alloc_bytes`
+/// and no bytes without events.
 pub fn validate_metrics_json(text: &str) -> Result<MetricsSummary, String> {
     use crate::json::{parse_json, Json};
     let doc = parse_json(text).map_err(|e| e.to_string())?;
@@ -302,6 +345,26 @@ pub fn validate_metrics_json(text: &str) -> Result<MetricsSummary, String> {
                 .ok_or_else(|| format!("stage `{path}` missing `total_ns`"))?,
             &format!("stage `{path}`.total_ns"),
         )?;
+        let alloc_field = |key: &str| -> Result<u64, String> {
+            non_negative_int(
+                s.get(key)
+                    .ok_or_else(|| format!("stage `{path}` missing `{key}`"))?,
+                &format!("stage `{path}`.{key}"),
+            )
+        };
+        let alloc_count = alloc_field("alloc_count")?;
+        let alloc_bytes = alloc_field("alloc_bytes")?;
+        let alloc_peak = alloc_field("alloc_peak")?;
+        if alloc_peak > alloc_bytes {
+            return Err(format!(
+                "stage `{path}` alloc_peak {alloc_peak} exceeds alloc_bytes {alloc_bytes}"
+            ));
+        }
+        if alloc_count == 0 && alloc_bytes > 0 {
+            return Err(format!(
+                "stage `{path}` has {alloc_bytes} attributed bytes but zero events"
+            ));
+        }
     }
     Ok(MetricsSummary {
         counters: counters.len(),
@@ -332,9 +395,11 @@ mod tests {
             let _root = obs.span("pipeline.recommend");
             {
                 let _e = obs.span("pipeline.enumerate");
+                obs.alloc_many(2, 64);
             }
             {
                 let _x = obs.span("pipeline.execute");
+                obs.alloc(192);
             }
         }
         obs.incr("enumerate.candidates", 12);
@@ -381,6 +446,59 @@ mod tests {
     fn empty_report_renders() {
         let report = Observer::enabled().stage_report();
         assert!(report.contains("no spans recorded"));
+    }
+
+    #[test]
+    fn alloc_aggregates_are_inclusive() {
+        let snap = sample_observer().snapshot();
+        let root = snap.stage("pipeline.recommend").expect("root");
+        assert_eq!(root.alloc_count, 3, "root folds both children in");
+        assert_eq!(root.alloc_bytes, 256);
+        assert_eq!(root.alloc_peak, 256);
+        let enumerate = snap.stage("pipeline.enumerate").expect("child");
+        assert_eq!(enumerate.alloc_count, 2);
+        assert_eq!(enumerate.alloc_bytes, 64);
+        // Children never exceed the parent's inclusive totals.
+        let child_bytes: u64 = snap
+            .stages
+            .iter()
+            .filter(|s| s.depth == 1)
+            .map(|s| s.alloc_bytes)
+            .sum();
+        assert!(child_bytes <= root.alloc_bytes);
+    }
+
+    #[test]
+    fn stage_report_shows_alloc_columns() {
+        let report = sample_observer().stage_report();
+        assert!(report.contains("allocs"), "alloc column header");
+        assert!(report.contains("256B"), "inclusive root bytes rendered");
+    }
+
+    #[test]
+    fn metrics_json_carries_alloc_fields() {
+        let doc = parse_json(&sample_observer().metrics_json()).expect("valid JSON");
+        let root = doc
+            .get("stages")
+            .and_then(|s| s.get("pipeline.recommend"))
+            .expect("root stage exported");
+        assert_eq!(root.get("alloc_count").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(root.get("alloc_bytes").and_then(Json::as_f64), Some(256.0));
+        assert_eq!(root.get("alloc_peak").and_then(Json::as_f64), Some(256.0));
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_alloc_fields() {
+        // Missing field.
+        let doc = sample_observer()
+            .metrics_json()
+            .replace("\"alloc_peak\": ", "\"alloc_peek\": ");
+        assert!(validate_metrics_json(&doc).unwrap_err().contains("alloc"));
+        // Peak above bytes.
+        let doc = sample_observer()
+            .metrics_json()
+            .replace("\"alloc_peak\": 256", "\"alloc_peak\": 999");
+        assert!(validate_metrics_json(&doc).unwrap_err().contains("exceeds"));
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //!
 //! Pipeline-running commands accept `--metrics-out <file>` (JSON metrics
 //! snapshot), `--trace-out <file>` (Chrome trace-event timeline — load in
-//! Perfetto or chrome://tracing), and `--provenance-out <file>` (the
-//! per-candidate decision-provenance record). The first two also print a
-//! per-stage timing report to stderr.
+//! Perfetto or chrome://tracing), `--flame-out <file>` (a self-contained
+//! flame SVG when the path ends in `.svg`, folded stacks otherwise), and
+//! `--provenance-out <file>` (the per-candidate decision-provenance
+//! record). The observability flags also print a per-stage timing report
+//! to stderr.
 //!
 //! `explain` runs the full pipeline with provenance collection on and
 //! prints the "why" report: the M/Q/W factor breakdown, dominance
@@ -35,6 +37,7 @@ fn usage() -> ExitCode {
          deepeye dashboard <csv> [out.html]\n  deepeye inspect <csv>\n\
          options:\n  --metrics-out <file>     write a JSON metrics snapshot\n  \
          --trace-out <file>       write a Chrome trace (Perfetto-loadable)\n  \
+         --flame-out <file>       write a flame view (.svg) or folded stacks\n  \
          --provenance-out <file>  write the decision-provenance JSON"
     );
     ExitCode::from(2)
@@ -65,6 +68,7 @@ fn strip_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, ()> 
 struct ObsFlags {
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    flame_out: Option<String>,
     provenance_out: Option<String>,
 }
 
@@ -76,12 +80,13 @@ impl ObsFlags {
         Ok(ObsFlags {
             metrics_out: strip_flag(args, "--metrics-out")?,
             trace_out: strip_flag(args, "--trace-out")?,
+            flame_out: strip_flag(args, "--flame-out")?,
             provenance_out: strip_flag(args, "--provenance-out")?,
         })
     }
 
     fn wanted(&self) -> bool {
-        self.metrics_out.is_some() || self.trace_out.is_some()
+        self.metrics_out.is_some() || self.trace_out.is_some() || self.flame_out.is_some()
     }
 
     /// An observer matching the flags: enabled only when an output was
@@ -130,6 +135,21 @@ impl ObsFlags {
                 ExitCode::FAILURE
             })?;
             eprintln!("wrote Chrome trace to {path} (load in Perfetto / chrome://tracing)");
+        }
+        if let Some(path) = &self.flame_out {
+            // `.svg` targets get the self-contained flame view; anything
+            // else gets the folded-stack text that external flamegraph
+            // tools consume.
+            let body = if path.ends_with(".svg") {
+                obs.flame_svg()
+            } else {
+                obs.folded_stacks()
+            };
+            std::fs::write(path, body).map_err(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                ExitCode::FAILURE
+            })?;
+            eprintln!("wrote flame view to {path}");
         }
         eprint!("{}", obs.stage_report());
         Ok(())
