@@ -2,9 +2,14 @@
 //! concurrency models.
 //!
 //! ```text
-//! analyze --workspace [--root DIR] [--baseline FILE] [--json FILE]
+//! analyze --workspace [--root DIR] [--baseline FILE] [--json FILE] [--github]
 //! analyze --models
 //! ```
+//!
+//! `--github` additionally emits one GitHub Actions workflow command
+//! (`::warning file=…,line=…,title=CODE::message`) per violation, so CI
+//! annotates the offending lines in the diff view; witness chains ride
+//! along `%0A`-encoded in the message.
 //!
 //! Exit status: 0 when clean, 1 on violations / stale baseline entries /
 //! model-checker findings, 2 on usage or I/O errors.
@@ -20,11 +25,13 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut github = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => mode = Some("workspace"),
             "--models" => mode = Some("models"),
+            "--github" => github = true,
             "--root" => match it.next() {
                 Some(v) => root = Some(PathBuf::from(v)),
                 None => return usage("--root needs a value"),
@@ -41,7 +48,7 @@ fn main() -> ExitCode {
         }
     }
     match mode {
-        Some("workspace") => run_lint(root, baseline_path, json_out),
+        Some("workspace") => run_lint(root, baseline_path, json_out, github),
         Some("models") => run_models(),
         _ => usage("pass --workspace or --models"),
     }
@@ -49,9 +56,28 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("analyze: {err}");
-    eprintln!("usage: analyze --workspace [--root DIR] [--baseline FILE] [--json FILE]");
+    eprintln!("usage: analyze --workspace [--root DIR] [--baseline FILE] [--json FILE] [--github]");
     eprintln!("       analyze --models");
     ExitCode::from(2)
+}
+
+/// One GitHub Actions `::warning` workflow command for a finding. The
+/// message is data inside a single-line command, so newlines (the
+/// witness chain) are `%0A`-escaped per the workflow-command quoting
+/// rules, and `%` itself first.
+fn github_annotation(d: &deepeye_analyze::Diagnostic) -> String {
+    let mut message = d.message.clone();
+    for s in &d.path {
+        message.push_str(&format!("\nat {}:{}: {}", s.file, s.line, s.note));
+    }
+    let message = message
+        .replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A");
+    format!(
+        "::warning file={},line={},title={}::{}",
+        d.file, d.line, d.code, message
+    )
 }
 
 /// The workspace root: `--root`, or the manifest's grandparent (this
@@ -69,6 +95,7 @@ fn run_lint(
     root: Option<PathBuf>,
     baseline_path: Option<PathBuf>,
     json_out: Option<PathBuf>,
+    github: bool,
 ) -> ExitCode {
     let root = root.unwrap_or_else(default_root);
     let ws = match Workspace::load(&root) {
@@ -98,9 +125,15 @@ fn run_lint(
     }
     for d in &outcome.violations {
         println!("{d}");
+        if github {
+            println!("{}", github_annotation(d));
+        }
     }
     for s in &outcome.stale {
         println!("stale baseline entry: {s}");
+        if github {
+            println!("::warning title=stale baseline entry::{s}");
+        }
     }
     println!(
         "analyze: {} file(s), {} rule(s): {} violation(s), {} suppressed, {} stale baseline entr{}",
@@ -134,5 +167,34 @@ fn run_models() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::github_annotation;
+    use deepeye_analyze::{Diagnostic, PathStep};
+
+    #[test]
+    fn annotation_escapes_the_witness_chain() {
+        let d = Diagnostic {
+            file: "crates/core/src/a.rs".into(),
+            line: 3,
+            code: "A0009",
+            message: "API reaches 100% panic".into(),
+            path: vec![PathStep {
+                file: "crates/core/src/b.rs".into(),
+                line: 9,
+                note: "panic site".into(),
+            }],
+        };
+        let ann = github_annotation(&d);
+        assert!(ann.starts_with("::warning file=crates/core/src/a.rs,line=3,title=A0009::"));
+        assert!(ann.contains("100%25 panic"), "{ann}");
+        assert!(
+            ann.contains("%0Aat crates/core/src/b.rs:9: panic site"),
+            "{ann}"
+        );
+        assert!(!ann.contains('\n'), "one line per workflow command");
     }
 }

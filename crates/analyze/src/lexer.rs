@@ -8,11 +8,17 @@
 //! single tokens (metric names live in them; a `{` inside a string must
 //! not look like a block), and lifetimes are told apart from char
 //! literals. The token stream carries line numbers so diagnostics point
-//! at sources.
+//! at sources, and char-offset spans so the corpus round-trip test can
+//! prove no input region was silently dropped or double-lexed.
 //!
-//! Unsupported exotica (nested raw-string guards inside macros, weird
-//! `b'\\''` corners) degrade gracefully: the lexer never panics, it just
-//! tokenizes conservatively.
+//! Byte literals are first-class: `b"…"` lexes like a normal string
+//! (escapes honored), `br#"…"#` / `rb"…"` like raw strings, and `b'x'` /
+//! `b'\n'` like char literals — a byte string mis-lexed as a raw string
+//! would desynchronize on its first escaped quote and corrupt every
+//! token after it, which the CFG extraction layer cannot tolerate.
+//!
+//! Unsupported exotica degrades gracefully: the lexer never panics, it
+//! just tokenizes conservatively.
 
 /// One lexed token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,11 +36,14 @@ pub enum Tok {
     Punct(char),
 }
 
-/// A token plus the 1-based source line it starts on.
+/// A token plus the 1-based source line it starts on and its half-open
+/// `[start, end)` span in char offsets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     pub tok: Tok,
     pub line: u32,
+    /// Char-offset span `[start, end)` of the token in the source.
+    pub span: (u32, u32),
 }
 
 impl Token {
@@ -79,6 +88,7 @@ pub fn lex(src: &str) -> Vec<Token> {
 
     while i < n {
         let c = bytes[i];
+        let start = i;
         match c {
             '\n' => {
                 line += 1;
@@ -92,7 +102,9 @@ pub fn lex(src: &str) -> Vec<Token> {
                 }
             }
             '/' if i + 1 < n && bytes[i + 1] == '*' => {
-                // Block comment, nested.
+                // Block comment, nested: `/* a /* b */ c */` closes only
+                // at the outermost `*/`, tracking depth so the interior
+                // `*/` does not resume lexing mid-comment.
                 let mut depth = 1usize;
                 i += 2;
                 while i < n && depth > 0 {
@@ -116,53 +128,20 @@ pub fn lex(src: &str) -> Vec<Token> {
                 out.push(Token {
                     tok: Tok::Str(lit),
                     line: start_line,
+                    span: (start as u32, next as u32),
                 });
                 line += nl;
                 i = next;
             }
             '\'' => {
-                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
-                let start_line = line;
-                if i + 1 < n && (is_ident_start(bytes[i + 1])) {
-                    // Look past the identifier: a closing quote makes it a
-                    // char literal like 'a'; otherwise it is a lifetime.
-                    let mut j = i + 1;
-                    while j < n && is_ident_cont(bytes[j]) {
-                        j += 1;
-                    }
-                    if j < n && bytes[j] == '\'' && j == i + 2 {
-                        out.push(Token {
-                            tok: Tok::Num,
-                            line: start_line,
-                        });
-                        i = j + 1;
-                    } else {
-                        let name: String = bytes[i + 1..j].iter().collect();
-                        out.push(Token {
-                            tok: Tok::Lifetime(name),
-                            line: start_line,
-                        });
-                        i = j;
-                    }
-                } else {
-                    // Escaped or punctuation char literal: scan to the
-                    // closing quote, honoring a single backslash escape.
-                    let mut j = i + 1;
-                    if j < n && bytes[j] == '\\' {
-                        j += 2;
-                        // \u{...}
-                        while j < n && bytes[j] != '\'' {
-                            j += 1;
-                        }
-                    } else if j < n {
-                        j += 1;
-                    }
-                    out.push(Token {
-                        tok: Tok::Num,
-                        line: start_line,
-                    });
-                    i = (j + 1).min(n);
-                }
+                let (tok, next, nl) = lex_quote(&bytes, i);
+                out.push(Token {
+                    tok,
+                    line,
+                    span: (start as u32, next as u32),
+                });
+                line += nl;
+                i = next;
             }
             c if c.is_ascii_digit() => {
                 while i < n && (is_ident_cont(bytes[i]) || bytes[i] == '.') {
@@ -175,18 +154,43 @@ pub fn lex(src: &str) -> Vec<Token> {
                 out.push(Token {
                     tok: Tok::Num,
                     line,
+                    span: (start as u32, i as u32),
                 });
             }
             c if is_ident_start(c) => {
-                let start = i;
                 while i < n && is_ident_cont(bytes[i]) {
                     i += 1;
                 }
                 let word: String = bytes[start..i].iter().collect();
-                // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
-                if (word == "r" || word == "b" || word == "br" || word == "rb")
-                    && i < n
-                    && (bytes[i] == '"' || bytes[i] == '#')
+                let next = bytes.get(i).copied();
+                // Byte char literal: b'x', b'\n'.
+                if word == "b" && next == Some('\'') {
+                    let (tok, next, nl) = lex_quote(&bytes, i);
+                    out.push(Token {
+                        tok,
+                        line,
+                        span: (start as u32, next as u32),
+                    });
+                    line += nl;
+                    i = next;
+                    continue;
+                }
+                // Byte string: b"…" — escapes behave like a normal string.
+                if word == "b" && next == Some('"') {
+                    let start_line = line;
+                    let (lit, next, nl) = lex_string(&bytes, i + 1);
+                    out.push(Token {
+                        tok: Tok::Str(lit),
+                        line: start_line,
+                        span: (start as u32, next as u32),
+                    });
+                    line += nl;
+                    i = next;
+                    continue;
+                }
+                // Raw / raw-byte string prefixes: r"…", r#"…"#, br#"…"#, rb"…".
+                if (word == "r" || word == "br" || word == "rb")
+                    && (next == Some('"') || next == Some('#'))
                 {
                     let start_line = line;
                     let mut hashes = 0usize;
@@ -200,33 +204,71 @@ pub fn lex(src: &str) -> Vec<Token> {
                         out.push(Token {
                             tok: Tok::Str(lit),
                             line: start_line,
+                            span: (start as u32, next as u32),
                         });
                         line += nl;
                         i = next;
-                    } else {
-                        // `r#ident` raw identifier: emit the identifier.
-                        out.push(Token {
-                            tok: Tok::Ident(word),
-                            line,
-                        });
+                        continue;
                     }
-                } else {
-                    out.push(Token {
-                        tok: Tok::Ident(word),
-                        line,
-                    });
+                    // `r#ident` raw identifier: fall through, emit the word.
                 }
+                out.push(Token {
+                    tok: Tok::Ident(word),
+                    line,
+                    span: (start as u32, i as u32),
+                });
             }
             _ => {
                 out.push(Token {
                     tok: Tok::Punct(c),
                     line,
+                    span: (start as u32, (start + 1) as u32),
                 });
                 i += 1;
             }
         }
     }
     out
+}
+
+/// Lex the region starting at a `'` at `bytes[i]`: a lifetime (`'a`) or a
+/// char literal (`'x'`, `'\n'`). Returns (token, next-index, newlines).
+fn lex_quote(bytes: &[char], i: usize) -> (Tok, usize, u32) {
+    let n = bytes.len();
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+    if i + 1 < n && is_ident_start(bytes[i + 1]) {
+        // Look past the identifier: a closing quote makes it a char
+        // literal like 'a'; otherwise it is a lifetime.
+        let mut j = i + 1;
+        while j < n && is_ident_cont(bytes[j]) {
+            j += 1;
+        }
+        if j < n && bytes[j] == '\'' && j == i + 2 {
+            return (Tok::Num, j + 1, 0);
+        }
+        let name: String = bytes[i + 1..j].iter().collect();
+        return (Tok::Lifetime(name), j, 0);
+    }
+    // Escaped or punctuation char literal: scan to the closing quote,
+    // honoring a single backslash escape (incl. \u{...}).
+    let mut j = i + 1;
+    let mut nl = 0u32;
+    if j < n && bytes[j] == '\\' {
+        j += 2;
+        while j < n && bytes[j] != '\'' {
+            if bytes[j] == '\n' {
+                nl += 1;
+            }
+            j += 1;
+        }
+    } else if j < n {
+        if bytes[j] == '\n' {
+            nl += 1;
+        }
+        j += 1;
+    }
+    (Tok::Num, (j + 1).min(n), nl)
 }
 
 /// Lex a normal string body starting *after* the opening quote.
@@ -402,6 +444,12 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_block_comments() {
+        let src = "/* a /* b /* c */ b */ a */ fn f() {}\nlet x = 1; /* tail /*/ still open */ closes */ fn g() {}";
+        assert_eq!(idents(src), ["fn", "f", "let", "x", "fn", "g"]);
+    }
+
+    #[test]
     fn strings_are_single_tokens() {
         let toks = lex(r#"obs.incr("exec.ok", 1);"#);
         let strs: Vec<_> = toks.iter().filter_map(Token::str_lit).collect();
@@ -416,6 +464,39 @@ mod tests {
         let toks = lex("let a = r#\"he \"quoted\"\"#; let b = \"es\\\"c\";");
         let strs: Vec<_> = toks.iter().filter_map(Token::str_lit).collect();
         assert_eq!(strs, ["he \"quoted\"", "es\"c"]);
+    }
+
+    #[test]
+    fn byte_strings_honor_escapes() {
+        // The pre-fix lexer routed b"…" through the raw-string path, so
+        // the escaped quote ended the literal and everything after
+        // desynchronized.
+        let toks = lex(r#"let a = b"es\"c"; fn f() {}"#);
+        let strs: Vec<_> = toks.iter().filter_map(Token::str_lit).collect();
+        assert_eq!(strs, ["es\"c"]);
+        assert_eq!(
+            idents(r#"let a = b"es\"c"; fn f() {}"#),
+            ["let", "a", "fn", "f"]
+        );
+    }
+
+    #[test]
+    fn raw_byte_strings() {
+        let toks = lex("let a = br#\"raw \"bytes\"\"#; let b = rb\"plain\"; fn f() {}");
+        let strs: Vec<_> = toks.iter().filter_map(Token::str_lit).collect();
+        assert_eq!(strs, ["raw \"bytes\"", "plain"]);
+    }
+
+    #[test]
+    fn byte_char_literals() {
+        // b'x' and b'\'' are numeric-literal-like, not a stray `b` ident
+        // followed by a lifetime.
+        let toks = lex(r"let a = b'x'; let b = b'\''; let c = b'\n'; fn f() {}");
+        assert_eq!(
+            idents(r"let a = b'x'; let b = b'\''; let c = b'\n'; fn f() {}"),
+            ["let", "a", "let", "b", "let", "c", "fn", "f"]
+        );
+        assert!(toks.iter().all(|t| !matches!(t.tok, Tok::Lifetime(_))));
     }
 
     #[test]
@@ -436,6 +517,25 @@ mod tests {
         let toks = lex("a\nb\n\nc");
         let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn spans_are_monotone_and_cover_idents() {
+        let src = "fn f(x: u32) -> u32 { x + 1 }\nlet s = \"lit\";";
+        let chars: Vec<char> = src.chars().collect();
+        let toks = lex(src);
+        let mut prev_end = 0u32;
+        for t in &toks {
+            let (s, e) = t.span;
+            assert!(s >= prev_end, "span starts before previous token ended");
+            assert!(s < e, "empty span");
+            prev_end = e;
+            if let Some(name) = t.ident() {
+                let slice: String = chars[s as usize..e as usize].iter().collect();
+                assert_eq!(slice, name);
+            }
+        }
+        assert!(prev_end as usize <= chars.len());
     }
 
     #[test]

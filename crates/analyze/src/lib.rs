@@ -14,6 +14,15 @@
 //!   baseline (expected to stay empty), and export machine-readable
 //!   JSON validated by `trace_check --lint-report`.
 //!
+//!   On top of the lexer sits an interprocedural dataflow layer
+//!   ([`cfg`], [`callgraph`], [`dataflow`]): per-function CFG-lite
+//!   extraction, a workspace call graph with receiver-type method
+//!   resolution, and the `A0008`–`A0012` rules — static lock-order
+//!   cycles, panic reachability from public APIs, dropped `Result`s,
+//!   allocation in hot loops, and call-graph propagation of
+//!   `is_enabled()` guard facts. Interprocedural findings carry their
+//!   full `file:line` witness chain.
+//!
 //! * **Loom-lite model checker** ([`model`]) — a deterministic
 //!   cooperative scheduler that runs small 2–3-thread models of the
 //!   repo's real concurrency (observer counter merging, span
@@ -31,11 +40,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod lexer;
 pub mod lint;
 pub mod model;
 pub mod report;
 pub mod rules;
 
-pub use lint::{Baseline, Diagnostic, LintOutcome, Workspace};
+pub use callgraph::Analysis;
+pub use lint::{Baseline, CallGraphSummary, Diagnostic, LintOutcome, PathStep, Workspace};
 pub use report::{lint_report_json, validate_lint_report, ReportSummary};

@@ -17,6 +17,17 @@ use crate::lexer::{lex, test_mask, Token};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+/// One step of an interprocedural witness chain attached to a finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PathStep {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What happens at this step (`calls \`core::rank::score\``, …).
+    pub note: String,
+}
+
 /// One linter finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Diagnostic {
@@ -27,6 +38,9 @@ pub struct Diagnostic {
     /// Stable rule code, e.g. `A0001`.
     pub code: &'static str,
     pub message: String,
+    /// Interprocedural witness: the `file:line` chain establishing the
+    /// finding (empty for single-site rules).
+    pub path: Vec<PathStep>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -35,7 +49,11 @@ impl fmt::Display for Diagnostic {
             f,
             "{}:{}: {} {}",
             self.file, self.line, self.code, self.message
-        )
+        )?;
+        for s in &self.path {
+            write!(f, "\n    at {}:{}: {}", s.file, s.line, s.note)?;
+        }
+        Ok(())
     }
 }
 
@@ -225,6 +243,22 @@ impl Baseline {
     }
 }
 
+/// Call-graph / CFG totals from the analysis pass, surfaced in the JSON
+/// report so report diffs show coverage drift.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallGraphSummary {
+    /// Function definitions extracted.
+    pub functions: usize,
+    /// Call sites found.
+    pub calls: usize,
+    /// Call sites resolved to a workspace function.
+    pub resolved: usize,
+    /// CFG-lite basic blocks across all functions.
+    pub blocks: usize,
+    /// CFG-lite successor edges across all functions.
+    pub edges: usize,
+}
+
 /// Result of a lint run against a baseline.
 pub struct LintOutcome {
     /// New violations (not suppressed) — nonzero means fail.
@@ -235,15 +269,18 @@ pub struct LintOutcome {
     pub stale: Vec<String>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Totals from the interprocedural analysis pass.
+    pub callgraph: CallGraphSummary,
 }
 
 /// Run every rule over the workspace and split the findings against the
 /// baseline. Diagnostics come back sorted by (file, line, code) — the
 /// stable order the JSON export and its validator rely on.
 pub fn run(ws: &Workspace, baseline: &Baseline) -> LintOutcome {
+    let analysis = crate::callgraph::Analysis::build(ws);
     let mut all: Vec<Diagnostic> = crate::rules::RULES
         .iter()
-        .flat_map(|r| (r.check)(ws))
+        .flat_map(|r| (r.check)(ws, &analysis))
         .collect();
     all.sort();
     all.dedup();
@@ -274,6 +311,13 @@ pub fn run(ws: &Workspace, baseline: &Baseline) -> LintOutcome {
         suppressed,
         stale,
         files_scanned: ws.files.len(),
+        callgraph: CallGraphSummary {
+            functions: analysis.funcs.len(),
+            calls: analysis.calls.len(),
+            resolved: analysis.resolved_calls(),
+            blocks: analysis.block_count(),
+            edges: analysis.edge_count(),
+        },
     }
 }
 
@@ -290,6 +334,7 @@ mod tests {
             line: 3,
             code: "A0001",
             message: String::new(),
+            path: Vec::new(),
         };
         assert!(
             b.matches(&hit).is_some(),
@@ -300,6 +345,7 @@ mod tests {
             line: 8,
             code: "A0002",
             message: String::new(),
+            path: Vec::new(),
         };
         assert!(b.matches(&wrong_line).is_none());
     }

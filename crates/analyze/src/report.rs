@@ -11,21 +11,28 @@ use crate::lint::{Diagnostic, LintOutcome};
 use deepeye_obs::json::{escape, parse_json, Json};
 use std::fmt::Write as _;
 
-/// Schema version stamped into every report.
-pub const REPORT_VERSION: u64 = 1;
+/// Schema version stamped into every report. Version 2 added the
+/// `callgraph` coverage object and per-diagnostic `path` witness chains.
+pub const REPORT_VERSION: u64 = 2;
 
 /// Serialize a lint outcome as a machine-readable report.
 ///
 /// Shape:
 /// ```json
 /// {
-///   "version": 1,
+///   "version": 2,
 ///   "rules": [{"code": "A0001", "summary": "..."}, ...],
-///   "diagnostics": [{"code": "...", "file": "...", "line": 3, "message": "..."}, ...],
+///   "callgraph": {"functions": 0, "calls": 0, "resolved": 0, "blocks": 0, "edges": 0},
+///   "diagnostics": [{"code": "...", "file": "...", "line": 3, "message": "...",
+///                    "path": [{"file": "...", "line": 7, "note": "..."}]}, ...],
 ///   "suppressed": [...same shape...],
 ///   "summary": {"files_scanned": 40, "violations": 0, "suppressed": 0, "stale_baseline": 0}
 /// }
 /// ```
+///
+/// `path` is present only on interprocedural findings; the `callgraph`
+/// totals let report diffs show analysis-coverage drift (e.g. a lexer
+/// regression that silently drops functions).
 pub fn lint_report_json(outcome: &LintOutcome) -> String {
     let mut out = String::from("{\n");
     let _ = write!(out, "  \"version\": {REPORT_VERSION},\n  \"rules\": [");
@@ -41,6 +48,12 @@ pub fn lint_report_json(outcome: &LintOutcome) -> String {
         );
     }
     out.push_str("\n  ],\n");
+    let cg = &outcome.callgraph;
+    let _ = writeln!(
+        out,
+        "  \"callgraph\": {{\"functions\": {}, \"calls\": {}, \"resolved\": {}, \"blocks\": {}, \"edges\": {}}},",
+        cg.functions, cg.calls, cg.resolved, cg.blocks, cg.edges
+    );
     emit_diag_array(&mut out, "diagnostics", &outcome.violations);
     out.push_str(",\n");
     emit_diag_array(&mut out, "suppressed", &outcome.suppressed);
@@ -63,12 +76,30 @@ fn emit_diag_array(out: &mut String, key: &str, diags: &[Diagnostic]) {
         }
         let _ = write!(
             out,
-            "\n    {{\"code\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n    {{\"code\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"",
             d.code,
             escape(&d.file),
             d.line,
             escape(&d.message)
         );
+        if d.path.is_empty() {
+            out.push('}');
+        } else {
+            out.push_str(", \"path\": [");
+            for (j, s) in d.path.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n      {{\"file\": \"{}\", \"line\": {}, \"note\": \"{}\"}}",
+                    escape(&s.file),
+                    s.line,
+                    escape(&s.note)
+                );
+            }
+            out.push_str("\n    ]}");
+        }
     }
     if diags.is_empty() {
         out.push(']');
@@ -84,6 +115,11 @@ pub struct ReportSummary {
     pub diagnostics: usize,
     pub suppressed: usize,
     pub files_scanned: u64,
+    /// Function definitions the call-graph pass extracted.
+    pub functions: u64,
+    /// Call sites found / resolved to a workspace function.
+    pub calls: u64,
+    pub resolved: u64,
 }
 
 /// Validate a lint-report JSON document.
@@ -91,9 +127,11 @@ pub struct ReportSummary {
 /// Checks: parseable; `version` is the supported schema version; every
 /// rule entry has a well-formed `Axxxx` code and a summary; every
 /// diagnostic has `code`/`file`/`line`/`message` with a code drawn from
-/// the rule list; and the diagnostics array is sorted by
-/// (file, line, code) with no duplicates — the stable order the emitter
-/// guarantees.
+/// the rule list; any `path` witness chain is a non-empty array of
+/// well-formed `{file, line, note}` steps; the diagnostics array is
+/// sorted by (file, line, code) with no duplicates — the stable order
+/// the emitter guarantees; and the `callgraph` coverage object carries
+/// consistent counts (`resolved` ≤ `calls`, `edges` only with `blocks`).
 pub fn validate_lint_report(text: &str) -> Result<ReportSummary, String> {
     let doc = parse_json(text).map_err(|e| format!("lint report: {e}"))?;
     let version = doc
@@ -163,6 +201,30 @@ pub fn validate_lint_report(text: &str) -> Result<ReportSummary, String> {
             if d.get("message").and_then(Json::as_str).is_none() {
                 return Err(format!("lint report: {key}[{i}] missing `message`"));
             }
+            if let Some(path) = d.get("path") {
+                let steps = path
+                    .as_array()
+                    .ok_or_else(|| format!("lint report: {key}[{i}] `path` is not an array"))?;
+                if steps.is_empty() {
+                    return Err(format!(
+                        "lint report: {key}[{i}] `path` must be omitted when empty"
+                    ));
+                }
+                for (j, s) in steps.iter().enumerate() {
+                    if s.get("file").and_then(Json::as_str).is_none() {
+                        return Err(format!("lint report: {key}[{i}].path[{j}] missing `file`"));
+                    }
+                    let sl = s.get("line").and_then(Json::as_f64).ok_or_else(|| {
+                        format!("lint report: {key}[{i}].path[{j}] missing numeric `line`")
+                    })?;
+                    if sl < 1.0 || sl.fract() != 0.0 {
+                        return Err(format!("lint report: {key}[{i}].path[{j}] bad line {sl}"));
+                    }
+                    if s.get("note").and_then(Json::as_str).is_none() {
+                        return Err(format!("lint report: {key}[{i}].path[{j}] missing `note`"));
+                    }
+                }
+            }
             let this = (file.to_owned(), line as u64, code.to_owned());
             if let Some(p) = &prev {
                 if *p >= this {
@@ -178,6 +240,34 @@ pub fn validate_lint_report(text: &str) -> Result<ReportSummary, String> {
         } else {
             suppressed = items.len();
         }
+    }
+
+    let callgraph = doc
+        .get("callgraph")
+        .ok_or("lint report: missing `callgraph` object")?;
+    let mut counts = [0u64; 5];
+    for (slot, field) in
+        counts
+            .iter_mut()
+            .zip(["functions", "calls", "resolved", "blocks", "edges"])
+    {
+        let v = callgraph
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("lint report: callgraph missing numeric `{field}`"))?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!("lint report: callgraph `{field}` is not a count"));
+        }
+        *slot = v as u64;
+    }
+    let [functions, calls, resolved, blocks, edges] = counts;
+    if resolved > calls {
+        return Err(format!(
+            "lint report: callgraph resolves {resolved} of {calls} calls"
+        ));
+    }
+    if blocks == 0 && edges > 0 {
+        return Err("lint report: callgraph has edges but no blocks".to_owned());
     }
 
     let summary = doc
@@ -201,6 +291,9 @@ pub fn validate_lint_report(text: &str) -> Result<ReportSummary, String> {
         diagnostics,
         suppressed,
         files_scanned: files_scanned as u64,
+        functions,
+        calls,
+        resolved,
     })
 }
 
@@ -231,6 +324,49 @@ mod tests {
         assert_eq!(summary.rules, crate::rules::RULES.len());
         assert_eq!(summary.diagnostics, 2);
         assert_eq!(summary.files_scanned, 2);
+        assert_eq!(summary.functions, outcome.callgraph.functions as u64);
+        assert!(summary.resolved <= summary.calls);
+    }
+
+    #[test]
+    fn witness_paths_roundtrip() {
+        use crate::lint::{CallGraphSummary, PathStep};
+        let outcome = LintOutcome {
+            violations: vec![Diagnostic {
+                file: "crates/core/src/a.rs".into(),
+                line: 3,
+                code: "A0009",
+                message: "reaches a panic".into(),
+                path: vec![
+                    PathStep {
+                        file: "crates/core/src/a.rs".into(),
+                        line: 3,
+                        note: "public API `core::a::api`".into(),
+                    },
+                    PathStep {
+                        file: "crates/core/src/b.rs".into(),
+                        line: 9,
+                        note: "panic site".into(),
+                    },
+                ],
+            }],
+            suppressed: Vec::new(),
+            stale: Vec::new(),
+            files_scanned: 2,
+            callgraph: CallGraphSummary {
+                functions: 2,
+                calls: 1,
+                resolved: 1,
+                blocks: 4,
+                edges: 3,
+            },
+        };
+        let json = lint_report_json(&outcome);
+        assert!(json.contains("\"path\": ["), "{json}");
+        assert!(json.contains("\"note\": \"panic site\""), "{json}");
+        let summary = validate_lint_report(&json).expect("valid report");
+        assert_eq!(summary.diagnostics, 1);
+        assert_eq!(summary.calls, 1);
     }
 
     #[test]
@@ -255,14 +391,17 @@ mod tests {
     fn validator_rejects_bad_documents() {
         assert!(validate_lint_report("not json").is_err());
         assert!(validate_lint_report("{}").is_err());
+        // Unsupported schema version.
         assert!(validate_lint_report(
-            r#"{"version": 2, "rules": [], "diagnostics": [], "suppressed": [], "summary": {}}"#
+            r#"{"version": 99, "rules": [], "diagnostics": [], "suppressed": [], "summary": {}}"#
         )
-        .is_err());
+        .expect_err("bad version")
+        .contains("version"));
         // Unknown diagnostic code.
         let bad = r#"{
-            "version": 1,
+            "version": 2,
             "rules": [{"code": "A0001", "summary": "s"}],
+            "callgraph": {"functions": 1, "calls": 0, "resolved": 0, "blocks": 1, "edges": 0},
             "diagnostics": [{"code": "A9999", "file": "x.rs", "line": 1, "message": "m"}],
             "suppressed": [],
             "summary": {"files_scanned": 1, "violations": 1, "suppressed": 0, "stale_baseline": 0}
@@ -272,8 +411,9 @@ mod tests {
             .contains("A9999"));
         // Unsorted diagnostics.
         let unsorted = r#"{
-            "version": 1,
+            "version": 2,
             "rules": [{"code": "A0001", "summary": "s"}],
+            "callgraph": {"functions": 1, "calls": 0, "resolved": 0, "blocks": 1, "edges": 0},
             "diagnostics": [
                 {"code": "A0001", "file": "b.rs", "line": 1, "message": "m"},
                 {"code": "A0001", "file": "a.rs", "line": 1, "message": "m"}
@@ -286,8 +426,9 @@ mod tests {
             .contains("sorted"));
         // Summary count mismatch.
         let mismatch = r#"{
-            "version": 1,
+            "version": 2,
             "rules": [{"code": "A0001", "summary": "s"}],
+            "callgraph": {"functions": 1, "calls": 0, "resolved": 0, "blocks": 1, "edges": 0},
             "diagnostics": [],
             "suppressed": [],
             "summary": {"files_scanned": 1, "violations": 3, "suppressed": 0, "stale_baseline": 0}
@@ -295,5 +436,36 @@ mod tests {
         assert!(validate_lint_report(mismatch)
             .expect_err("mismatch")
             .contains("claims"));
+        // Missing or inconsistent callgraph coverage.
+        let no_cg = r#"{
+            "version": 2,
+            "rules": [{"code": "A0001", "summary": "s"}],
+            "diagnostics": [],
+            "suppressed": [],
+            "summary": {"files_scanned": 1, "violations": 0, "suppressed": 0, "stale_baseline": 0}
+        }"#;
+        assert!(validate_lint_report(no_cg)
+            .expect_err("missing callgraph")
+            .contains("callgraph"));
+        let over_resolved = no_cg.replace(
+            "\"diagnostics\"",
+            "\"callgraph\": {\"functions\": 1, \"calls\": 2, \"resolved\": 3, \"blocks\": 1, \"edges\": 0}, \"diagnostics\"",
+        );
+        assert!(validate_lint_report(&over_resolved)
+            .expect_err("resolved > calls")
+            .contains("resolves"));
+        // Malformed witness path.
+        let bad_path = r#"{
+            "version": 2,
+            "rules": [{"code": "A0001", "summary": "s"}],
+            "callgraph": {"functions": 1, "calls": 0, "resolved": 0, "blocks": 1, "edges": 0},
+            "diagnostics": [{"code": "A0001", "file": "x.rs", "line": 1, "message": "m",
+                             "path": [{"file": "x.rs", "line": 1}]}],
+            "suppressed": [],
+            "summary": {"files_scanned": 1, "violations": 1, "suppressed": 0, "stale_baseline": 0}
+        }"#;
+        assert!(validate_lint_report(bad_path)
+            .expect_err("path step missing note")
+            .contains("note"));
     }
 }

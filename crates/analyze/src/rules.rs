@@ -1,16 +1,23 @@
-//! The project-invariant rule catalog (`A0001`–`A0007`).
+//! The project-invariant rule catalog (`A0001`–`A0012`).
 //!
 //! These are the invariants clippy cannot express because they are
 //! *ours*: which crate owns the clock, what discipline the observability
 //! layer's call sites follow, which documents must agree with which
-//! constants. Each rule is a pure function over the lexed [`Workspace`];
-//! all rules skip `#[cfg(test)]` regions and `tests/`/`benches/` files
-//! (panicking and unguarded shortcuts are the failure channel there) and
-//! never scan `vendor/*` (not loaded at all).
+//! constants. Each rule is a pure function over the lexed [`Workspace`]
+//! plus the once-per-run interprocedural
+//! [`Analysis`](crate::callgraph::Analysis); all rules skip
+//! `#[cfg(test)]` regions and `tests/`/`benches/` files (panicking and
+//! unguarded shortcuts are the failure channel there) and never scan
+//! `vendor/*` (not loaded at all).
+//!
+//! `A0001`–`A0007` are single-window token matchers; `A0008`–`A0012`
+//! (implemented in [`crate::dataflow`]) walk the call graph and attach
+//! `file:line` witness chains to their findings.
 //!
 //! The catalog table in DESIGN.md §8 is the human-facing mirror of
 //! [`RULES`]; a doc-sync test keeps the two identical.
 
+use crate::callgraph::Analysis;
 use crate::lexer::Token;
 use crate::lint::{Diagnostic, SourceFile, Workspace};
 use std::collections::{BTreeMap, BTreeSet};
@@ -21,7 +28,7 @@ pub struct Rule {
     pub code: &'static str,
     /// One-line summary (matches the DESIGN.md §8 catalog row).
     pub summary: &'static str,
-    pub check: fn(&Workspace) -> Vec<Diagnostic>,
+    pub check: fn(&Workspace, &Analysis) -> Vec<Diagnostic>,
 }
 
 /// Every rule the linter runs, in code order.
@@ -63,6 +70,31 @@ pub static RULES: &[Rule] = &[
         summary: "bench.* metric names agree across the perf harness, the registry, and DESIGN.md",
         check: bench_registry_sync,
     },
+    Rule {
+        code: "A0008",
+        summary: "no lock-order cycles across the workspace call graph (static ABBA deadlock detection)",
+        check: crate::dataflow::lock_order,
+    },
+    Rule {
+        code: "A0009",
+        summary: "public core/query/obs APIs cannot reach panic!/unwrap/expect/unguarded indexing through any call chain",
+        check: crate::dataflow::panic_reachability,
+    },
+    Rule {
+        code: "A0010",
+        summary: "Results from fallible workspace calls are consumed — no `let _ =` discard or unread `.ok()`",
+        check: crate::dataflow::dropped_results,
+    },
+    Rule {
+        code: "A0011",
+        summary: "no raw allocation in hot loops reachable from execute/top_k without alloc attribution in scope",
+        check: crate::dataflow::hot_loop_allocations,
+    },
+    Rule {
+        code: "A0012",
+        summary: "is_enabled() guard facts propagate through calls — helpers reached only under guards need no local re-check",
+        check: crate::dataflow::guard_propagation,
+    },
 ];
 
 fn diag(file: &SourceFile, line: u32, code: &'static str, message: String) -> Diagnostic {
@@ -71,13 +103,14 @@ fn diag(file: &SourceFile, line: u32, code: &'static str, message: String) -> Di
         line,
         code,
         message,
+        path: Vec::new(),
     }
 }
 
 // ---------------------------------------------------------------------------
 // A0001 — the clock discipline.
 
-fn instant_outside_obs(ws: &Workspace) -> Vec<Diagnostic> {
+fn instant_outside_obs(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for file in &ws.files {
         if file.in_dir("crates/obs") {
@@ -111,16 +144,16 @@ fn instant_outside_obs(ws: &Workspace) -> Vec<Diagnostic> {
 // `is_enabled()` guard around every provenance record-family call, and
 // around observer calls whose arguments visibly allocate.
 //
-// Recognized guard shapes (all present in the codebase):
-//   if prov.is_enabled() { … }                  — direct guard
-//   Mode::X if prov.is_enabled() => { … }       — match-arm guard
-//   let explaining = prov.is_enabled(); if explaining { … }
-//                                               — named guard
-//   if !prov.is_enabled() { return …; } …       — early-return guard
-//                                                 (rest of the block counts
-//                                                 as guarded)
+// The recognized guard shapes (direct guard, match-arm guard, named
+// guard variable, negated early-return guard) are encoded in
+// `cfg::guard_mask`, which this rule shares with the call-graph layer.
+//
+// Record calls inside a *non-pub helper that has resolved product call
+// sites* are deferred to A0012, which checks that every call path into
+// the helper is guarded — so a guarded wrapper does not need a local
+// re-check.
 
-const PROV_METHODS: &[&str] = &["record", "record_rejected", "bump"];
+pub(crate) const PROV_METHODS: &[&str] = &["record", "record_rejected", "bump"];
 const OBS_METHODS: &[&str] = &[
     "alloc",
     "alloc_many",
@@ -143,168 +176,73 @@ const ALLOC_MARKERS: &[&str] = &[
     "collect",
 ];
 
-fn unguarded_record_calls(ws: &Workspace) -> Vec<Diagnostic> {
+/// The kind of record call a site is (drives the A0002 message).
+pub(crate) enum RecordKind {
+    /// Provenance record family — always allocates an id.
+    Prov,
+    /// Observer call with a visibly allocating argument.
+    ObsAlloc,
+}
+
+/// If tokens at `i` start a record-family method call
+/// (`prov.record(…)`, `obs.incr(format!…)`, …), return
+/// `(receiver, method, kind)`. Shared by A0002 and A0012.
+pub(crate) fn record_call_at(file: &SourceFile, i: usize) -> Option<(&str, &str, RecordKind)> {
+    let toks = &file.tokens;
+    let recv = toks[i].ident()?;
+    if !(toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct('(')))
+    {
+        return None;
+    }
+    let method = toks.get(i + 2).and_then(Token::ident)?;
+    let recv_lower = recv.to_ascii_lowercase();
+    let is_prov_recv = recv_lower.contains("prov");
+    let is_obs_recv = recv_lower == "obs" || recv_lower.contains("observer");
+    if is_prov_recv && PROV_METHODS.contains(&method) {
+        Some((recv, method, RecordKind::Prov))
+    } else if is_obs_recv && OBS_METHODS.contains(&method) && args_allocate(toks, i + 3) {
+        Some((recv, method, RecordKind::ObsAlloc))
+    } else {
+        None
+    }
+}
+
+fn unguarded_record_calls(ws: &Workspace, a: &Analysis) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for file in &ws.files {
+    for (fi, file) in ws.files.iter().enumerate() {
         if file.in_dir("crates/obs") || file.is_test_file {
             continue;
         }
-        scan_guards(file, &mut out);
-    }
-    out
-}
-
-struct Block {
-    guarded: bool,
-    negated_guard: bool,
-    saw_return: bool,
-}
-
-fn scan_guards(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    let toks = &file.tokens;
-    // Pre-pass: names bound to an `is_enabled()` result.
-    let mut guard_vars: BTreeSet<&str> = BTreeSet::new();
-    for i in 0..toks.len() {
-        if toks[i].is_ident("is_enabled") {
-            // Walk back to the statement start; if it begins with `let`,
-            // record the bound name.
-            let mut j = i;
-            while j > 0 {
-                let t = &toks[j - 1];
-                if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
-                    break;
-                }
-                j -= 1;
+        let mask = &a.guard_masks[fi];
+        for i in 0..file.tokens.len() {
+            if !file.is_product(i) || mask.get(i).copied().unwrap_or(false) {
+                continue;
             }
-            if toks.get(j).is_some_and(|t| t.is_ident("let")) {
-                let mut k = j + 1;
-                if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
-                    k += 1;
-                }
-                if let Some(name) = toks.get(k).and_then(Token::ident) {
-                    guard_vars.insert(name);
+            let Some((recv, method, kind)) = record_call_at(file, i) else {
+                continue;
+            };
+            // A non-pub helper with resolved product call sites belongs
+            // to A0012: the guard may live at the call sites.
+            if let Some(func) = a.func_at(fi, i) {
+                if !a.funcs[func].is_pub && crate::dataflow::has_product_caller(ws, a, func) {
+                    continue;
                 }
             }
-        }
-    }
-
-    let mut stack: Vec<Block> = vec![Block {
-        guarded: false,
-        negated_guard: false,
-        saw_return: false,
-    }];
-    // Tokens since the last statement/block boundary: the "run-up" a `{`
-    // is judged by.
-    let mut window_start = 0usize;
-
-    for i in 0..toks.len() {
-        let t = &toks[i];
-        if t.is_punct(';') {
-            window_start = i + 1;
-            continue;
-        }
-        if t.is_punct('{') {
-            let window = &toks[window_start..i];
-            let (hit, negated) = guard_in_window(window, &guard_vars);
-            let parent_guarded = stack.last().map(|b| b.guarded).unwrap_or(false);
-            stack.push(Block {
-                guarded: parent_guarded || (hit && !negated),
-                negated_guard: hit && negated,
-                saw_return: false,
-            });
-            window_start = i + 1;
-            continue;
-        }
-        if t.is_punct('}') {
-            if let Some(done) = stack.pop() {
-                if done.negated_guard && done.saw_return {
-                    if let Some(top) = stack.last_mut() {
-                        top.guarded = true;
-                    }
-                }
-            }
-            if stack.is_empty() {
-                stack.push(Block {
-                    guarded: false,
-                    negated_guard: false,
-                    saw_return: false,
-                });
-            }
-            window_start = i + 1;
-            continue;
-        }
-        if t.is_ident("return") {
-            if let Some(top) = stack.last_mut() {
-                top.saw_return = true;
-            }
-        }
-
-        // Method-call shape: Ident . Ident (
-        let Some(recv) = t.ident() else { continue };
-        if !(toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
-            && toks.get(i + 3).is_some_and(|t| t.is_punct('(')))
-        {
-            continue;
-        }
-        let Some(method) = toks.get(i + 2).and_then(Token::ident) else {
-            continue;
-        };
-        if !file.is_product(i) {
-            continue;
-        }
-        let guarded = stack.last().map(|b| b.guarded).unwrap_or(false);
-        if guarded {
-            continue;
-        }
-        let recv_lower = recv.to_ascii_lowercase();
-        let is_prov_recv = recv_lower.contains("prov");
-        let is_obs_recv = recv_lower == "obs" || recv_lower.contains("observer");
-        if is_prov_recv && PROV_METHODS.contains(&method) {
-            out.push(diag(
-                file,
-                t.line,
-                "A0002",
-                format!(
+            let message = match kind {
+                RecordKind::Prov => format!(
                     "`{recv}.{method}(…)` outside an `is_enabled()` guard — provenance \
                      ids allocate eagerly even when recording is off"
                 ),
-            ));
-        } else if is_obs_recv && OBS_METHODS.contains(&method) && args_allocate(toks, i + 3) {
-            out.push(diag(
-                file,
-                t.line,
-                "A0002",
-                format!(
+                RecordKind::ObsAlloc => format!(
                     "`{recv}.{method}(…)` builds an allocating argument outside an \
                      `is_enabled()` guard — the disabled observer still pays for it"
                 ),
-            ));
+            };
+            out.push(diag(file, file.tokens[i].line, "A0002", message));
         }
     }
-}
-
-/// Whether the run-up to a `{` contains a guard, and whether that guard
-/// is negated (`if !prov.is_enabled()`).
-fn guard_in_window(window: &[Token], guard_vars: &BTreeSet<&str>) -> (bool, bool) {
-    for (i, t) in window.iter().enumerate() {
-        let hit =
-            t.is_ident("is_enabled") || t.ident().is_some_and(|name| guard_vars.contains(name));
-        if !hit {
-            continue;
-        }
-        // Walk back across the receiver chain (`ident . ident .`) to see
-        // whether a `!` negates it.
-        let mut j = i;
-        while j >= 2 && window[j - 1].is_punct('.') && window[j - 2].ident().is_some() {
-            j -= 2;
-        }
-        let negated = j >= 1 && window[j - 1].is_punct('!')
-            // `!=` lexes as '!' '=' — the '=' sits before the '!' operand
-            // only in `a != b` shapes, where '!' is *followed* by '='.
-            && !window.get(j).is_some_and(|t| t.is_punct('='));
-        return (true, negated);
-    }
-    (false, false)
+    out
 }
 
 /// Whether the argument list opening at `toks[open]` (a `(`) contains an
@@ -335,7 +273,7 @@ fn args_allocate(toks: &[Token], open: usize) -> bool {
 // ever calls back out. `deepeye-obs` and `core::provenance` own their
 // sink locks and are exempt.
 
-fn lock_across_callback(ws: &Workspace) -> Vec<Diagnostic> {
+fn lock_across_callback(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
     const CALLBACKS: &[&str] = &[
         "alloc",
         "alloc_many",
@@ -432,7 +370,7 @@ fn lock_across_callback(ws: &Workspace) -> Vec<Diagnostic> {
 // ---------------------------------------------------------------------------
 // A0004 — sema diagnostic-code sync.
 
-fn sema_code_sync(ws: &Workspace) -> Vec<Diagnostic> {
+fn sema_code_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
     let Some(sema) = ws.file("crates/query/src/sema.rs") else {
         return Vec::new(); // partial workspace (unit tests)
     };
@@ -541,6 +479,7 @@ fn sema_code_sync(ws: &Workspace) -> Vec<Diagnostic> {
                     line: 1,
                     code: "A0004",
                     message: format!("DESIGN.md mentions {code} but sema never emits it"),
+                    path: Vec::new(),
                 });
             }
         }
@@ -551,7 +490,7 @@ fn sema_code_sync(ws: &Workspace) -> Vec<Diagnostic> {
 // ---------------------------------------------------------------------------
 // A0005 — metric names come from the registry.
 
-fn metric_registry_sync(ws: &Workspace) -> Vec<Diagnostic> {
+fn metric_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
     const COUNTER_CALLS: &[&str] = &["incr"];
     const HIST_CALLS: &[&str] = &["timer", "record_ns", "record_many_ns"];
     let metric_shaped = |s: &str| {
@@ -636,6 +575,7 @@ fn metric_registry_sync(ws: &Workspace) -> Vec<Diagnostic> {
                     line: 1,
                     code: "A0005",
                     message: format!("registered counter {name:?} is recorded nowhere"),
+                    path: Vec::new(),
                 });
             }
         }
@@ -646,6 +586,7 @@ fn metric_registry_sync(ws: &Workspace) -> Vec<Diagnostic> {
                     line: 1,
                     code: "A0005",
                     message: format!("registered histogram {name:?} is recorded nowhere"),
+                    path: Vec::new(),
                 });
             }
         }
@@ -656,7 +597,7 @@ fn metric_registry_sync(ws: &Workspace) -> Vec<Diagnostic> {
 // ---------------------------------------------------------------------------
 // A0006 — structured concurrency only.
 
-fn free_thread_spawn(ws: &Workspace) -> Vec<Diagnostic> {
+fn free_thread_spawn(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for file in &ws.files {
         let toks = &file.tokens;
@@ -693,7 +634,7 @@ fn free_thread_spawn(ws: &Workspace) -> Vec<Diagnostic> {
 // does not know, a registered `bench.*` histogram the harness never
 // wires up, and DESIGN.md naming a `bench.*` metric that does not exist.
 
-fn bench_registry_sync(ws: &Workspace) -> Vec<Diagnostic> {
+fn bench_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
     const BENCH_FILES: &[&str] = &[
         "crates/bench/src/perf.rs",
         "crates/bench/src/bin/harness.rs",
@@ -744,6 +685,7 @@ fn bench_registry_sync(ws: &Workspace) -> Vec<Diagnostic> {
                         "registered bench histogram {name:?} is not wired into the \
                          perf harness layer"
                     ),
+                    path: Vec::new(),
                 });
             }
             if !ws.design.is_empty() && !ws.design.contains(name) {
@@ -754,6 +696,7 @@ fn bench_registry_sync(ws: &Workspace) -> Vec<Diagnostic> {
                     message: format!(
                         "registered bench histogram {name:?} is not documented in DESIGN.md"
                     ),
+                    path: Vec::new(),
                 });
             }
         }
@@ -787,6 +730,7 @@ fn bench_registry_sync(ws: &Workspace) -> Vec<Diagnostic> {
                     message: format!(
                         "DESIGN.md names bench metric {token:?}, which is not in the registry"
                     ),
+                    path: Vec::new(),
                 });
             }
         }
@@ -801,10 +745,11 @@ mod tests {
 
     fn run_rule(code: &str, files: Vec<(&str, &str)>, design: &str) -> Vec<Diagnostic> {
         let ws = Workspace::from_sources(files, design);
+        let analysis = Analysis::build(&ws);
         RULES
             .iter()
             .find(|r| r.code == code)
-            .map(|r| (r.check)(&ws))
+            .map(|r| (r.check)(&ws, &analysis))
             .unwrap_or_default()
     }
 
@@ -1040,6 +985,7 @@ pub fn metric(stage: Stage) -> &'static str {
         Stage::Recognize => "bench.recognize_ns",
         Stage::Rank => "bench.rank_ns",
         Stage::TopK => "bench.topk_ns",
+        Stage::Analyze => "bench.analyze_ns",
     }
 }
 "#;
@@ -1047,7 +993,7 @@ pub fn metric(stage: Stage) -> &'static str {
     /// A DESIGN.md fixture documenting every registered `bench.*` histogram.
     const DESIGN_FIXTURE: &str = "## 9. Performance observability\n\
         `bench.enumerate_ns` `bench.execute_ns` `bench.recognize_ns` \
-        `bench.rank_ns` `bench.topk_ns`\n";
+        `bench.rank_ns` `bench.topk_ns` `bench.analyze_ns`\n";
 
     #[test]
     fn a0007_clean_when_all_three_agree() {

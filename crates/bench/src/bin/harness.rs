@@ -1,8 +1,9 @@
 //! The continuous-performance harness: runs the fixed scenario matrix
-//! (table shapes × the five pipeline stages), times each stage over
-//! warmup + repeated runs on the span clock, and writes the versioned
-//! `BENCH_results.json` document that `perfgate` diffs and
-//! `trace_check --bench --budgets` validates.
+//! (table shapes × the five pipeline stages) plus an `analyze-workspace`
+//! scenario timing the static-analysis pass over the repository source,
+//! times each stage over warmup + repeated runs on the span clock, and
+//! writes the versioned `BENCH_results.json` document that `perfgate`
+//! diffs and `trace_check --bench --budgets` validates.
 //!
 //! Usage: `harness [--smoke] [--out <path>] [--warmup N] [--reps N]
 //! [--stacks <path>] [--flame <path>]`
@@ -144,7 +145,7 @@ fn main() -> ExitCode {
         let queries = deepeye_core::rules::rule_based_queries(&table);
         let nodes =
             build_nodes_parallel_observed(&table, queries.clone(), &udfs, false, &obs, None);
-        for stage in Stage::ALL {
+        for stage in Stage::PIPELINE {
             let samples = match stage {
                 Stage::Enumerate => time_stage(&obs, stage, args.warmup, args.reps, |_| {
                     deepeye_core::rules::rule_based_queries(&table)
@@ -168,6 +169,7 @@ fn main() -> ExitCode {
                 Stage::TopK => time_stage(&obs, stage, args.warmup, args.reps, |_| {
                     ProgressiveSelector::new(&table, &udfs).top_k_observed(10, &obs)
                 }),
+                Stage::Analyze => unreachable!("analyze runs in its own scenario"),
             };
             record_stage_samples(&obs, stage, &samples);
             stages.push((stage, RobustTiming::from_samples(&samples)));
@@ -179,6 +181,35 @@ fn main() -> ExitCode {
             stages,
         });
     }
+
+    // The static-analysis pass gets its own scenario: it measures the
+    // workspace source (lex + call graph + interprocedural rules), not a
+    // scenario table, so `rows`/`columns` report files scanned and rule
+    // count instead of a table shape.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root exists");
+    let files_scanned = deepeye_analyze::Workspace::load(root)
+        .expect("workspace loads")
+        .files
+        .len();
+    eprintln!(
+        "  scenario analyze-workspace — {} files x {} rules",
+        files_scanned,
+        deepeye_analyze::rules::RULES.len()
+    );
+    let samples = time_stage(&obs, Stage::Analyze, args.warmup, args.reps, |_| {
+        let ws = deepeye_analyze::Workspace::load(root).expect("workspace loads");
+        deepeye_analyze::lint::run(&ws, &deepeye_analyze::Baseline::default())
+    });
+    record_stage_samples(&obs, Stage::Analyze, &samples);
+    runs.push(ScenarioRun {
+        name: "analyze-workspace".to_owned(),
+        rows: files_scanned,
+        columns: deepeye_analyze::rules::RULES.len(),
+        stages: vec![(Stage::Analyze, RobustTiming::from_samples(&samples))],
+    });
 
     let json = results_json(&runs, &obs.snapshot());
     if let Err(e) = std::fs::write(&args.out, &json) {

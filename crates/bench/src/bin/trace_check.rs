@@ -162,11 +162,15 @@ fn main() -> ExitCode {
             Kind::LintReport => match validate_lint_report(&text) {
                 Ok(summary) => {
                     println!(
-                        "{path}: ok — {} rules over {} files: {} violation(s), {} suppressed",
+                        "{path}: ok — {} rules over {} files: {} violation(s), {} suppressed; \
+                         call graph: {}/{} calls resolved across {} functions",
                         summary.rules,
                         summary.files_scanned,
                         summary.diagnostics,
-                        summary.suppressed
+                        summary.suppressed,
+                        summary.resolved,
+                        summary.calls,
+                        summary.functions
                     );
                     if summary.diagnostics > 0 {
                         eprintln!("{path}: report records unsuppressed violations");

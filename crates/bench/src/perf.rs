@@ -44,7 +44,10 @@ pub const SCHEMA_FIELDS: &[&str] = &[
     "counters",
 ];
 
-/// The five pipeline stages the harness times, in pipeline order.
+/// The stages the harness times: the five online pipeline stages
+/// ([`Stage::PIPELINE`], run per data scenario) plus the static-analysis
+/// pass (`Analyze`, run once over the workspace source in its own
+/// scenario).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
     Enumerate,
@@ -52,11 +55,24 @@ pub enum Stage {
     Recognize,
     Rank,
     TopK,
+    Analyze,
 }
 
 impl Stage {
-    /// All stages, in pipeline order.
-    pub const ALL: [Stage; 5] = [
+    /// All stages, pipeline order first, then the analyze pass.
+    pub const ALL: [Stage; 6] = [
+        Stage::Enumerate,
+        Stage::Execute,
+        Stage::Recognize,
+        Stage::Rank,
+        Stage::TopK,
+        Stage::Analyze,
+    ];
+
+    /// The five online pipeline stages, in pipeline order — what each
+    /// data scenario times. `Analyze` is deliberately excluded: it runs
+    /// over the workspace source, not over a scenario's table.
+    pub const PIPELINE: [Stage; 5] = [
         Stage::Enumerate,
         Stage::Execute,
         Stage::Recognize,
@@ -72,6 +88,7 @@ impl Stage {
             Stage::Recognize => "recognize",
             Stage::Rank => "rank",
             Stage::TopK => "topk",
+            Stage::Analyze => "analyze",
         }
     }
 
@@ -83,6 +100,7 @@ impl Stage {
             Stage::Recognize => "bench.recognize_ns",
             Stage::Rank => "bench.rank_ns",
             Stage::TopK => "bench.topk_ns",
+            Stage::Analyze => "bench.analyze_ns",
         }
     }
 
@@ -96,6 +114,7 @@ impl Stage {
             Stage::Recognize => "harness.recognize",
             Stage::Rank => "harness.rank",
             Stage::TopK => "harness.topk",
+            Stage::Analyze => "harness.analyze",
         }
     }
 
@@ -116,6 +135,7 @@ pub fn record_stage_samples(obs: &Observer, stage: Stage, samples: &[u64]) {
         Stage::Recognize => obs.record_many_ns("bench.recognize_ns", samples),
         Stage::Rank => obs.record_many_ns("bench.rank_ns", samples),
         Stage::TopK => obs.record_many_ns("bench.topk_ns", samples),
+        Stage::Analyze => obs.record_many_ns("bench.analyze_ns", samples),
     }
 }
 
@@ -614,6 +634,13 @@ pub const BUDGETS: &[StageBudget] = &[
         stage: Stage::TopK,
         max_median_ns: 60_000_000_000,
     },
+    // The analyze pass lexes every workspace file and runs the
+    // interprocedural rules; generous like the rest — the ceiling exists
+    // to catch an accidental quadratic fixpoint, not second-level drift.
+    StageBudget {
+        stage: Stage::Analyze,
+        max_median_ns: 30_000_000_000,
+    },
 ];
 
 /// Check a harness document against [`BUDGETS`]. Returns the list of
@@ -650,7 +677,7 @@ mod tests {
             name: "s-300x5".into(),
             rows: 300,
             columns: 5,
-            stages: Stage::ALL
+            stages: Stage::PIPELINE
                 .into_iter()
                 .map(|st| (st, RobustTiming::from_samples(&[900, 1_000, 1_100, 5_000])))
                 .collect(),
@@ -683,6 +710,29 @@ mod tests {
             assert!(stage.span_name().starts_with("harness."));
         }
         assert_eq!(Stage::from_name("compile"), None);
+        // PIPELINE is ALL minus the workspace-level analyze pass.
+        assert!(!Stage::PIPELINE.contains(&Stage::Analyze));
+        assert!(Stage::ALL.contains(&Stage::Analyze));
+        assert_eq!(Stage::PIPELINE.len() + 1, Stage::ALL.len());
+    }
+
+    #[test]
+    fn analyze_scenario_rows_validate() {
+        let obs = Observer::enabled();
+        record_stage_samples(&obs, Stage::Analyze, &[1_000, 2_000, 3_000]);
+        let runs = vec![ScenarioRun {
+            name: "analyze-workspace".into(),
+            rows: 0,
+            columns: 0,
+            stages: vec![(
+                Stage::Analyze,
+                RobustTiming::from_samples(&[1_000, 2_000, 3_000]),
+            )],
+        }];
+        let text = results_json(&runs, &obs.snapshot());
+        let summary = validate_bench_json(&text).expect("valid");
+        assert_eq!(summary.stage_rows, 1);
+        assert!(text.contains("bench.analyze_ns"));
     }
 
     #[test]

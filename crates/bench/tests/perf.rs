@@ -24,7 +24,7 @@ fn mini_harness(obs: &Observer, reps: usize) -> String {
     let queries = deepeye_core::rules::rule_based_queries(&table);
     let nodes = build_nodes_parallel_observed(&table, queries.clone(), &udfs, false, obs, None);
     let mut stages: Vec<(Stage, RobustTiming)> = Vec::new();
-    for stage in Stage::ALL {
+    for stage in Stage::PIPELINE {
         let mut samples = Vec::with_capacity(reps);
         for _ in 0..reps {
             let span = obs.span(stage.span_name());
@@ -54,6 +54,7 @@ fn mini_harness(obs: &Observer, reps: usize) -> String {
                         ProgressiveSelector::new(&table, &udfs).top_k_observed(5, obs),
                     );
                 }
+                Stage::Analyze => unreachable!("analyze is not a per-table pipeline stage"),
             }
             samples.push(clock.elapsed_ns());
         }

@@ -82,26 +82,8 @@ impl VisNode {
     /// enum niche layout are not modeled — but deterministic, O(marks)
     /// cheap, and stable enough for stage-relative comparison.
     pub fn approx_heap_bytes(&self) -> u64 {
-        use deepeye_query::{Key, Series};
-        let series_bytes = match &self.data.series {
-            Series::Keyed(pairs) => {
-                let inline = pairs.len() * std::mem::size_of::<(Key, f64)>();
-                let text: usize = pairs
-                    .iter()
-                    .map(|(k, _)| match k {
-                        Key::Text(s) => s.len(),
-                        _ => 0,
-                    })
-                    .sum();
-                inline + text
-            }
-            Series::Points(points) => points.len() * std::mem::size_of::<(f64, f64)>(),
-        };
-        let labels = self.data.x_label.len()
-            + self.data.y_label.len()
-            + self.query.x.len()
-            + self.query.y.as_ref().map_or(0, String::len);
-        (series_bytes + labels) as u64
+        let query_labels = self.query.x.len() + self.query.y.as_ref().map_or(0, String::len);
+        self.data.approx_heap_bytes() + query_labels as u64
     }
 
     /// Stable identity string for deduplication, provenance records, and

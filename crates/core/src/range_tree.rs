@@ -280,7 +280,9 @@ impl RangeTree3 {
 
     /// Indices that strictly dominate `factors[v]`.
     pub fn dominators_of(&self, v: usize) -> Vec<usize> {
-        let f = self.factors[v];
+        let Some(f) = self.factors.get(v).copied() else {
+            return Vec::new();
+        };
         self.quadrant(f.m, f.q, f.w)
             .into_iter()
             .map(|p| p as usize)

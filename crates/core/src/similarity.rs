@@ -116,7 +116,7 @@ pub fn find_similar_to_chart(nodes: &[VisNode], target: &VisNode, k: usize) -> V
     let shape = series_of(target);
     find_similar_to_shape(nodes, &shape, k + 1)
         .into_iter()
-        .filter(|h| !std::ptr::eq(&nodes[h.index], target))
+        .filter(|h| !nodes.get(h.index).is_some_and(|n| std::ptr::eq(n, target)))
         .take(k)
         .collect()
 }

@@ -45,11 +45,11 @@ impl Dataset {
     }
 
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.features[i]
+        self.features.get(i).map_or(&[], Vec::as_slice)
     }
 
     pub fn label(&self, i: usize) -> bool {
-        self.labels[i]
+        self.labels.get(i).copied().unwrap_or(false)
     }
 
     /// Fraction of positive labels.

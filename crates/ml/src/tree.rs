@@ -91,20 +91,17 @@ impl Arena {
                     left,
                     right,
                 } => {
-                    idx = if row[*feature] <= *threshold {
-                        *left
-                    } else {
-                        *right
-                    };
+                    let v = row.get(*feature).copied().unwrap_or(f64::NEG_INFINITY);
+                    idx = if v <= *threshold { *left } else { *right };
                 }
             }
         }
     }
 
     fn value(&self, row: &[f64]) -> f64 {
-        match &self.nodes[self.traverse(row)] {
-            Node::Leaf { value } => *value,
-            Node::Split { .. } => unreachable!("traverse stops at leaves"),
+        match self.nodes.get(self.traverse(row)) {
+            Some(Node::Leaf { value }) => *value,
+            _ => unreachable!("traverse stops at leaves"),
         }
     }
 }
@@ -113,7 +110,14 @@ impl Arena {
 /// distinct sorted values (capped for speed on large nodes).
 fn candidate_order(features: &[Vec<f64>], indices: &[usize], feature: usize) -> Vec<usize> {
     let mut order = indices.to_vec();
-    order.sort_by(|&a, &b| features[a][feature].total_cmp(&features[b][feature]));
+    let key = |i: usize| {
+        features
+            .get(i)
+            .and_then(|row| row.get(feature))
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
+    };
+    order.sort_by(|&a, &b| key(a).total_cmp(&key(b)));
     order
 }
 

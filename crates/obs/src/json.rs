@@ -303,7 +303,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+        let text = std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or_default())
             .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Num)

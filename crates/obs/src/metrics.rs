@@ -44,6 +44,7 @@ pub const COUNTERS: &[&str] = &[
 /// [`Observer::record_many_ns`](crate::Observer::record_many_ns)) the
 /// pipeline records, sorted.
 pub const HISTOGRAMS: &[&str] = &[
+    "bench.analyze_ns",
     "bench.enumerate_ns",
     "bench.execute_ns",
     "bench.rank_ns",
