@@ -15,7 +15,7 @@
 //!   JSON validated by `trace_check --lint-report`.
 //!
 //!   On top of the lexer sits an interprocedural dataflow layer
-//!   ([`cfg`], [`callgraph`], [`dataflow`]): per-function CFG-lite
+//!   ([`cfg`](mod@cfg), [`callgraph`], [`dataflow`]): per-function CFG-lite
 //!   extraction, a workspace call graph with receiver-type method
 //!   resolution, and the `A0008`–`A0012` rules — static lock-order
 //!   cycles, panic reachability from public APIs, dropped `Result`s,

@@ -1,18 +1,18 @@
-//! The project-invariant rule catalog (`A0001`–`A0012`).
+//! The project-invariant rule catalog (`A0001`–`A0013`).
 //!
 //! These are the invariants clippy cannot express because they are
 //! *ours*: which crate owns the clock, what discipline the observability
 //! layer's call sites follow, which documents must agree with which
 //! constants. Each rule is a pure function over the lexed [`Workspace`]
 //! plus the once-per-run interprocedural
-//! [`Analysis`](crate::callgraph::Analysis); all rules skip
+//! [`Analysis`]; all rules skip
 //! `#[cfg(test)]` regions and `tests/`/`benches/` files (panicking and
 //! unguarded shortcuts are the failure channel there) and never scan
 //! `vendor/*` (not loaded at all).
 //!
-//! `A0001`–`A0007` are single-window token matchers; `A0008`–`A0012`
-//! (implemented in [`crate::dataflow`]) walk the call graph and attach
-//! `file:line` witness chains to their findings.
+//! `A0001`–`A0007` and `A0013` are single-window token matchers;
+//! `A0008`–`A0012` (implemented in [`crate::dataflow`]) walk the call
+//! graph and attach `file:line` witness chains to their findings.
 //!
 //! The catalog table in DESIGN.md §8 is the human-facing mirror of
 //! [`RULES`]; a doc-sync test keeps the two identical.
@@ -94,6 +94,11 @@ pub static RULES: &[Rule] = &[
         code: "A0012",
         summary: "is_enabled() guard facts propagate through calls — helpers reached only under guards need no local re-check",
         check: crate::dataflow::guard_propagation,
+    },
+    Rule {
+        code: "A0013",
+        summary: "telemetry metric and field names agree across the obs registry, the recorder sources, and DESIGN.md §10",
+        check: telemetry_registry_sync,
     },
 ];
 
@@ -568,7 +573,14 @@ fn metric_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
     }
     // Dead registry entries: only meaningful on a full workspace scan.
     if ws.file("crates/core/src/deepeye.rs").is_some() {
+        // Flight-recorder self-metrics are recorded inside crates/obs,
+        // which this rule's scan skips; A0013 owns their sync instead.
+        let recorder_metric =
+            |name: &str| name.starts_with("obs.") || name.starts_with("telemetry.");
         for name in deepeye_obs::metrics::COUNTERS {
+            if recorder_metric(name) {
+                continue;
+            }
             if !used_counters.contains(*name) {
                 out.push(Diagnostic {
                     file: "crates/obs/src/metrics.rs".to_owned(),
@@ -580,6 +592,9 @@ fn metric_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
             }
         }
         for name in deepeye_obs::metrics::HISTOGRAMS {
+            if recorder_metric(name) {
+                continue;
+            }
             if !used_hists.contains(*name) {
                 out.push(Diagnostic {
                     file: "crates/obs/src/metrics.rs".to_owned(),
@@ -732,6 +747,166 @@ fn bench_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
                     ),
                     path: Vec::new(),
                 });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A0013 — the flight recorder's telemetry names and fields stay in sync.
+//
+// The flight recorder owns a second metric namespace (`obs.*`,
+// `telemetry.*`) recorded inside crates/obs itself — exactly the region
+// A0005's workspace scan skips — plus the `deepeye-telemetry/v1` line
+// schema whose field names the emitter, the validator, and DESIGN.md §10
+// must agree on. This rule closes those channels: a recorder-owned
+// metric literal in the recorder sources that the registry does not
+// know; a registered `obs.*`/`telemetry.*` metric the recorder never
+// records or §10 never documents; a recorder-shaped token in §10 that
+// the registry does not know; and a `TELEMETRY_FIELDS` schema field §10
+// does not document backticked.
+
+fn telemetry_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
+    const OBS_FILES: &[&str] = &[
+        "crates/obs/src/observer.rs",
+        "crates/obs/src/ring.rs",
+        "crates/obs/src/telemetry.rs",
+        "crates/obs/src/watchdog.rs",
+    ];
+    let metric_shaped = |s: &str| {
+        s.contains('.')
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c))
+    };
+    let recorder_name = |s: &str| s.starts_with("obs.") || s.starts_with("telemetry.");
+    let mut out = Vec::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for rel in OBS_FILES {
+        let Some(file) = ws.file(rel) else { continue };
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(lit) = t.str_lit() else { continue };
+            if !recorder_name(lit) || !metric_shaped(lit) || !file.is_product(i) {
+                continue;
+            }
+            used.insert(lit.to_owned());
+            if !deepeye_obs::metrics::is_counter(lit) && !deepeye_obs::metrics::is_histogram(lit) {
+                out.push(diag(
+                    file,
+                    t.line,
+                    "A0013",
+                    format!(
+                        "recorder metric {lit:?} is not in the central metric registry \
+                         (deepeye_obs::metrics) — a typo forks the metric"
+                    ),
+                ));
+            }
+        }
+    }
+    // The reverse directions gate on the recorder sources being in the
+    // scanned set (full workspace runs; unit fixtures gate themselves by
+    // including crates/obs/src/telemetry.rs).
+    if ws.file("crates/obs/src/telemetry.rs").is_some() {
+        let design = ws.design.as_str();
+        // The flight-recorder section: "## 10." up to the next top-level
+        // heading. If the heading moves, fall back to the whole document
+        // so the rule degrades to weaker matching instead of passing
+        // silently.
+        let (section, section_start) = match design.find("## 10.") {
+            Some(start) => {
+                let rest = &design[start..];
+                match rest.find("\n## 11.") {
+                    Some(end) => (&rest[..end], start),
+                    None => (rest, start),
+                }
+            }
+            None => (design, 0),
+        };
+        for name in deepeye_obs::metrics::COUNTERS
+            .iter()
+            .chain(deepeye_obs::metrics::HISTOGRAMS)
+        {
+            if !recorder_name(name) {
+                continue;
+            }
+            if !used.contains(*name) {
+                out.push(Diagnostic {
+                    file: "crates/obs/src/metrics.rs".to_owned(),
+                    line: 1,
+                    code: "A0013",
+                    message: format!(
+                        "registered recorder metric {name:?} is recorded nowhere in the \
+                         flight-recorder sources"
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            if !design.is_empty() && !section.contains(name) {
+                out.push(Diagnostic {
+                    file: "DESIGN.md".to_owned(),
+                    line: 1,
+                    code: "A0013",
+                    message: format!("recorder metric {name:?} is not documented in DESIGN.md §10"),
+                    path: Vec::new(),
+                });
+            }
+        }
+        // §10 → registry: an `obs.*`/`telemetry.*`-shaped token in the
+        // section that the registry does not know is a doc lie.
+        for prefix in ["obs.", "telemetry."] {
+            let mut pos = 0usize;
+            while let Some(found) = section[pos..].find(prefix) {
+                let start = pos + found;
+                pos = start + prefix.len();
+                // Only a standalone token starts a metric name — skip
+                // `deepeye-obs.` and similar.
+                if start > 0
+                    && section[..start]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || "_-.".contains(c))
+                {
+                    continue;
+                }
+                let rest = &section[pos..];
+                let word_len = rest
+                    .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+                    .unwrap_or(rest.len());
+                if word_len == 0 {
+                    continue; // `obs.*` wildcards and sentence-final dots
+                }
+                let token = &section[start..pos + word_len];
+                if !deepeye_obs::metrics::is_counter(token)
+                    && !deepeye_obs::metrics::is_histogram(token)
+                {
+                    let offset = (section_start + start).min(design.len());
+                    out.push(Diagnostic {
+                        file: "DESIGN.md".to_owned(),
+                        line: (design[..offset].matches('\n').count() + 1) as u32,
+                        code: "A0013",
+                        message: format!(
+                            "DESIGN.md §10 names recorder metric {token:?}, which is not in \
+                             the registry"
+                        ),
+                        path: Vec::new(),
+                    });
+                }
+            }
+        }
+        // Telemetry schema fields must be documented (backticked) in §10.
+        if !design.is_empty() {
+            for field in deepeye_obs::TELEMETRY_FIELDS {
+                if !section.contains(&format!("`{field}`")) {
+                    out.push(Diagnostic {
+                        file: "DESIGN.md".to_owned(),
+                        line: 1,
+                        code: "A0013",
+                        message: format!(
+                            "telemetry schema field {field:?} is not documented in DESIGN.md §10"
+                        ),
+                        path: Vec::new(),
+                    });
+                }
             }
         }
     }
@@ -1081,6 +1256,147 @@ pub fn metric(stage: Stage) -> &'static str {
             "A0007",
             vec![("crates/core/src/x.rs", "fn f() {}")],
             "whatever `bench.bogus_ns`",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    /// A telemetry.rs fixture recording every registered recorder metric.
+    const TELEMETRY_FIXTURE: &str = r#"
+fn account(state: &mut State, drops: u64) {
+    *state.counters.entry("obs.spans_dropped").or_insert(0) += drops;
+    *state.counters.entry("obs.stall").or_insert(0) += 1;
+    *state.counters.entry("telemetry.ticks").or_insert(0) += 1;
+}
+"#;
+
+    /// A DESIGN.md §10 fixture documenting every recorder metric and
+    /// every telemetry schema field.
+    fn recorder_design() -> String {
+        let fields = deepeye_obs::TELEMETRY_FIELDS
+            .iter()
+            .map(|f| format!("`{f}`"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "## 10. Flight recorder\nMetrics: obs.spans_dropped obs.stall telemetry.ticks\n\
+             Fields: {fields}\n\n## 11. Testing strategy\nno recorder names here\n"
+        )
+    }
+
+    #[test]
+    fn a0013_clean_when_all_agree() {
+        let hits = run_rule(
+            "A0013",
+            vec![("crates/obs/src/telemetry.rs", TELEMETRY_FIXTURE)],
+            &recorder_design(),
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn a0013_flags_unregistered_recorder_literal() {
+        let hits = run_rule(
+            "A0013",
+            vec![
+                ("crates/obs/src/telemetry.rs", TELEMETRY_FIXTURE),
+                (
+                    "crates/obs/src/watchdog.rs",
+                    r#"fn f(obs: &Observer) { obs.incr("obs.stal", 1); }"#,
+                ),
+            ],
+            &recorder_design(),
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "crates/obs/src/watchdog.rs");
+        assert!(hits[0].message.contains("obs.stal"));
+    }
+
+    #[test]
+    fn a0013_flags_unrecorded_registry_entry() {
+        let reduced = TELEMETRY_FIXTURE.replace("\"obs.stall\"", "\"obs.spans_dropped\"");
+        let hits = run_rule(
+            "A0013",
+            vec![("crates/obs/src/telemetry.rs", reduced.as_str())],
+            &recorder_design(),
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "crates/obs/src/metrics.rs");
+        assert!(hits[0].message.contains("obs.stall"));
+    }
+
+    #[test]
+    fn a0013_flags_design_drift_both_ways() {
+        // §10 misses a registered recorder metric.
+        let missing = recorder_design().replace("obs.stall ", "");
+        let hits = run_rule(
+            "A0013",
+            vec![("crates/obs/src/telemetry.rs", TELEMETRY_FIXTURE)],
+            &missing,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "DESIGN.md");
+        assert!(hits[0].message.contains("not documented"));
+        // §10 invents an unregistered recorder metric.
+        let invented =
+            recorder_design().replace("Fields:", "Also telemetry.tocks is great.\nFields:");
+        let hits = run_rule(
+            "A0013",
+            vec![("crates/obs/src/telemetry.rs", TELEMETRY_FIXTURE)],
+            &invented,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "DESIGN.md");
+        assert_eq!(hits[0].line, 3);
+        assert!(hits[0].message.contains("telemetry.tocks"));
+    }
+
+    #[test]
+    fn a0013_requires_schema_fields_documented() {
+        let missing = recorder_design().replace("`interval_ns` ", "");
+        let hits = run_rule(
+            "A0013",
+            vec![("crates/obs/src/telemetry.rs", TELEMETRY_FIXTURE)],
+            &missing,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("interval_ns"));
+    }
+
+    #[test]
+    fn a0013_ignores_wildcards_and_prefixed_tokens() {
+        let prose = recorder_design().replace(
+            "Fields:",
+            "The obs.* and telemetry.* namespaces belong to deepeye-obs. Sections end with obs.\nFields:",
+        );
+        let hits = run_rule(
+            "A0013",
+            vec![("crates/obs/src/telemetry.rs", TELEMETRY_FIXTURE)],
+            &prose,
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn a0013_skips_recorder_names_outside_section_10() {
+        // Names after the §11 heading are out of scope for the doc scan.
+        let design = format!(
+            "{}More prose naming telemetry.bogus after the section.\n",
+            recorder_design()
+        );
+        let hits = run_rule(
+            "A0013",
+            vec![("crates/obs/src/telemetry.rs", TELEMETRY_FIXTURE)],
+            &design,
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn a0013_skips_partial_workspaces() {
+        let hits = run_rule(
+            "A0013",
+            vec![("crates/core/src/x.rs", "fn f() {}")],
+            "whatever telemetry.bogus",
         );
         assert!(hits.is_empty(), "{hits:?}");
     }

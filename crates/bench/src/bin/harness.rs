@@ -6,11 +6,19 @@
 //! diffs and `trace_check --bench --budgets` validates.
 //!
 //! Usage: `harness [--smoke] [--out <path>] [--warmup N] [--reps N]
-//! [--stacks <path>] [--flame <path>]`
+//! [--stacks <path>] [--flame <path>]
+//! [--soak N [--capacity C] [--telemetry-out <path>]]`
 //!
 //! `--smoke` keeps only the smallest scenario (CI mode). `--stacks` /
 //! `--flame` additionally export the run's span tree as a folded-stack
 //! file / self-contained flame SVG.
+//!
+//! `--soak N` switches to flight-recorder mode: the pipeline runs N
+//! times under a bounded recorder (`--capacity`, default 4096) with the
+//! stage budgets armed as stall watchdog ceilings, one telemetry tick
+//! per iteration (streamed to `--telemetry-out` when given, validated
+//! in-process always), asserting `retained ≤ capacity` throughout, and
+//! the steady-state stage medians land in the same bench document.
 
 // Experiment drivers are report scripts: aborting on a broken
 // invariant is the right behavior, so the workspace unwrap/panic
@@ -18,13 +26,14 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use deepeye_bench::perf::{
-    record_stage_samples, results_json, scenario_matrix, RobustTiming, ScenarioRun, Stage,
+    record_stage_samples, results_json, scenario_matrix, stall_budgets, RobustTiming, ScenarioRun,
+    Stage,
 };
 use deepeye_core::{
     build_nodes_parallel_observed, ClassifierKind, ProgressiveSelector, Recognizer,
 };
 use deepeye_datagen::{build_table, recognition_examples, training_tables, PerceptionOracle};
-use deepeye_obs::{Observer, Stopwatch};
+use deepeye_obs::{validate_telemetry_jsonl, Observer, RecorderConfig, Stopwatch, TelemetryCursor};
 use deepeye_query::UdfRegistry;
 use std::process::ExitCode;
 
@@ -35,6 +44,9 @@ struct Args {
     reps: usize,
     stacks: Option<String>,
     flame: Option<String>,
+    soak: Option<usize>,
+    capacity: usize,
+    telemetry_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +57,9 @@ fn parse_args() -> Result<Args, String> {
         reps: 5,
         stacks: None,
         flame: None,
+        soak: None,
+        capacity: 4096,
+        telemetry_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,6 +83,25 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stacks" => parsed.stacks = Some(value("--stacks")?),
             "--flame" => parsed.flame = Some(value("--flame")?),
+            "--soak" => {
+                let iters: usize = value("--soak")?
+                    .parse()
+                    .map_err(|e| format!("--soak: {e}"))?;
+                if iters == 0 {
+                    return Err("--soak must be at least 1".into());
+                }
+                parsed.soak = Some(iters);
+            }
+            "--capacity" => {
+                let capacity: usize = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+                if capacity == 0 {
+                    return Err("--capacity must be at least 1 (0 would be unbounded)".into());
+                }
+                parsed.capacity = capacity;
+            }
+            "--telemetry-out" => parsed.telemetry_out = Some(value("--telemetry-out")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -101,6 +135,150 @@ fn time_stage<T>(
     samples
 }
 
+/// Soak mode: drive the full online pipeline `iters` times under a
+/// bounded flight recorder with the stage budgets armed, emitting one
+/// telemetry tick per iteration and asserting the retention invariant
+/// throughout. The steady-state per-stage timings land in the usual
+/// bench document so `perfgate` / `trace_check --bench` read soak runs
+/// unchanged.
+fn soak_main(args: &Args, iters: usize) -> ExitCode {
+    eprintln!(
+        "harness: soak — {iters} iterations, recorder capacity {}",
+        args.capacity
+    );
+
+    // Offline phase (untimed), as in matrix mode.
+    let oracle = PerceptionOracle::default();
+    let train = training_tables(0.03);
+    let recognizer = Recognizer::train(
+        ClassifierKind::DecisionTree,
+        &recognition_examples(&train, &oracle),
+    );
+    let ltr = deepeye_bench::efficiency::offline_ltr(0.03, &oracle);
+
+    let obs = Observer::with_recorder(
+        RecorderConfig::bounded(args.capacity).with_budgets(stall_budgets()),
+    );
+    let udfs = UdfRegistry::default();
+    let spec = scenario_matrix(true)
+        .into_iter()
+        .next()
+        .expect("smoke matrix is non-empty");
+    let table = build_table(&spec.corpus_spec());
+    eprintln!(
+        "  table {} — {} rows x {} columns",
+        spec.name,
+        table.row_count(),
+        table.column_count()
+    );
+
+    let mut cursor = TelemetryCursor::default();
+    let mut stream = String::new();
+    let mut samples: [Vec<u64>; 5] = Default::default();
+    for iter in 0..iters {
+        let mut iter_ns = [0u64; 5];
+        let queries = {
+            let _span = obs.span(Stage::Enumerate.span_name());
+            let clock = Stopwatch::start();
+            let q = deepeye_core::rules::rule_based_queries(&table);
+            iter_ns[0] = clock.elapsed_ns();
+            q
+        };
+        let nodes = {
+            let span = obs.span(Stage::Execute.span_name());
+            let clock = Stopwatch::start();
+            let n = build_nodes_parallel_observed(&table, queries, &udfs, true, &obs, span.id());
+            iter_ns[1] = clock.elapsed_ns();
+            n
+        };
+        {
+            let _span = obs.span(Stage::Recognize.span_name());
+            let clock = Stopwatch::start();
+            std::hint::black_box(nodes.iter().filter(|n| recognizer.is_good(n)).count());
+            iter_ns[2] = clock.elapsed_ns();
+        }
+        {
+            let _span = obs.span(Stage::Rank.span_name());
+            let clock = Stopwatch::start();
+            std::hint::black_box(ltr.rank(&nodes));
+            iter_ns[3] = clock.elapsed_ns();
+        }
+        {
+            let _span = obs.span(Stage::TopK.span_name());
+            let clock = Stopwatch::start();
+            std::hint::black_box(ProgressiveSelector::new(&table, &udfs).top_k_observed(10, &obs));
+            iter_ns[4] = clock.elapsed_ns();
+        }
+        for ((stage, &ns), all) in Stage::PIPELINE.iter().zip(&iter_ns).zip(&mut samples) {
+            record_stage_samples(&obs, *stage, &[ns]);
+            all.push(ns);
+        }
+
+        // One tick per iteration: interval deltas, retention, stalls.
+        if let Some(line) = obs.telemetry_tick(&mut cursor) {
+            stream.push_str(&line);
+        }
+        let retention = obs.retention();
+        assert!(
+            retention.retained <= args.capacity,
+            "iteration {iter}: retained {} exceeds capacity {}",
+            retention.retained,
+            args.capacity
+        );
+        assert_eq!(
+            retention.retained as u64 + retention.dropped,
+            retention.finished,
+            "iteration {iter}: retention accounting broke"
+        );
+    }
+
+    let retention = obs.retention();
+    eprintln!(
+        "  spans: finished {}, retained {}, dropped {}",
+        retention.finished, retention.retained, retention.dropped
+    );
+
+    // The tick stream must satisfy its own validator before anything is
+    // written — a soak that produces an invalid stream is a failed soak.
+    let summary = match validate_telemetry_jsonl(&stream) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("harness: telemetry stream invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "  telemetry: {} ticks, {} stalls, max retained {}",
+        summary.ticks, summary.stalls, summary.max_retained
+    );
+    if let Some(path) = &args.telemetry_out {
+        if let Err(e) = std::fs::write(path, &stream) {
+            eprintln!("harness: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("harness: wrote telemetry to {path}");
+    }
+
+    let run = ScenarioRun {
+        name: format!("soak-{}x{}", table.row_count(), table.column_count()),
+        rows: table.row_count(),
+        columns: table.column_count(),
+        stages: Stage::PIPELINE
+            .into_iter()
+            .zip(&samples)
+            .map(|(stage, all)| (stage, RobustTiming::from_samples(all)))
+            .collect(),
+    };
+    let json = results_json(&[run], &obs.snapshot());
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("harness: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("harness: wrote {}", args.out);
+    println!("{}", obs.snapshot().stage_report());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -108,11 +286,15 @@ fn main() -> ExitCode {
             eprintln!("harness: {e}");
             eprintln!(
                 "usage: harness [--smoke] [--out <path>] [--warmup N] [--reps N] \
-                 [--stacks <path>] [--flame <path>]"
+                 [--stacks <path>] [--flame <path>] \
+                 [--soak N [--capacity C] [--telemetry-out <path>]]"
             );
             return ExitCode::FAILURE;
         }
     };
+    if let Some(iters) = args.soak {
+        return soak_main(&args, iters);
+    }
     eprintln!(
         "harness: {} matrix, warmup {}, reps {}",
         if args.smoke { "smoke" } else { "full" },

@@ -18,10 +18,16 @@
 //!   internally consistent robust timings.
 //! - Stage budgets (`--budgets`): a harness document's per-stage medians
 //!   against the declarative budget table (`deepeye_bench::perf::BUDGETS`).
+//! - Telemetry streams (`--telemetry`, from `harness --soak
+//!   --telemetry-out`): `deepeye-telemetry/v1` JSON lines — schema,
+//!   strictly increasing sequence, monotone accounting, ordered
+//!   quantiles, bounded retention. A stream with zero ticks or any
+//!   recorded stall fails.
 //!
 //! Usage: `trace_check [<trace.json> ...] [--metrics <metrics.json>]...
 //! [--provenance <prov.json>]... [--lint-report <report.json>]...
-//! [--bench <bench.json>]... [--budgets <bench.json>]...`
+//! [--bench <bench.json>]... [--budgets <bench.json>]...
+//! [--telemetry <ticks.jsonl>]...`
 //!
 //! Exits nonzero (via `ExitCode`, so the workspace `clippy::exit` lint
 //! stays intact) if any file fails validation — CI runs this against the
@@ -30,7 +36,7 @@
 use deepeye_analyze::validate_lint_report;
 use deepeye_bench::perf::{check_budgets, validate_bench_json};
 use deepeye_core::validate_provenance_json;
-use deepeye_obs::{validate_chrome_trace, validate_metrics_json};
+use deepeye_obs::{validate_chrome_trace, validate_metrics_json, validate_telemetry_jsonl};
 use std::process::ExitCode;
 
 enum Kind {
@@ -40,6 +46,7 @@ enum Kind {
     LintReport,
     Bench,
     Budgets,
+    Telemetry,
 }
 
 fn main() -> ExitCode {
@@ -65,6 +72,10 @@ fn main() -> ExitCode {
             },
             "--budgets" => match args.next() {
                 Some(path) => jobs.push((Kind::Budgets, path)),
+                None => return usage(),
+            },
+            "--telemetry" => match args.next() {
+                Some(path) => jobs.push((Kind::Telemetry, path)),
                 None => return usage(),
             },
             _ => jobs.push((Kind::Trace, arg)),
@@ -159,6 +170,30 @@ fn main() -> ExitCode {
                     failed = true;
                 }
             },
+            Kind::Telemetry => match validate_telemetry_jsonl(&text) {
+                Ok(summary) => {
+                    println!(
+                        "{path}: ok — {} tick(s), {} stall(s), max retained {}, \
+                         {} dropped (capacity {})",
+                        summary.ticks,
+                        summary.stalls,
+                        summary.max_retained,
+                        summary.dropped,
+                        summary.capacity
+                    );
+                    // An empty stream is already a validator error; a
+                    // stall in a gated run is a budget violation the
+                    // watchdog caught live.
+                    if summary.stalls > 0 {
+                        eprintln!("{path}: stream records {} stall(s)", summary.stalls);
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
             Kind::LintReport => match validate_lint_report(&text) {
                 Ok(summary) => {
                     println!(
@@ -195,7 +230,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: trace_check [<trace.json> ...] [--metrics <metrics.json>]... \
          [--provenance <prov.json>]... [--lint-report <report.json>]... \
-         [--bench <bench.json>]... [--budgets <bench.json>]..."
+         [--bench <bench.json>]... [--budgets <bench.json>]... \
+         [--telemetry <ticks.jsonl>]..."
     );
     ExitCode::FAILURE
 }

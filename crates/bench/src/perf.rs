@@ -42,6 +42,9 @@ pub const SCHEMA_FIELDS: &[&str] = &[
     "min_ns",
     "max_ns",
     "counters",
+    "p50_ns",
+    "p95_ns",
+    "p99_ns",
 ];
 
 /// The stages the harness times: the five online pipeline stages
@@ -312,11 +315,15 @@ pub fn snapshot_tail(snapshot: &Snapshot) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"alloc_count\": {}, \
+            "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \
+             \"p95_ns\": {}, \"p99_ns\": {}, \"alloc_count\": {}, \
              \"alloc_bytes\": {}, \"alloc_peak\": {}}}",
             escape(&s.path),
             s.count,
             s.total_ns,
+            s.p50_ns,
+            s.p95_ns,
+            s.p99_ns,
             s.alloc_count,
             s.alloc_bytes,
             s.alloc_peak
@@ -643,6 +650,21 @@ pub const BUDGETS: &[StageBudget] = &[
     },
 ];
 
+/// The budget table recast as watchdog stall budgets for the flight
+/// recorder: a harness stage span left open past its [`BUDGETS`] median
+/// ceiling is a stall worth reporting — the same table powers the
+/// offline gate (`trace_check --budgets`) and the online watchdog
+/// (`harness --soak`).
+pub fn stall_budgets() -> Vec<deepeye_obs::StallBudget> {
+    BUDGETS
+        .iter()
+        .map(|b| deepeye_obs::StallBudget {
+            span: b.stage.span_name(),
+            max_open_ns: b.max_median_ns,
+        })
+        .collect()
+}
+
 /// Check a harness document against [`BUDGETS`]. Returns the list of
 /// violations (empty = within budget); errors on malformed input.
 pub fn check_budgets(text: &str) -> Result<Vec<String>, String> {
@@ -714,6 +736,14 @@ mod tests {
         assert!(!Stage::PIPELINE.contains(&Stage::Analyze));
         assert!(Stage::ALL.contains(&Stage::Analyze));
         assert_eq!(Stage::PIPELINE.len() + 1, Stage::ALL.len());
+        // The watchdog view of the budget table covers the same stages
+        // with the same ceilings, keyed by the harness span names.
+        let stalls = stall_budgets();
+        assert_eq!(stalls.len(), BUDGETS.len());
+        for (budget, stall) in BUDGETS.iter().zip(&stalls) {
+            assert_eq!(stall.span, budget.stage.span_name());
+            assert_eq!(stall.max_open_ns, budget.max_median_ns);
+        }
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Acceptance tests for the flight recorder: a real-pipeline soak under
+//! a bounded recorder must keep raw retention within capacity while
+//! every aggregate surface stays *exactly* what an unbounded record-all
+//! observer would report, the per-iteration telemetry stream must pass
+//! its validator, and a truncated trace must carry (and satisfy) its
+//! accounting marker.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use deepeye_bench::perf::stall_budgets;
+use deepeye_core::{DeepEye, DeepEyeConfig};
+use deepeye_datagen::flight_table;
+use deepeye_obs::{
+    validate_chrome_trace, validate_telemetry_jsonl, Observer, RecorderConfig, TelemetryCursor,
+};
+
+/// Counter names the recorder itself owns — the only ones allowed to
+/// differ between a bounded observer and the record-all reference.
+fn recorder_metric(name: &str) -> bool {
+    name.starts_with("obs.") || name.starts_with("telemetry.")
+}
+
+/// The ISSUE acceptance bar: 100 soak iterations of the real pipeline
+/// at capacity 4096 (with filler spans forcing the ring over capacity)
+/// hold `retained ≤ capacity`, keep counters and histogram counts
+/// identical to a record-all reference, and produce a tick stream and a
+/// truncated trace that both validate.
+#[test]
+fn soak_keeps_aggregates_exact_under_bounded_retention() {
+    const ITERS: usize = 100;
+    const CAPACITY: usize = 4096;
+    // Enough filler spans that `ITERS` iterations must overflow the
+    // ring no matter how many spans the pipeline itself opens.
+    const FILLER_PER_ITER: usize = 64;
+
+    let bounded =
+        Observer::with_recorder(RecorderConfig::bounded(CAPACITY).with_budgets(stall_budgets()));
+    let reference = Observer::enabled();
+    let table = flight_table(5, 120);
+
+    let mut cursor = TelemetryCursor::default();
+    let mut stream = String::new();
+    for iter in 0..ITERS {
+        for obs in [&bounded, &reference] {
+            let eye = DeepEye::new(DeepEyeConfig {
+                observer: obs.clone(),
+                ..Default::default()
+            });
+            assert!(!eye.recommend(&table, 3).is_empty());
+            for _ in 0..FILLER_PER_ITER {
+                let _unit = obs.span("soak.unit");
+            }
+        }
+        let line = bounded
+            .telemetry_tick(&mut cursor)
+            .expect("enabled recorder always ticks");
+        stream.push_str(&line);
+        let retention = bounded.retention();
+        assert!(
+            retention.retained <= CAPACITY,
+            "iteration {iter}: retained {} exceeds capacity {CAPACITY}",
+            retention.retained
+        );
+        assert_eq!(
+            retention.retained as u64 + retention.dropped,
+            retention.finished,
+            "iteration {iter}: accounting broke"
+        );
+    }
+
+    // The ring really overflowed — otherwise this test proves nothing.
+    let retention = bounded.retention();
+    assert!(
+        retention.dropped > 0,
+        "soak never overflowed the ring (finished {})",
+        retention.finished
+    );
+    assert_eq!(retention.capacity, CAPACITY);
+    assert_eq!(reference.retention().dropped, 0);
+
+    // Counters match the record-all reference exactly (modulo the
+    // recorder's own bookkeeping, which only the bounded side records).
+    let b = bounded.snapshot();
+    let r = reference.snapshot();
+    let pipeline_counters = |snap: &deepeye_obs::Snapshot| -> Vec<(String, u64)> {
+        snap.counters
+            .iter()
+            .filter(|(name, _)| !recorder_metric(name))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(pipeline_counters(&b), pipeline_counters(&r));
+    assert_eq!(b.counter("obs.spans_dropped"), retention.dropped);
+
+    // Histogram and stage-aggregate *counts* match exactly (durations
+    // are wall-clock and differ run to run; the populations may not).
+    let hist_counts = |snap: &deepeye_obs::Snapshot| -> Vec<(String, u64)> {
+        snap.hists
+            .iter()
+            .map(|(name, h)| (name.clone(), h.count))
+            .collect()
+    };
+    assert_eq!(hist_counts(&b), hist_counts(&r));
+    let stage_counts = |snap: &deepeye_obs::Snapshot| -> Vec<(String, u64)> {
+        snap.stages
+            .iter()
+            .map(|s| (s.path.clone(), s.count))
+            .collect()
+    };
+    assert_eq!(stage_counts(&b), stage_counts(&r));
+    // Allocation attribution is exact too — charges happen at span
+    // close, before sampling.
+    let allocs = |snap: &deepeye_obs::Snapshot| -> Vec<(String, u64, u64)> {
+        snap.stages
+            .iter()
+            .map(|s| (s.path.clone(), s.alloc_count, s.alloc_bytes))
+            .collect()
+    };
+    assert_eq!(allocs(&b), allocs(&r));
+
+    // The tick stream passes the same validator `trace_check
+    // --telemetry` runs, with one tick per iteration and no stalls
+    // (the budget table is generous).
+    let summary = validate_telemetry_jsonl(&stream).expect("soak stream validates");
+    assert_eq!(summary.ticks, ITERS);
+    assert_eq!(summary.stalls, 0);
+    assert!(summary.max_retained as usize <= CAPACITY);
+    assert_eq!(summary.dropped, retention.dropped);
+
+    // The truncated trace declares its loss and still validates; the
+    // reference trace validates without any marker.
+    let trace = bounded.chrome_trace_json();
+    assert!(trace.contains("span_accounting"));
+    assert!(trace.contains("\"truncated\":true"));
+    let trace_summary = validate_chrome_trace(&trace).expect("truncated trace validates");
+    assert!(trace_summary.truncated);
+    assert_eq!(trace_summary.dropped, retention.dropped);
+    assert_eq!(trace_summary.spans as usize, retention.retained);
+    validate_chrome_trace(&reference.chrome_trace_json()).expect("reference trace validates");
+}
+
+/// Lockstep dual drive with fully deterministic operations: when the
+/// recorded *values* (not just populations) are identical, a tightly
+/// bounded recorder and a record-all observer agree on every exported
+/// aggregate — counters, full histogram summaries, stage counts, and
+/// allocation totals.
+#[test]
+fn lockstep_drive_agrees_on_every_aggregate_surface() {
+    let bounded = Observer::with_recorder(RecorderConfig::bounded(32));
+    let reference = Observer::enabled();
+    for i in 0..500u64 {
+        for obs in [&bounded, &reference] {
+            let _outer = obs.span("soak.outer");
+            {
+                let _inner = obs.span("soak.inner");
+                obs.incr("exec.ok", 1 + i % 3);
+                obs.record_ns("exec.query_ns", 10_000 + i * 37);
+                obs.alloc_many(1 + i % 2, 100 + i);
+            }
+        }
+    }
+
+    let b = bounded.snapshot();
+    let r = reference.snapshot();
+    assert_eq!(b.counter("exec.ok"), r.counter("exec.ok"));
+    assert_eq!(b.hist("exec.query_ns"), r.hist("exec.query_ns"));
+    for (bs, rs) in b.stages.iter().zip(&r.stages) {
+        assert_eq!(bs.path, rs.path);
+        assert_eq!(bs.count, rs.count, "stage {} count", bs.path);
+        assert_eq!(bs.alloc_count, rs.alloc_count, "stage {} allocs", bs.path);
+        assert_eq!(bs.alloc_bytes, rs.alloc_bytes, "stage {} bytes", bs.path);
+        assert_eq!(bs.alloc_peak, rs.alloc_peak, "stage {} peak", bs.path);
+    }
+    assert_eq!(b.stages.len(), r.stages.len());
+
+    // Only raw retention differs.
+    assert_eq!(bounded.retention().retained, 32);
+    assert_eq!(bounded.retention().dropped, 2 * 500 - 32);
+    assert_eq!(reference.retention().retained, 1000);
+}

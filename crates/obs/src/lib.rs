@@ -23,6 +23,13 @@
 //! [`Observer::span_under`] so cross-thread children merge under the right
 //! stage (see `deepeye_core::parallel`).
 //!
+//! For long-lived processes, [`Observer::with_recorder`] turns the tracer
+//! into a **flight recorder**: raw spans live in a bounded [`ring`]
+//! buffer under a [`SamplingPolicy`], per-stage aggregates stay exact
+//! regardless of sampling, a [`watchdog`] flags spans open past their
+//! budget, and [`telemetry`] ticks stream per-interval deltas as
+//! `deepeye-telemetry/v1` JSON lines.
+//!
 //! ```
 //! use deepeye_obs::Observer;
 //!
@@ -48,13 +55,22 @@ pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod report;
+pub mod ring;
+pub mod telemetry;
 pub mod trace;
+pub mod watchdog;
 
 pub use alloc::{fmt_bytes, AllocStats};
 pub use clock::Stopwatch;
 pub use flame::{flame_svg, folded_stacks, spans_from_chrome_trace, FlameSpan};
 pub use hist::{HistSummary, Histogram};
 pub use json::{parse_json, Json, JsonError};
-pub use observer::{HistTimer, Observer, SpanGuard, SpanId, SpanRecord};
+pub use observer::{HistTimer, Observer, RecorderConfig, SpanGuard, SpanId, SpanRecord};
 pub use report::{fmt_duration, validate_metrics_json, MetricsSummary, Snapshot, StageAgg};
-pub use trace::{validate_chrome_trace, TraceSummary};
+pub use ring::{RetentionStats, SamplingPolicy, SpanRing};
+pub use telemetry::{
+    proc_stats, validate_telemetry_jsonl, ProcStats, TelemetryCursor, TelemetrySummary,
+    TELEMETRY_FIELDS, TELEMETRY_SCHEMA,
+};
+pub use trace::{chrome_trace_json_with_accounting, validate_chrome_trace, TraceSummary};
+pub use watchdog::{StallBudget, StallEvent, STALL_LOG_CAP};

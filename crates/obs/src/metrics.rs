@@ -17,6 +17,12 @@
 //! Adding a metric is a three-line change: the call site, this registry,
 //! and the DESIGN.md table — and the lint wall plus the doc-sync test
 //! make sure none of the three drifts.
+//!
+//! The flight recorder's self-metrics (`obs.spans_dropped`, `obs.stall`,
+//! `telemetry.ticks`) are recorded inside `deepeye-obs` itself, so rule
+//! `A0005` (which scans the product crates) exempts the `obs.*` /
+//! `telemetry.*` prefixes; rule `A0013` owns them instead, keeping the
+//! registry, the recorder sources, and DESIGN.md §10 in sync.
 
 /// Every counter name ([`Observer::incr`](crate::Observer::incr)) the
 /// pipeline records, sorted.
@@ -28,6 +34,8 @@ pub const COUNTERS: &[&str] = &[
     "ltr.docs",
     "ltr.epochs",
     "ltr.groups",
+    "obs.spans_dropped",
+    "obs.stall",
     "progressive.leaves_materialized",
     "progressive.leaves_pruned",
     "progressive.leaves_total",
@@ -37,6 +45,7 @@ pub const COUNTERS: &[&str] = &[
     "recognize.kept",
     "recognize.rejected",
     "sema.rejected",
+    "telemetry.ticks",
 ];
 
 /// Every histogram name ([`Observer::timer`](crate::Observer::timer),

@@ -6,11 +6,27 @@
 //! threads, and every recording lands in the same sink. A disabled
 //! observer holds nothing: every method is a branch on `None`, so
 //! carrying one through the hot path costs nothing when tracing is off.
+//!
+//! Two recorder shapes share this handle:
+//!
+//! - [`Observer::enabled`] — the run-once tracer: every finished span is
+//!   retained, snapshot at exit.
+//! - [`Observer::with_recorder`] — the flight recorder for long-lived
+//!   processes: raw spans land in a bounded [`crate::ring::SpanRing`]
+//!   under a sampling policy, while per-path aggregates (count, total,
+//!   duration histogram, self-allocation) are folded in *at span close*,
+//!   before any sampling — so counters, histograms, and stage aggregates
+//!   stay exact even when most raw spans are dropped. The
+//!   `obs.spans_dropped` counter and [`Observer::retention`] account for
+//!   the loss; [`Observer::check_stalls`] (see [`crate::watchdog`])
+//!   watches spans that stay open past their budget.
 
 use crate::alloc::{AllocCell, AllocStats};
 use crate::hist::Histogram;
+use crate::ring::{RetentionStats, SpanRing};
+use crate::watchdog::{StallBudget, StallEvent};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -41,19 +57,127 @@ pub struct SpanRecord {
     pub alloc: AllocStats,
 }
 
+/// Configuration for [`Observer::with_recorder`]: how many raw spans to
+/// retain, which sampling policy governs eviction, and (optionally) the
+/// stall budgets the watchdog checks open spans against.
+#[derive(Debug, Clone, Default)]
+pub struct RecorderConfig {
+    /// Maximum retained raw spans; `0` means unbounded.
+    pub capacity: usize,
+    pub policy: crate::ring::SamplingPolicy,
+    /// Per-span-name ceilings for [`Observer::check_stalls`]; empty
+    /// disables the watchdog.
+    pub budgets: Vec<StallBudget>,
+}
+
+impl RecorderConfig {
+    /// The common flight-recorder shape: keep the last `capacity` spans.
+    pub fn bounded(capacity: usize) -> RecorderConfig {
+        RecorderConfig {
+            capacity,
+            policy: crate::ring::SamplingPolicy::KeepTail,
+            budgets: Vec::new(),
+        }
+    }
+
+    /// Attach watchdog budgets (see [`crate::watchdog`]).
+    pub fn with_budgets(mut self, budgets: Vec<StallBudget>) -> RecorderConfig {
+        self.budgets = budgets;
+        self
+    }
+}
+
+/// A span that has begun but not yet ended. Registered under the state
+/// lock at span start so the watchdog can see what is currently running
+/// and cross-thread children can resolve their parent's path.
+pub(crate) struct OpenSpan {
+    pub name: &'static str,
+    pub parent: Option<SpanId>,
+    pub tid: u64,
+    pub start_ns: u64,
+    /// Index into [`PathTable::aggs`].
+    pub path: u32,
+}
+
+/// Exact per-path aggregate, updated at every span close *before* the
+/// raw record is offered to the ring — sampling can therefore never
+/// perturb these numbers.
+pub(crate) struct PathAgg {
+    /// Slash-joined root-to-leaf name chain.
+    pub path: String,
+    pub name: &'static str,
+    pub depth: usize,
+    /// Parent path index (`None` for roots).
+    pub parent: Option<u32>,
+    pub count: u64,
+    pub total_ns: u64,
+    /// Span durations at this exact path (per-stage p50/p95/p99).
+    pub hist: Histogram,
+    /// Self (non-inclusive) allocation totals; the snapshot folds
+    /// children into ancestors.
+    pub alloc: AllocStats,
+}
+
+/// Interned span paths: one [`PathAgg`] per distinct root-to-leaf name
+/// chain, allocated on first occurrence. Append-only, so indices are
+/// stable for the lifetime of the observer (telemetry cursors rely on
+/// this).
+#[derive(Default)]
+pub(crate) struct PathTable {
+    ids: BTreeMap<(Option<u32>, &'static str), u32>,
+    pub aggs: Vec<PathAgg>,
+}
+
+impl PathTable {
+    /// Path id for `name` under `parent`, interning on first sight.
+    pub(crate) fn intern(&mut self, parent: Option<u32>, name: &'static str) -> u32 {
+        if let Some(&id) = self.ids.get(&(parent, name)) {
+            return id;
+        }
+        let (path, depth) = match parent.and_then(|p| self.aggs.get(p as usize)) {
+            Some(p) => (format!("{}/{}", p.path, name), p.depth + 1),
+            None => (name.to_owned(), 0),
+        };
+        let id = self.aggs.len() as u32;
+        self.aggs.push(PathAgg {
+            path,
+            name,
+            depth,
+            parent,
+            count: 0,
+            total_ns: 0,
+            hist: Histogram::default(),
+            alloc: AllocStats::default(),
+        });
+        self.ids.insert((parent, name), id);
+        id
+    }
+}
+
 pub(crate) struct State {
-    pub spans: Vec<SpanRecord>,
+    /// Raw span sink (bounded under a flight-recorder config).
+    pub ring: SpanRing,
     pub counters: BTreeMap<&'static str, u64>,
     pub hists: BTreeMap<&'static str, Histogram>,
     /// Live allocation cells of *open* spans, drained into the
     /// [`SpanRecord`] when the owning guard drops.
     pub open_allocs: BTreeMap<SpanId, AllocCell>,
+    /// Spans currently open, by id.
+    pub open: BTreeMap<SpanId, OpenSpan>,
+    /// Exact per-path aggregates.
+    pub paths: PathTable,
+    /// Stall events the watchdog has emitted (bounded; see
+    /// [`crate::watchdog`]). The `obs.stall` counter is the exact total.
+    pub stalls: Vec<StallEvent>,
+    /// Open spans already reported as stalled (one event per span).
+    pub stalled: BTreeSet<SpanId>,
 }
 
 pub(crate) struct Inner {
-    origin: Instant,
+    pub(crate) origin: Instant,
     next_id: AtomicU64,
     seq: AtomicU64,
+    pub(crate) budgets: Vec<StallBudget>,
     state: Mutex<State>,
 }
 
@@ -86,7 +210,7 @@ fn current_tid() -> u64 {
 /// The observability handle. See the crate docs for the overall model.
 #[derive(Clone, Default)]
 pub struct Observer {
-    inner: Option<Arc<Inner>>,
+    pub(crate) inner: Option<Arc<Inner>>,
 }
 
 impl std::fmt::Debug for Observer {
@@ -100,18 +224,30 @@ impl std::fmt::Debug for Observer {
 }
 
 impl Observer {
-    /// An observer that records. Clones share the same recorder.
+    /// An observer that records and retains everything (the run-once
+    /// tracer). Clones share the same recorder.
     pub fn enabled() -> Self {
+        Observer::with_recorder(RecorderConfig::default())
+    }
+
+    /// An observer with an explicit recorder shape — bounded span
+    /// retention and watchdog budgets for long-lived processes.
+    pub fn with_recorder(config: RecorderConfig) -> Self {
         Observer {
             inner: Some(Arc::new(Inner {
                 origin: Instant::now(),
                 next_id: AtomicU64::new(1),
                 seq: AtomicU64::new(1),
+                budgets: config.budgets,
                 state: Mutex::new(State {
-                    spans: Vec::new(),
+                    ring: SpanRing::new(config.capacity, config.policy),
                     counters: BTreeMap::new(),
                     hists: BTreeMap::new(),
                     open_allocs: BTreeMap::new(),
+                    open: BTreeMap::new(),
+                    paths: PathTable::default(),
+                    stalls: Vec::new(),
+                    stalled: BTreeSet::new(),
                 }),
             })),
         }
@@ -157,7 +293,11 @@ impl Observer {
     }
 
     /// Start a span under an explicit parent (e.g. a stage span owned by
-    /// another thread). `parent: None` makes a root span.
+    /// another thread). `parent: None` makes a root span. The parent must
+    /// still be open when the child starts — which RAII guards guarantee
+    /// (a guard's id outlives every use of it as a parent); a closed or
+    /// unknown parent id roots the child's *path* at the child while the
+    /// record still carries the raw parent id for the trace.
     pub fn span_under(&self, name: &'static str, parent: Option<SpanId>) -> SpanGuard {
         let Some(inner) = &self.inner else {
             return SpanGuard { ctx: None };
@@ -165,16 +305,29 @@ impl Observer {
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let begin_seq = inner.seq.fetch_add(1, Ordering::Relaxed);
         let token = self.token();
+        let tid = current_tid();
+        let start_ns = inner.origin.elapsed().as_nanos() as u64;
+        {
+            let mut state = inner.lock();
+            let parent_path = parent.and_then(|p| state.open.get(&p)).map(|o| o.path);
+            let path = state.paths.intern(parent_path, name);
+            state.open.insert(
+                id,
+                OpenSpan {
+                    name,
+                    parent,
+                    tid,
+                    start_ns,
+                    path,
+                },
+            );
+        }
         SPAN_STACK.with(|stack| stack.borrow_mut().push((token, id)));
         SpanGuard {
             ctx: Some(SpanCtx {
                 inner: Arc::clone(inner),
                 token,
                 id,
-                parent,
-                name,
-                tid: current_tid(),
-                start_ns: inner.origin.elapsed().as_nanos() as u64,
                 begin_seq,
             }),
         }
@@ -268,47 +421,64 @@ impl Observer {
     }
 
     /// Total recorded duration of all finished spans with this name.
+    /// Computed from the exact path aggregates, so it is unaffected by
+    /// span sampling.
     pub fn stage_duration(&self, name: &str) -> Duration {
         let Some(inner) = &self.inner else {
             return Duration::ZERO;
         };
         let ns: u64 = inner
             .lock()
-            .spans
+            .paths
+            .aggs
             .iter()
-            .filter(|s| s.name == name)
-            .map(|s| s.dur_ns)
+            .filter(|a| a.name == name)
+            .map(|a| a.total_ns)
             .sum();
         Duration::from_nanos(ns)
     }
 
     /// Duration of one finished span by id (`None` while it is open, when
-    /// the id is unknown, or when disabled).
+    /// the id is unknown or its raw record was sampled away, or when
+    /// disabled).
     pub fn span_duration(&self, id: SpanId) -> Option<Duration> {
         let inner = self.inner.as_ref()?;
         inner
             .lock()
-            .spans
+            .ring
             .iter()
             .find(|s| s.id == id)
             .map(|s| Duration::from_nanos(s.dur_ns))
     }
 
-    /// All finished spans (empty when disabled).
+    /// All *retained* finished spans in begin order (empty when
+    /// disabled). Under a bounded recorder this is a sample; see
+    /// [`Observer::retention`] for the accounting.
     pub fn finished_spans(&self) -> Vec<SpanRecord> {
         self.inner
             .as_ref()
-            .map(|inner| inner.lock().spans.clone())
+            .map(|inner| inner.lock().ring.to_sorted_vec())
             .unwrap_or_default()
     }
 
-    /// Point-in-time aggregate of everything recorded so far.
+    /// Span-retention accounting: finished/retained/dropped/capacity.
+    /// The invariant `retained + dropped == finished` always holds.
+    pub fn retention(&self) -> RetentionStats {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.lock().ring.stats())
+            .unwrap_or_default()
+    }
+
+    /// Point-in-time aggregate of everything recorded so far. Built from
+    /// the exact path aggregates — identical numbers whether or not raw
+    /// spans were sampled away.
     pub fn snapshot(&self) -> crate::report::Snapshot {
         let Some(inner) = &self.inner else {
             return crate::report::Snapshot::default();
         };
         let state = inner.lock();
-        crate::report::Snapshot::build(&state.spans, &state.counters, &state.hists)
+        crate::report::Snapshot::build(&state)
     }
 
     /// Human-readable per-stage report (span tree, counters, histograms).
@@ -322,14 +492,20 @@ impl Observer {
         self.snapshot().metrics_json()
     }
 
-    /// Chrome trace-event JSON of all finished spans, loadable in
-    /// `chrome://tracing` or Perfetto.
+    /// Chrome trace-event JSON of the retained spans, loadable in
+    /// `chrome://tracing` or Perfetto. Always carries a `span_accounting`
+    /// metadata event; when the recorder dropped spans the accounting is
+    /// marked truncated, which [`crate::trace::validate_chrome_trace`]
+    /// requires.
     pub fn chrome_trace_json(&self) -> String {
         let Some(inner) = &self.inner else {
             return crate::trace::chrome_trace_json(&[]);
         };
-        let spans = inner.lock().spans.clone();
-        crate::trace::chrome_trace_json(&spans)
+        let (spans, stats) = {
+            let state = inner.lock();
+            (state.ring.to_sorted_vec(), state.ring.stats())
+        };
+        crate::trace::chrome_trace_json_with_accounting(&spans, &stats)
     }
 }
 
@@ -337,10 +513,6 @@ struct SpanCtx {
     inner: Arc<Inner>,
     token: usize,
     id: SpanId,
-    parent: Option<SpanId>,
-    name: &'static str,
-    tid: u64,
-    start_ns: u64,
     begin_seq: u64,
 }
 
@@ -365,7 +537,6 @@ impl Drop for SpanGuard {
         // timestamps of successive spans on one thread can then never
         // regress, which the trace validator checks per lane.
         let end_ns = ctx.inner.origin.elapsed().as_nanos() as u64;
-        let dur_ns = end_ns.saturating_sub(ctx.start_ns);
         let end_seq = ctx.inner.seq.fetch_add(1, Ordering::Relaxed);
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -379,22 +550,38 @@ impl Drop for SpanGuard {
             }
         });
         let mut state = ctx.inner.lock();
+        let Some(open) = state.open.remove(&ctx.id) else {
+            return;
+        };
+        state.stalled.remove(&ctx.id);
+        let dur_ns = end_ns.saturating_sub(open.start_ns);
         let alloc = state
             .open_allocs
             .remove(&ctx.id)
             .map(|cell| cell.stats)
             .unwrap_or_default();
-        state.spans.push(SpanRecord {
+        // Exact aggregates first — only then does the raw record face the
+        // sampling policy.
+        if let Some(agg) = state.paths.aggs.get_mut(open.path as usize) {
+            agg.count += 1;
+            agg.total_ns += dur_ns;
+            agg.hist.record(dur_ns);
+            agg.alloc.merge(&alloc);
+        }
+        let drops = state.ring.push(SpanRecord {
             id: ctx.id,
-            parent: ctx.parent,
-            name: ctx.name,
-            tid: ctx.tid,
-            start_ns: ctx.start_ns,
+            parent: open.parent,
+            name: open.name,
+            tid: open.tid,
+            start_ns: open.start_ns,
             dur_ns,
             begin_seq: ctx.begin_seq,
             end_seq,
             alloc,
         });
+        if drops > 0 {
+            *state.counters.entry("obs.spans_dropped").or_insert(0) += drops;
+        }
     }
 }
 
@@ -417,6 +604,7 @@ impl Drop for HistTimer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ring::SamplingPolicy;
 
     #[test]
     fn disabled_observer_records_nothing() {
@@ -431,6 +619,7 @@ mod tests {
         }
         assert_eq!(obs.counter("c"), 0);
         assert!(obs.finished_spans().is_empty());
+        assert_eq!(obs.retention(), RetentionStats::default());
         let snap = obs.snapshot();
         assert!(snap.counters.is_empty());
         assert!(snap.hists.is_empty());
@@ -665,5 +854,65 @@ mod tests {
         });
         assert_eq!(obs.counter("ops"), 800);
         assert_eq!(obs.finished_spans().len(), 800);
+        let r = obs.retention();
+        assert_eq!(r.finished, 800);
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn bounded_recorder_caps_retained_spans() {
+        let obs = Observer::with_recorder(RecorderConfig::bounded(16));
+        for _ in 0..100 {
+            let _s = obs.span("op");
+        }
+        let r = obs.retention();
+        assert_eq!(r.finished, 100);
+        assert_eq!(r.retained, 16);
+        assert_eq!(r.dropped, 84);
+        assert_eq!(r.capacity, 16);
+        assert_eq!(obs.finished_spans().len(), 16);
+        assert_eq!(obs.counter("obs.spans_dropped"), 84);
+    }
+
+    #[test]
+    fn aggregates_stay_exact_under_sampling() {
+        let obs = Observer::with_recorder(RecorderConfig::bounded(4));
+        for _ in 0..50 {
+            let _root = obs.span("root");
+            let _child = obs.span("child");
+            obs.alloc_many(2, 10);
+        }
+        let snap = obs.snapshot();
+        let root = snap.stage("root").expect("root aggregated");
+        assert_eq!(root.count, 50, "counts survive raw-span eviction");
+        let child = snap.stage("child").expect("child aggregated");
+        assert_eq!(child.count, 50);
+        assert_eq!(child.alloc_count, 100, "alloc aggregates exact");
+        assert_eq!(child.alloc_bytes, 500);
+        assert_eq!(root.alloc_bytes, 500, "inclusive fold still works");
+        assert!(obs.finished_spans().len() <= 4);
+        assert_eq!(
+            obs.stage_duration("child").as_nanos() as u64,
+            child.total_ns
+        );
+    }
+
+    #[test]
+    fn keep_slowest_recorder_retains_slowest_span() {
+        let obs = Observer::with_recorder(RecorderConfig {
+            capacity: 2,
+            policy: SamplingPolicy::KeepSlowest { threshold_ns: 0 },
+            budgets: Vec::new(),
+        });
+        for i in 0..8 {
+            let _s = obs.span("op");
+            if i == 3 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let spans = obs.finished_spans();
+        assert!(spans.len() <= 2);
+        let max_kept = spans.iter().map(|s| s.dur_ns).max().unwrap_or(0);
+        assert!(max_kept >= 2_000_000, "the slow span survived eviction");
     }
 }

@@ -1,16 +1,18 @@
 //! Aggregation and the human/JSON exporters.
 //!
-//! A [`Snapshot`] collapses raw span records into per-*path* aggregates
+//! A [`Snapshot`] reads the observer's per-*path* aggregates
 //! (`pipeline.recommend/pipeline.execute/execute.worker`), carrying
 //! counters and histogram summaries alongside. The same snapshot feeds
 //! both the human-readable stage report and the JSON metrics export, so
-//! every consumer reads identical numbers.
+//! every consumer reads identical numbers. Aggregates are maintained at
+//! span close, *before* the raw record meets the flight recorder's
+//! sampling policy — a snapshot is therefore exact even when most raw
+//! spans were dropped (see [`crate::ring`]).
 
 use crate::alloc::{fmt_bytes, AllocStats};
-use crate::hist::{HistSummary, Histogram};
+use crate::hist::HistSummary;
 use crate::json::escape;
-use crate::observer::{SpanId, SpanRecord};
-use std::collections::BTreeMap;
+use crate::observer::State;
 
 /// Aggregate of all spans sharing one path (root-to-leaf name chain).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +25,10 @@ pub struct StageAgg {
     pub depth: usize,
     pub count: u64,
     pub total_ns: u64,
+    /// Median span duration at this path (log2-bucket approximation).
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
     /// Inclusive attributed allocation events (this path and everything
     /// underneath it).
     pub alloc_count: u64,
@@ -43,71 +49,53 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    pub(crate) fn build(
-        spans: &[SpanRecord],
-        counters: &BTreeMap<&'static str, u64>,
-        hists: &BTreeMap<&'static str, Histogram>,
-    ) -> Snapshot {
-        let by_id: BTreeMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
-        let mut agg: BTreeMap<String, StageAgg> = BTreeMap::new();
-        let mut chains: Vec<(Vec<&'static str>, AllocStats)> = Vec::new();
-        for span in spans {
-            // Walk the parent chain to the root. An unknown parent id
-            // (still-open span) terminates the chain there.
-            let mut names = vec![span.name];
-            let mut cursor = span.parent;
-            // Depth cap guards against a (buggy) parent cycle.
-            for _ in 0..64 {
-                let Some(parent) = cursor.and_then(|id| by_id.get(&id)) else {
-                    break;
-                };
-                names.push(parent.name);
-                cursor = parent.parent;
-            }
-            names.reverse();
-            let depth = names.len() - 1;
-            let path = names.join("/");
-            let entry = agg.entry(path.clone()).or_insert(StageAgg {
-                path,
-                name: span.name,
-                depth,
-                count: 0,
-                total_ns: 0,
-                alloc_count: 0,
-                alloc_bytes: 0,
-                alloc_peak: 0,
-            });
-            entry.count += 1;
-            entry.total_ns += span.dur_ns;
-            if !span.alloc.is_empty() {
-                chains.push((names, span.alloc));
+    pub(crate) fn build(state: &State) -> Snapshot {
+        let aggs = &state.paths.aggs;
+        // Fold every path's self allocation stats into all of its
+        // ancestors, so stage aggregates read inclusive. A child is
+        // always interned after its parent (the parent was open when the
+        // child started), so one reverse index walk propagates
+        // grandchildren before their parents move up. A path whose spans
+        // are all still open at snapshot time has `count == 0` and is
+        // skipped from the export rather than invented.
+        let mut inclusive: Vec<AllocStats> = aggs.iter().map(|a| a.alloc).collect();
+        for i in (0..aggs.len()).rev() {
+            let Some(parent) = aggs.get(i).and_then(|a| a.parent) else {
+                continue;
+            };
+            let stats = inclusive.get(i).copied().unwrap_or_default();
+            if let Some(slot) = inclusive.get_mut(parent as usize) {
+                slot.merge(&stats);
             }
         }
-        // Second pass: fold every span's self allocation stats into its
-        // own path *and* every ancestor prefix, so stage aggregates read
-        // inclusive. A prefix without an aggregate (its span still open
-        // at snapshot time) is skipped rather than invented.
-        for (names, alloc) in chains {
-            let mut prefix = String::new();
-            for name in names {
-                if !prefix.is_empty() {
-                    prefix.push('/');
-                }
-                prefix.push_str(name);
-                if let Some(entry) = agg.get_mut(&prefix) {
-                    entry.alloc_count += alloc.count;
-                    entry.alloc_bytes += alloc.bytes;
-                    entry.alloc_peak += alloc.peak;
-                }
-            }
-        }
+        let mut stages: Vec<StageAgg> = aggs
+            .iter()
+            .zip(inclusive.iter())
+            .filter(|(a, _)| a.count > 0)
+            .map(|(a, alloc)| StageAgg {
+                path: a.path.clone(),
+                name: a.name,
+                depth: a.depth,
+                count: a.count,
+                total_ns: a.total_ns,
+                p50_ns: a.hist.quantile(0.50),
+                p95_ns: a.hist.quantile(0.95),
+                p99_ns: a.hist.quantile(0.99),
+                alloc_count: alloc.count,
+                alloc_bytes: alloc.bytes,
+                alloc_peak: alloc.peak,
+            })
+            .collect();
+        stages.sort_by(|a, b| a.path.cmp(&b.path));
         Snapshot {
-            stages: agg.into_values().collect(),
-            counters: counters
+            stages,
+            counters: state
+                .counters
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), *v))
                 .collect(),
-            hists: hists
+            hists: state
+                .hists
                 .iter()
                 .map(|(k, h)| ((*k).to_owned(), h.summary()))
                 .collect(),
@@ -147,17 +135,20 @@ impl Snapshot {
                 .unwrap_or(0)
                 .max("stage".len());
             out.push_str(&format!(
-                "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>8}  {:>10}  {:>10}\n",
-                "stage", "count", "total", "mean", "allocs", "alloc", "peak"
+                "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>8}  {:>10}  {:>10}\n",
+                "stage", "count", "total", "mean", "p50", "p95", "p99", "allocs", "alloc", "peak"
             ));
             for s in &self.stages {
                 let mean_ns = s.total_ns.checked_div(s.count).unwrap_or(0);
                 out.push_str(&format!(
-                    "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>8}  {:>10}  {:>10}\n",
+                    "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>8}  {:>10}  {:>10}\n",
                     format!("{}{}", "  ".repeat(s.depth), s.name),
                     s.count,
                     fmt_duration(s.total_ns),
                     fmt_duration(mean_ns),
+                    fmt_duration(s.p50_ns),
+                    fmt_duration(s.p95_ns),
+                    fmt_duration(s.p99_ns),
                     s.alloc_count,
                     fmt_bytes(s.alloc_bytes),
                     fmt_bytes(s.alloc_peak),
@@ -234,11 +225,15 @@ impl Snapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"alloc_count\": {}, \
+                "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \
+                 \"p95_ns\": {}, \"p99_ns\": {}, \"alloc_count\": {}, \
                  \"alloc_bytes\": {}, \"alloc_peak\": {}}}",
                 escape(&s.path),
                 s.count,
                 s.total_ns,
+                s.p50_ns,
+                s.p95_ns,
+                s.p99_ns,
                 s.alloc_count,
                 s.alloc_bytes,
                 s.alloc_peak
@@ -274,9 +269,10 @@ fn non_negative_int(v: &crate::json::Json, what: &str) -> Result<u64, String> {
 /// objects must be present, counters must be non-negative integers, and
 /// each histogram summary must be internally consistent (all eight fields
 /// present; when `count > 0`, `min ≤ p50 ≤ p95 ≤ p99 ≤ max`,
-/// `min ≤ mean ≤ max`, and `sum ≥ max`). Every stage must carry the
-/// three `alloc_*` attribution fields with `alloc_peak ≤ alloc_bytes`
-/// and no bytes without events.
+/// `min ≤ mean ≤ max`, and `sum ≥ max`). Every stage must carry ordered
+/// `p50_ns ≤ p95_ns ≤ p99_ns` duration quantiles with `p99_ns ≤
+/// total_ns`, plus the three `alloc_*` attribution fields with
+/// `alloc_peak ≤ alloc_bytes` and no bytes without events.
 pub fn validate_metrics_json(text: &str) -> Result<MetricsSummary, String> {
     use crate::json::{parse_json, Json};
     let doc = parse_json(text).map_err(|e| e.to_string())?;
@@ -340,11 +336,31 @@ pub fn validate_metrics_json(text: &str) -> Result<MetricsSummary, String> {
         if count == 0 {
             return Err(format!("stage `{path}` has zero count"));
         }
-        non_negative_int(
+        let total_ns = non_negative_int(
             s.get("total_ns")
                 .ok_or_else(|| format!("stage `{path}` missing `total_ns`"))?,
             &format!("stage `{path}`.total_ns"),
         )?;
+        let stage_field = |key: &str| -> Result<u64, String> {
+            non_negative_int(
+                s.get(key)
+                    .ok_or_else(|| format!("stage `{path}` missing `{key}`"))?,
+                &format!("stage `{path}`.{key}"),
+            )
+        };
+        let p50 = stage_field("p50_ns")?;
+        let p95 = stage_field("p95_ns")?;
+        let p99 = stage_field("p99_ns")?;
+        if !(p50 <= p95 && p95 <= p99) {
+            return Err(format!(
+                "stage `{path}` quantiles not monotonic: p50 {p50} p95 {p95} p99 {p99}"
+            ));
+        }
+        if p99 > total_ns {
+            return Err(format!(
+                "stage `{path}` p99 {p99} exceeds total_ns {total_ns}"
+            ));
+        }
         let alloc_field = |key: &str| -> Result<u64, String> {
             non_negative_int(
                 s.get(key)
@@ -566,6 +582,66 @@ mod tests {
         assert!(validate_metrics_json(&doc)
             .unwrap_err()
             .contains("non-negative"));
+    }
+
+    #[test]
+    fn stage_quantiles_are_exported_and_ordered() {
+        let obs = Observer::enabled();
+        for _ in 0..20 {
+            let _s = obs.span("op");
+        }
+        let snap = obs.snapshot();
+        let op = snap.stage("op").expect("aggregated");
+        assert!(op.p50_ns <= op.p95_ns && op.p95_ns <= op.p99_ns);
+        assert!(op.p99_ns <= op.total_ns);
+        let report = snap.stage_report();
+        for col in ["p50", "p95", "p99"] {
+            assert!(report.contains(col), "missing column {col}");
+        }
+        let doc = parse_json(&snap.metrics_json()).expect("valid JSON");
+        let stage = doc.get("stages").and_then(|s| s.get("op")).expect("op row");
+        for key in ["p50_ns", "p95_ns", "p99_ns"] {
+            assert!(
+                stage.get(key).and_then(Json::as_f64).is_some(),
+                "missing {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn validator_rejects_broken_stage_quantiles() {
+        // Missing stage quantile field.
+        let bad = r#"{"counters": {}, "histograms": {}, "stages": {"op":
+            {"count": 1, "total_ns": 10, "p95_ns": 1, "p99_ns": 1,
+             "alloc_count": 0, "alloc_bytes": 0, "alloc_peak": 0}}}"#;
+        assert!(validate_metrics_json(bad).unwrap_err().contains("p50_ns"));
+        // Out-of-order stage quantiles.
+        let bad = r#"{"counters": {}, "histograms": {}, "stages": {"op":
+            {"count": 1, "total_ns": 10, "p50_ns": 9, "p95_ns": 1, "p99_ns": 10,
+             "alloc_count": 0, "alloc_bytes": 0, "alloc_peak": 0}}}"#;
+        assert!(validate_metrics_json(bad)
+            .unwrap_err()
+            .contains("monotonic"));
+        // Stage quantile above total_ns is impossible.
+        let obs = Observer::enabled();
+        {
+            let _s = obs.span("op");
+        }
+        let json = obs.metrics_json();
+        let op = parse_json(&json)
+            .ok()
+            .and_then(|d| {
+                d.get("stages")
+                    .and_then(|s| s.get("op"))
+                    .and_then(|s| s.get("total_ns"))
+                    .and_then(Json::as_f64)
+            })
+            .expect("total exported") as u64;
+        let bad = json.replace(
+            &format!("\"total_ns\": {op}"),
+            &format!("\"total_ns\": {op}, \"p99_ns\": {}", op + 10),
+        );
+        assert!(validate_metrics_json(&bad).unwrap_err().contains("p99"));
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Bounded span retention for the flight recorder.
+//!
+//! A long-lived process cannot keep every finished span: the run-once
+//! tracer's `Vec<SpanRecord>` grows without bound. [`SpanRing`] is the
+//! replacement sink — a fixed-capacity buffer with a pluggable
+//! [`SamplingPolicy`] deciding which raw spans survive when the buffer is
+//! full. Dropping a span loses only the *raw record* (trace events, flame
+//! frames): counters, histograms, and the per-path stage aggregates are
+//! updated before the record reaches the ring, so every aggregate export
+//! stays exact no matter how many spans were sampled away. The
+//! `obs.spans_dropped` counter and [`RetentionStats`] make the loss
+//! explicit, and the trace exporter stamps a truncation marker that
+//! [`crate::trace::validate_chrome_trace`] enforces.
+//!
+//! The accounting invariant every policy maintains (property-tested in
+//! `tests/properties.rs`): `retained + dropped == finished`, and
+//! `retained <= capacity` whenever a capacity is set.
+
+use crate::observer::SpanRecord;
+
+/// Which raw spans survive when the ring is full.
+///
+/// The policy never affects aggregates — only which [`SpanRecord`]s the
+/// trace/flame exporters can still show.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplingPolicy {
+    /// Retain every span (the run-once tracer's behaviour; requires an
+    /// unbounded ring, so [`SpanRing::new`] ignores the capacity).
+    #[default]
+    KeepAll,
+    /// Overwrite the oldest retained span — the classic flight-recorder
+    /// tail: the last `capacity` spans before an incident.
+    KeepTail,
+    /// Retain the slowest spans. A span under `threshold_ns` is dropped
+    /// immediately; above it, a full ring evicts its current fastest
+    /// entry, so the maximum-duration span (among those over the
+    /// threshold) is always retained. `threshold_ns: 0` keeps pure
+    /// slowest-wins semantics.
+    KeepSlowest { threshold_ns: u64 },
+    /// Uniform sample over the whole run (Algorithm R) with a
+    /// deterministic seeded generator — two runs over the same span
+    /// sequence retain the same subset.
+    Reservoir { seed: u64 },
+}
+
+/// Span accounting of a [`SpanRing`] at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetentionStats {
+    /// Spans that finished (closed) since the recorder started.
+    pub finished: u64,
+    /// Raw records currently held; `retained + dropped == finished`.
+    pub retained: usize,
+    /// Records sampled away (never retained, or evicted later).
+    pub dropped: u64,
+    /// Configured capacity; `0` means unbounded.
+    pub capacity: usize,
+}
+
+/// The bounded span sink. Public so the retention invariants can be
+/// property-tested against synthetic records without an [`crate::Observer`].
+#[derive(Debug)]
+pub struct SpanRing {
+    policy: SamplingPolicy,
+    capacity: usize,
+    spans: Vec<SpanRecord>,
+    /// Next slot to overwrite under [`SamplingPolicy::KeepTail`].
+    next_slot: usize,
+    finished: u64,
+    dropped: u64,
+    rng: u64,
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans under `policy`.
+    /// `capacity == 0` (or [`SamplingPolicy::KeepAll`]) means unbounded.
+    pub fn new(capacity: usize, policy: SamplingPolicy) -> SpanRing {
+        let capacity = match policy {
+            SamplingPolicy::KeepAll => 0,
+            _ => capacity,
+        };
+        let rng = match policy {
+            // Scramble so adjacent seeds diverge, and force odd — an even
+            // (or zero) LCG state degenerates.
+            SamplingPolicy::Reservoir { seed } => {
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0xD1B5_4A32_D192_ED03)
+                    | 1
+            }
+            _ => 1,
+        };
+        SpanRing {
+            policy,
+            capacity,
+            spans: Vec::new(),
+            next_slot: 0,
+            finished: 0,
+            dropped: 0,
+            rng,
+        }
+    }
+
+    /// An unbounded record-everything ring (the enabled-observer default).
+    pub fn unbounded() -> SpanRing {
+        SpanRing::new(0, SamplingPolicy::KeepAll)
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // The low bits of an LCG cycle fast; take the high half.
+        self.rng >> 32
+    }
+
+    /// Offer a finished span; returns how many spans this push dropped
+    /// (0 or 1 — either the offered span or an evicted resident).
+    pub fn push(&mut self, span: SpanRecord) -> u64 {
+        self.finished += 1;
+        if self.capacity == 0 {
+            self.spans.push(span);
+            return 0;
+        }
+        let drops = match self.policy {
+            SamplingPolicy::KeepAll => {
+                self.spans.push(span);
+                0
+            }
+            SamplingPolicy::KeepTail => {
+                if self.spans.len() < self.capacity {
+                    self.spans.push(span);
+                    0
+                } else if let Some(slot) = self.spans.get_mut(self.next_slot) {
+                    *slot = span;
+                    self.next_slot = (self.next_slot + 1) % self.capacity;
+                    1
+                } else {
+                    1
+                }
+            }
+            SamplingPolicy::KeepSlowest { threshold_ns } => {
+                if span.dur_ns < threshold_ns {
+                    1
+                } else if self.spans.len() < self.capacity {
+                    self.spans.push(span);
+                    0
+                } else {
+                    let fastest = self
+                        .spans
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.dur_ns)
+                        .map(|(i, s)| (i, s.dur_ns));
+                    match fastest {
+                        Some((i, min_dur)) if span.dur_ns >= min_dur => {
+                            if let Some(slot) = self.spans.get_mut(i) {
+                                *slot = span;
+                            }
+                            1
+                        }
+                        _ => 1,
+                    }
+                }
+            }
+            SamplingPolicy::Reservoir { .. } => {
+                if self.spans.len() < self.capacity {
+                    self.spans.push(span);
+                    0
+                } else {
+                    // Algorithm R: the n-th span replaces a uniformly
+                    // chosen resident with probability capacity / n.
+                    let j = (self.next_rand() % self.finished) as usize;
+                    if let Some(slot) = self.spans.get_mut(j) {
+                        *slot = span;
+                    }
+                    1
+                }
+            }
+        };
+        self.dropped += drops;
+        drops
+    }
+
+    /// Current accounting; `retained + dropped == finished` always.
+    pub fn stats(&self) -> RetentionStats {
+        RetentionStats {
+            finished: self.finished,
+            retained: self.spans.len(),
+            dropped: self.dropped,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Retained spans in arbitrary order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SpanRecord> {
+        self.spans.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Retained spans in begin order — what the exporters consume, so a
+    /// sampled trace replays deterministically.
+    pub fn to_sorted_vec(&self) -> Vec<SpanRecord> {
+        let mut spans = self.spans.clone();
+        spans.sort_by_key(|s| s.begin_seq);
+        spans
+    }
+}
+
+impl<'a> IntoIterator for &'a SpanRing {
+    type Item = &'a SpanRecord;
+    type IntoIter = std::slice::Iter<'a, SpanRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocStats;
+
+    fn span(id: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: None,
+            name: "t",
+            tid: 1,
+            start_ns: id * 10,
+            dur_ns,
+            begin_seq: 2 * id,
+            end_seq: 2 * id + 1,
+            alloc: AllocStats::default(),
+        }
+    }
+
+    fn check_accounting(ring: &SpanRing) {
+        let s = ring.stats();
+        assert_eq!(s.retained as u64 + s.dropped, s.finished);
+        if s.capacity > 0 {
+            assert!(s.retained <= s.capacity);
+        }
+    }
+
+    #[test]
+    fn keep_all_retains_everything() {
+        let mut ring = SpanRing::unbounded();
+        for i in 0..100 {
+            assert_eq!(ring.push(span(i, i)), 0);
+        }
+        check_accounting(&ring);
+        assert_eq!(ring.stats().retained, 100);
+        assert_eq!(ring.stats().dropped, 0);
+    }
+
+    #[test]
+    fn keep_tail_overwrites_oldest() {
+        let mut ring = SpanRing::new(4, SamplingPolicy::KeepTail);
+        for i in 0..10 {
+            ring.push(span(i, 1));
+        }
+        check_accounting(&ring);
+        let stats = ring.stats();
+        assert_eq!(stats.retained, 4);
+        assert_eq!(stats.dropped, 6);
+        let mut ids: Vec<u64> = ring.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![6, 7, 8, 9], "last capacity spans survive");
+        // Sorted export is in begin order.
+        let sorted = ring.to_sorted_vec();
+        assert!(sorted.windows(2).all(|w| w[0].begin_seq < w[1].begin_seq));
+    }
+
+    #[test]
+    fn keep_slowest_retains_the_maximum() {
+        let mut ring = SpanRing::new(3, SamplingPolicy::KeepSlowest { threshold_ns: 0 });
+        let durs = [5u64, 900, 3, 17, 1_000, 2, 450, 1];
+        for (i, &d) in durs.iter().enumerate() {
+            ring.push(span(i as u64, d));
+        }
+        check_accounting(&ring);
+        let mut kept: Vec<u64> = ring.iter().map(|s| s.dur_ns).collect();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![450, 900, 1_000], "three slowest survive");
+    }
+
+    #[test]
+    fn keep_slowest_threshold_drops_fast_spans() {
+        let mut ring = SpanRing::new(8, SamplingPolicy::KeepSlowest { threshold_ns: 100 });
+        for (i, &d) in [10u64, 500, 99, 100, 2_000].iter().enumerate() {
+            ring.push(span(i as u64, d));
+        }
+        check_accounting(&ring);
+        assert_eq!(ring.stats().retained, 3, "sub-threshold spans dropped");
+        assert!(ring.iter().all(|s| s.dur_ns >= 100));
+        assert!(ring.iter().any(|s| s.dur_ns == 2_000));
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_and_bounded() {
+        let run = |seed: u64| {
+            let mut ring = SpanRing::new(16, SamplingPolicy::Reservoir { seed });
+            for i in 0..500 {
+                ring.push(span(i, i));
+            }
+            check_accounting(&ring);
+            let mut ids: Vec<u64> = ring.iter().map(|s| s.id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(run(42), run(42), "same seed, same sample");
+        assert_eq!(run(42).len(), 16);
+        assert_ne!(run(42), run(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn keep_all_policy_ignores_capacity() {
+        let mut ring = SpanRing::new(2, SamplingPolicy::KeepAll);
+        for i in 0..10 {
+            ring.push(span(i, 1));
+        }
+        assert_eq!(ring.stats().capacity, 0, "normalized to unbounded");
+        assert_eq!(ring.stats().retained, 10);
+    }
+}

@@ -1,0 +1,209 @@
+//! Stall watchdog: spans open longer than their stage budget.
+//!
+//! A flight recorder only sees spans when they *close* — a stage that
+//! hangs never reaches the ring, the aggregates, or the trace. The
+//! watchdog closes that blind spot: [`Observer::check_stalls`] sweeps the
+//! open-span registry against a table of [`StallBudget`]s (the bench
+//! crate derives one from its per-stage budget table) and emits one
+//! structured [`StallEvent`] per offending span, carrying the open-span
+//! stack at detection time. Each detection increments the `obs.stall`
+//! counter; telemetry ticks drain the event log into the `stalls` field
+//! of the stream (see [`crate::telemetry`]).
+//!
+//! A span is reported **once**: it stays marked until it closes, so a
+//! periodic tick loop does not multiply-count a single long stall. The
+//! event log is bounded ([`STALL_LOG_CAP`]) — under a pathological stall
+//! storm the counter stays exact while old events are kept and new ones
+//! beyond the cap are counted but not materialized.
+
+use crate::observer::{Observer, SpanId};
+
+/// Retained [`StallEvent`]s are capped at this many; the `obs.stall`
+/// counter keeps the exact total regardless.
+pub const STALL_LOG_CAP: usize = 1024;
+
+/// Budget for one span name: open longer than `max_open_ns` is a stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallBudget {
+    /// Span name the budget applies to (e.g. `harness.execute`).
+    pub span: &'static str,
+    /// Maximum tolerated open time, nanoseconds.
+    pub max_open_ns: u64,
+}
+
+/// One detected stall: a span open past its budget, with the open-span
+/// stack (root to leaf) at detection time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallEvent {
+    pub span_id: SpanId,
+    /// Name of the stalled span.
+    pub name: &'static str,
+    /// Thread the span was opened on.
+    pub tid: u64,
+    /// How long the span had been open when detected, nanoseconds.
+    pub open_ns: u64,
+    /// The budget it exceeded.
+    pub budget_ns: u64,
+    /// Open-span names from the root to the stalled span itself —
+    /// where the process was stuck.
+    pub stack: Vec<&'static str>,
+}
+
+impl Observer {
+    /// Sweep open spans against the recorder's stall budgets; returns how
+    /// many *new* stalls this sweep detected. Already-reported spans are
+    /// skipped until they close, so calling this from a periodic tick
+    /// loop reports each stall exactly once. No budgets (or a disabled
+    /// observer) makes this a no-op.
+    pub fn check_stalls(&self) -> usize {
+        let Some(inner) = &self.inner else { return 0 };
+        if inner.budgets.is_empty() {
+            return 0;
+        }
+        let now_ns = inner.origin.elapsed().as_nanos() as u64;
+        let mut state = inner.lock();
+        let mut events: Vec<StallEvent> = Vec::new();
+        for (&id, open) in &state.open {
+            if state.stalled.contains(&id) {
+                continue;
+            }
+            let Some(budget) = inner.budgets.iter().find(|b| b.span == open.name) else {
+                continue;
+            };
+            let open_ns = now_ns.saturating_sub(open.start_ns);
+            if open_ns <= budget.max_open_ns {
+                continue;
+            }
+            // Stack via the open-span registry; depth cap guards against
+            // a (buggy) parent cycle.
+            let mut stack = vec![open.name];
+            let mut cursor = open.parent;
+            for _ in 0..64 {
+                let Some(parent) = cursor.and_then(|pid| state.open.get(&pid)) else {
+                    break;
+                };
+                stack.push(parent.name);
+                cursor = parent.parent;
+            }
+            stack.reverse();
+            events.push(StallEvent {
+                span_id: id,
+                name: open.name,
+                tid: open.tid,
+                open_ns,
+                budget_ns: budget.max_open_ns,
+                stack,
+            });
+        }
+        let detected = events.len();
+        if detected > 0 {
+            *state.counters.entry("obs.stall").or_insert(0) += detected as u64;
+            for event in events {
+                state.stalled.insert(event.span_id);
+                if state.stalls.len() < STALL_LOG_CAP {
+                    state.stalls.push(event);
+                }
+            }
+        }
+        detected
+    }
+
+    /// The stall events recorded so far (bounded at [`STALL_LOG_CAP`];
+    /// the `obs.stall` counter is the exact total).
+    pub fn stall_events(&self) -> Vec<StallEvent> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.lock().stalls.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::RecorderConfig;
+    use std::time::Duration;
+
+    fn watched(budget_ns: u64) -> Observer {
+        Observer::with_recorder(RecorderConfig::bounded(64).with_budgets(vec![StallBudget {
+            span: "stage",
+            max_open_ns: budget_ns,
+        }]))
+    }
+
+    #[test]
+    fn no_budgets_means_no_watchdog() {
+        let obs = Observer::enabled();
+        let _g = obs.span("stage");
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(obs.check_stalls(), 0);
+        assert!(obs.stall_events().is_empty());
+    }
+
+    #[test]
+    fn open_span_past_budget_stalls_once() {
+        let obs = watched(1); // 1ns budget: anything open is late.
+        let guard = obs.span("stage");
+        let _unit = obs.span("unit"); // unbudgeted, never reported
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(obs.check_stalls(), 1);
+        // Same open span is not re-reported.
+        assert_eq!(obs.check_stalls(), 0);
+        assert_eq!(obs.counter("obs.stall"), 1);
+        let events = obs.stall_events();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.name, "stage");
+        assert_eq!(e.stack, vec!["stage"]);
+        assert!(e.open_ns > e.budget_ns);
+        assert_eq!(e.span_id, guard.id().unwrap_or(0));
+        drop(guard);
+    }
+
+    #[test]
+    fn stall_stack_walks_open_parents() {
+        let obs =
+            Observer::with_recorder(RecorderConfig::bounded(64).with_budgets(vec![StallBudget {
+                span: "leaf",
+                max_open_ns: 1,
+            }]));
+        let _root = obs.span("root");
+        let _mid = obs.span("mid");
+        let _leaf = obs.span("leaf");
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(obs.check_stalls(), 1);
+        let events = obs.stall_events();
+        assert_eq!(events[0].stack, vec!["root", "mid", "leaf"]);
+    }
+
+    #[test]
+    fn spans_within_budget_do_not_stall() {
+        let obs = watched(60_000_000_000); // 60s budget
+        let _g = obs.span("stage");
+        assert_eq!(obs.check_stalls(), 0);
+        assert_eq!(obs.counter("obs.stall"), 0);
+    }
+
+    #[test]
+    fn closed_span_frees_the_stalled_mark() {
+        let obs = watched(1);
+        {
+            let _g = obs.span("stage");
+            std::thread::sleep(Duration::from_millis(1));
+            assert_eq!(obs.check_stalls(), 1);
+        }
+        // A *new* span over budget is a new stall.
+        let _g = obs.span("stage");
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(obs.check_stalls(), 1);
+        assert_eq!(obs.counter("obs.stall"), 2);
+    }
+
+    #[test]
+    fn disabled_observer_never_stalls() {
+        let obs = Observer::disabled();
+        let _g = obs.span("stage");
+        assert_eq!(obs.check_stalls(), 0);
+        assert!(obs.stall_events().is_empty());
+    }
+}

@@ -1,10 +1,38 @@
 //! Property-based tests for the observability layer: histogram merge
-//! semantics and allocation-attribution reconciliation across threads.
+//! semantics, allocation-attribution reconciliation across threads, and
+//! the flight recorder's retention invariants.
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use deepeye_obs::{Histogram, Observer};
+use deepeye_obs::{
+    AllocStats, Histogram, Observer, RecorderConfig, SamplingPolicy, SpanRecord, SpanRing,
+};
 use proptest::prelude::*;
+
+/// A synthetic finished span for driving [`SpanRing`] directly.
+fn record(id: u64, dur_ns: u64) -> SpanRecord {
+    SpanRecord {
+        id,
+        parent: None,
+        name: "prop.ring",
+        tid: 1,
+        start_ns: id * 7,
+        dur_ns,
+        begin_seq: 2 * id,
+        end_seq: 2 * id + 1,
+        alloc: AllocStats::default(),
+    }
+}
+
+/// Map an arbitrary tag to one of the four sampling policies.
+fn policy_from(tag: u64, threshold_ns: u64, seed: u64) -> SamplingPolicy {
+    match tag % 4 {
+        0 => SamplingPolicy::KeepAll,
+        1 => SamplingPolicy::KeepTail,
+        2 => SamplingPolicy::KeepSlowest { threshold_ns },
+        _ => SamplingPolicy::Reservoir { seed },
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -103,5 +131,105 @@ proptest! {
         // The metrics document stays self-consistent under any charge mix.
         deepeye_obs::validate_metrics_json(&snapshot.metrics_json())
             .expect("metrics validate");
+    }
+
+    /// The retention accounting invariant holds for every policy,
+    /// capacity, and span sequence: `retained + dropped == finished`,
+    /// and `retained <= capacity` whenever a capacity is set.
+    #[test]
+    fn ring_accounting_holds_for_any_policy(
+        tag in 0u64..4,
+        threshold_ns in 0u64..2_000,
+        seed in 0u64..u64::MAX,
+        capacity in 1usize..32,
+        durs in proptest::collection::vec(0u64..5_000, 0..200),
+    ) {
+        let policy = policy_from(tag, threshold_ns, seed);
+        let mut ring = SpanRing::new(capacity, policy);
+        for (i, &d) in durs.iter().enumerate() {
+            let drops = ring.push(record(i as u64, d));
+            prop_assert!(drops <= 1, "one push drops at most one span");
+        }
+        let stats = ring.stats();
+        prop_assert_eq!(stats.finished, durs.len() as u64);
+        prop_assert_eq!(stats.retained as u64 + stats.dropped, stats.finished);
+        if stats.capacity > 0 {
+            prop_assert!(stats.retained <= stats.capacity);
+        } else {
+            // KeepAll normalizes to unbounded and never drops.
+            prop_assert_eq!(stats.dropped, 0);
+        }
+        // The sorted export is a begin-ordered permutation of the
+        // retained set.
+        let sorted = ring.to_sorted_vec();
+        prop_assert_eq!(sorted.len(), stats.retained);
+        prop_assert!(sorted.windows(2).all(|w| w[0].begin_seq < w[1].begin_seq));
+    }
+
+    /// KeepSlowest with a zero threshold always retains the
+    /// maximum-duration span, whatever the arrival order.
+    #[test]
+    fn keep_slowest_retains_the_maximum_duration(
+        capacity in 1usize..16,
+        durs in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut ring = SpanRing::new(capacity, SamplingPolicy::KeepSlowest { threshold_ns: 0 });
+        for (i, &d) in durs.iter().enumerate() {
+            ring.push(record(i as u64, d));
+        }
+        let max_dur = durs.iter().copied().max().unwrap_or(0);
+        prop_assert!(
+            ring.iter().any(|s| s.dur_ns == max_dur),
+            "slowest span ({} ns) must survive sampling",
+            max_dur
+        );
+        let stats = ring.stats();
+        prop_assert_eq!(stats.retained as u64 + stats.dropped, stats.finished);
+    }
+
+    /// Sampling never touches aggregates: a tightly bounded observer and
+    /// a record-all observer driven through the same operation sequence
+    /// agree exactly on counters, histograms, per-stage counts, and
+    /// allocation totals — only the raw span retention differs.
+    #[test]
+    fn aggregates_equal_record_all_reference(
+        ops in proptest::collection::vec(
+            (1u64..20, 0u64..1_000_000, (1u64..4, 0u64..10_000)),
+            1..80,
+        ),
+    ) {
+        let bounded = Observer::with_recorder(RecorderConfig::bounded(2));
+        let reference = Observer::enabled();
+        for &(delta, sample_ns, (alloc_count, alloc_bytes)) in &ops {
+            for obs in [&bounded, &reference] {
+                let _span = obs.span("prop.op");
+                obs.incr("exec.ok", delta);
+                obs.record_ns("exec.query_ns", sample_ns);
+                obs.alloc_many(alloc_count, alloc_bytes);
+            }
+        }
+
+        // Raw retention differs...
+        let retention = bounded.retention();
+        prop_assert!(retention.retained <= 2);
+        prop_assert_eq!(retention.finished, ops.len() as u64);
+        prop_assert_eq!(
+            retention.retained as u64 + retention.dropped,
+            retention.finished
+        );
+        prop_assert_eq!(reference.retention().dropped, 0);
+
+        // ...while every aggregate surface matches the reference exactly.
+        let b = bounded.snapshot();
+        let r = reference.snapshot();
+        prop_assert_eq!(b.counter("exec.ok"), r.counter("exec.ok"));
+        prop_assert_eq!(b.hist("exec.query_ns"), r.hist("exec.query_ns"));
+        let b_stage = b.stage("prop.op").expect("bounded stage agg");
+        let r_stage = r.stage("prop.op").expect("reference stage agg");
+        prop_assert_eq!(b_stage.count, r_stage.count);
+        prop_assert_eq!(b_stage.alloc_count, r_stage.alloc_count);
+        prop_assert_eq!(b_stage.alloc_bytes, r_stage.alloc_bytes);
+        prop_assert_eq!(b_stage.alloc_peak, r_stage.alloc_peak);
+        deepeye_obs::validate_metrics_json(&b.metrics_json()).expect("bounded metrics validate");
     }
 }
