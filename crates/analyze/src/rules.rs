@@ -1,4 +1,4 @@
-//! The project-invariant rule catalog (`A0001`–`A0013`).
+//! The project-invariant rule catalog (`A0001`–`A0014`).
 //!
 //! These are the invariants clippy cannot express because they are
 //! *ours*: which crate owns the clock, what discipline the observability
@@ -10,7 +10,7 @@
 //! unguarded shortcuts are the failure channel there) and never scan
 //! `vendor/*` (not loaded at all).
 //!
-//! `A0001`–`A0007` and `A0013` are single-window token matchers;
+//! `A0001`–`A0007`, `A0013`, and `A0014` are single-window token matchers;
 //! `A0008`–`A0012` (implemented in [`crate::dataflow`]) walk the call
 //! graph and attach `file:line` witness chains to their findings.
 //!
@@ -99,6 +99,11 @@ pub static RULES: &[Rule] = &[
         code: "A0013",
         summary: "telemetry metric and field names agree across the obs registry, the recorder sources, and DESIGN.md §10",
         check: telemetry_registry_sync,
+    },
+    Rule {
+        code: "A0014",
+        summary: "executor cost operator and cost.* counter names agree across the registry, the executor instrumentation, and DESIGN.md §12",
+        check: cost_registry_sync,
     },
 ];
 
@@ -913,6 +918,227 @@ fn telemetry_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// A0014 — the executor cost taxonomy, the registry, the instrumentation,
+// and DESIGN.md §12 agree.
+//
+// The cost profiler spans three layers that can silently drift: the
+// operator taxonomy (`deepeye_obs::cost::Op`), the `cost.*` counters the
+// worker flush writes (central registry + literal call sites in
+// crates/core/src/parallel.rs), and the executor instrumentation in
+// crates/query/src/{exec,batch}.rs that charges each operator. A0005
+// already rejects unregistered metric literals at record call sites;
+// this rule closes the cost-specific channels: a taxonomy operator whose
+// counter is missing from the registry, a registered `cost.*` counter
+// that names no operator, an operator the executor never charges, a
+// registered `cost.*` counter the flush site never writes, and a DESIGN
+// §12 section that fails to document an operator or names a `cost.*`
+// metric the registry does not know.
+
+/// `rows_scanned` → `RowsScanned`, the `Op` variant ident the executor
+/// instrumentation must reference.
+fn op_variant_ident(name: &str) -> String {
+    let mut out = String::new();
+    for word in name.split('_') {
+        let mut chars = word.chars();
+        if let Some(first) = chars.next() {
+            out.push(first.to_ascii_uppercase());
+            out.extend(chars);
+        }
+    }
+    out
+}
+
+fn cost_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
+    const EXECUTOR_FILES: &[&str] = &["crates/query/src/exec.rs", "crates/query/src/batch.rs"];
+    const FLUSH_FILE: &str = "crates/core/src/parallel.rs";
+    let metric_shaped = |s: &str| {
+        s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c))
+    };
+    let mut out = Vec::new();
+
+    // `cost.*` literals in the profiler sources must be registered
+    // counters — a typo forks the metric.
+    let mut flushed: BTreeSet<String> = BTreeSet::new();
+    for rel in EXECUTOR_FILES.iter().chain([&FLUSH_FILE]) {
+        let Some(file) = ws.file(rel) else { continue };
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(lit) = t.str_lit() else { continue };
+            if !lit.starts_with("cost.") || !metric_shaped(lit) || !file.is_product(i) {
+                continue;
+            }
+            if *rel == FLUSH_FILE {
+                flushed.insert(lit.to_owned());
+            }
+            if !deepeye_obs::metrics::is_counter(lit) {
+                out.push(diag(
+                    file,
+                    t.line,
+                    "A0014",
+                    format!(
+                        "cost metric {lit:?} is not a registered counter \
+                         (deepeye_obs::metrics) — a typo forks the metric"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // The reverse directions gate on the executor sources being in the
+    // scanned set (full workspace runs; unit fixtures gate themselves by
+    // including crates/query/src/exec.rs).
+    if ws.file("crates/query/src/exec.rs").is_none() {
+        return out;
+    }
+
+    // Taxonomy ↔ registry, both directions.
+    for op in deepeye_obs::Op::ALL {
+        if !deepeye_obs::metrics::is_counter(op.metric()) {
+            out.push(Diagnostic {
+                file: "crates/obs/src/metrics.rs".to_owned(),
+                line: 1,
+                code: "A0014",
+                message: format!(
+                    "cost operator {:?} has no registered counter {:?}",
+                    op.name(),
+                    op.metric()
+                ),
+                path: Vec::new(),
+            });
+        }
+    }
+    for name in deepeye_obs::metrics::COUNTERS {
+        let Some(op_name) = name.strip_prefix("cost.") else {
+            continue;
+        };
+        if deepeye_obs::Op::from_name(op_name).is_none() {
+            out.push(Diagnostic {
+                file: "crates/obs/src/metrics.rs".to_owned(),
+                line: 1,
+                code: "A0014",
+                message: format!(
+                    "registered counter {name:?} names no operator in the cost taxonomy"
+                ),
+                path: Vec::new(),
+            });
+        }
+    }
+
+    // Every operator must be charged somewhere in the executor: the
+    // `Op::<Variant>` ident has to appear in exec.rs or batch.rs product
+    // code, else the taxonomy promises a count that is always zero.
+    for op in deepeye_obs::Op::ALL {
+        let variant = op_variant_ident(op.name());
+        let charged = EXECUTOR_FILES.iter().any(|rel| {
+            ws.file(rel).is_some_and(|file| {
+                file.tokens
+                    .iter()
+                    .enumerate()
+                    .any(|(i, t)| t.is_ident(&variant) && file.is_product(i))
+            })
+        });
+        if !charged {
+            out.push(Diagnostic {
+                file: "crates/query/src/exec.rs".to_owned(),
+                line: 1,
+                code: "A0014",
+                message: format!(
+                    "cost operator {:?} (Op::{variant}) is never charged in the \
+                     executor instrumentation",
+                    op.name()
+                ),
+                path: Vec::new(),
+            });
+        }
+    }
+
+    // Every registered `cost.*` counter must be flushed by the worker
+    // flush site, else the exactness invariant silently loses it.
+    if ws.file(FLUSH_FILE).is_some() {
+        for name in deepeye_obs::metrics::COUNTERS {
+            if name.starts_with("cost.") && !flushed.contains(*name) {
+                out.push(Diagnostic {
+                    file: FLUSH_FILE.to_owned(),
+                    line: 1,
+                    code: "A0014",
+                    message: format!(
+                        "registered cost counter {name:?} is never flushed by the \
+                         worker flush site"
+                    ),
+                    path: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // DESIGN.md §12: every operator documented backticked, and every
+    // `cost.*`-shaped token in the section known to the registry.
+    let design = ws.design.as_str();
+    if !design.is_empty() {
+        let (section, section_start) = match design.find("## 12.") {
+            Some(start) => {
+                let rest = &design[start..];
+                match rest.find("\n## 13.") {
+                    Some(end) => (&rest[..end], start),
+                    None => (rest, start),
+                }
+            }
+            None => (design, 0),
+        };
+        for op in deepeye_obs::Op::ALL {
+            if !section.contains(&format!("`{}`", op.name())) {
+                out.push(Diagnostic {
+                    file: "DESIGN.md".to_owned(),
+                    line: 1,
+                    code: "A0014",
+                    message: format!(
+                        "cost operator {:?} is not documented in DESIGN.md §12",
+                        op.name()
+                    ),
+                    path: Vec::new(),
+                });
+            }
+        }
+        let mut pos = 0usize;
+        while let Some(found) = section[pos..].find("cost.") {
+            let start = pos + found;
+            pos = start + "cost.".len();
+            // Only a standalone token starts a metric name — skip
+            // `deepeye-cost.` and similar.
+            if start > 0
+                && section[..start]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || "_-.".contains(c))
+            {
+                continue;
+            }
+            let rest = &section[pos..];
+            let word_len = rest
+                .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+                .unwrap_or(rest.len());
+            if word_len == 0 {
+                continue; // `cost.*` wildcards and sentence-final dots
+            }
+            let token = &section[start..pos + word_len];
+            if !deepeye_obs::metrics::is_counter(token) {
+                let offset = (section_start + start).min(design.len());
+                out.push(Diagnostic {
+                    file: "DESIGN.md".to_owned(),
+                    line: (design[..offset].matches('\n').count() + 1) as u32,
+                    code: "A0014",
+                    message: format!(
+                        "DESIGN.md §12 names cost metric {token:?}, which is not in the registry"
+                    ),
+                    path: Vec::new(),
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1397,6 +1623,155 @@ fn account(state: &mut State, drops: u64) {
             "A0013",
             vec![("crates/core/src/x.rs", "fn f() {}")],
             "whatever telemetry.bogus",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    const EXEC_FIXTURE: &str = r#"
+fn run<C: CostAcc>(cost: &mut C) {
+    cost.add(Op::RowsScanned, 1);
+    cost.add(Op::BinComputations, 1);
+    cost.add(Op::GroupProbes, 1);
+    cost.add(Op::GroupInserts, 1);
+    cost.add(Op::AggUpdates, 1);
+    cost.add(Op::SortComparisons, 1);
+    cost.add(Op::OutputRows, 1);
+}
+"#;
+
+    const FLUSH_FIXTURE: &str = r#"
+fn flush(obs: &Observer, total: &OpCosts) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.incr("cost.rows_scanned", 1);
+    obs.incr("cost.bin_computations", 1);
+    obs.incr("cost.group_probes", 1);
+    obs.incr("cost.group_inserts", 1);
+    obs.incr("cost.agg_updates", 1);
+    obs.incr("cost.sort_comparisons", 1);
+    obs.incr("cost.output_rows", 1);
+}
+"#;
+
+    fn cost_design() -> String {
+        let ops = deepeye_obs::Op::ALL
+            .into_iter()
+            .map(|op| format!("`{}`", op.name()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "## 12. Cost profiling\n\nOperators {ops}, flushed into \
+             cost.rows_scanned and friends.\n\n## 13. Next\n"
+        )
+    }
+
+    #[test]
+    fn a0014_clean_when_all_layers_agree() {
+        let hits = run_rule(
+            "A0014",
+            vec![
+                ("crates/query/src/exec.rs", EXEC_FIXTURE),
+                ("crates/query/src/batch.rs", "fn b() {}"),
+                ("crates/core/src/parallel.rs", FLUSH_FIXTURE),
+            ],
+            &cost_design(),
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn a0014_flags_unregistered_cost_literal() {
+        let flush = FLUSH_FIXTURE.replace("cost.group_probes", "cost.group_probez");
+        let hits = run_rule(
+            "A0014",
+            vec![
+                ("crates/query/src/exec.rs", EXEC_FIXTURE),
+                ("crates/core/src/parallel.rs", flush.as_str()),
+            ],
+            &cost_design(),
+        );
+        // The typo literal is unregistered AND the real counter is now
+        // never flushed — both directions fire.
+        assert!(
+            hits.iter().any(|d| d.message.contains("cost.group_probez")
+                && d.file == "crates/core/src/parallel.rs"),
+            "{hits:?}"
+        );
+        assert!(
+            hits.iter()
+                .any(|d| d.message.contains("never flushed")
+                    && d.message.contains("cost.group_probes")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn a0014_flags_uncharged_operator() {
+        let exec = EXEC_FIXTURE.replace("cost.add(Op::SortComparisons, 1);", "");
+        let hits = run_rule(
+            "A0014",
+            vec![
+                ("crates/query/src/exec.rs", exec.as_str()),
+                ("crates/core/src/parallel.rs", FLUSH_FIXTURE),
+            ],
+            &cost_design(),
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("Op::SortComparisons"), "{hits:?}");
+        assert!(hits[0].message.contains("never charged"), "{hits:?}");
+    }
+
+    #[test]
+    fn a0014_flags_design_drift_both_ways() {
+        let design = cost_design()
+            .replace("`sort_comparisons`", "`sort_compares`")
+            .replace("and friends", "and the phantom cost.hash_joins");
+        let hits = run_rule(
+            "A0014",
+            vec![
+                ("crates/query/src/exec.rs", EXEC_FIXTURE),
+                ("crates/core/src/parallel.rs", FLUSH_FIXTURE),
+            ],
+            &design,
+        );
+        assert!(
+            hits.iter()
+                .any(|d| d.message.contains("sort_comparisons")
+                    && d.message.contains("not documented")),
+            "{hits:?}"
+        );
+        assert!(
+            hits.iter().any(|d| d.message.contains("cost.hash_joins")
+                && d.message.contains("not in the registry")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn a0014_ignores_prefixed_tokens_and_wildcards() {
+        // The prefixed token and wildcard sit inside §12 itself.
+        let design = cost_design().replace(
+            "\n\n## 13. Next\n",
+            "\nProse naming deepeye-cost.bogus and a bare cost.* wildcard.\n\n## 13. Next\n",
+        );
+        let hits = run_rule(
+            "A0014",
+            vec![
+                ("crates/query/src/exec.rs", EXEC_FIXTURE),
+                ("crates/core/src/parallel.rs", FLUSH_FIXTURE),
+            ],
+            &design,
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn a0014_skips_partial_workspaces() {
+        let hits = run_rule(
+            "A0014",
+            vec![("crates/core/src/x.rs", "fn f() {}")],
+            "whatever cost.bogus",
         );
         assert!(hits.is_empty(), "{hits:?}");
     }

@@ -6,8 +6,13 @@
 //! diffs and `trace_check --bench --budgets` validates.
 //!
 //! Usage: `harness [--smoke] [--out <path>] [--warmup N] [--reps N]
-//! [--stacks <path>] [--flame <path>]
+//! [--stacks <path>] [--flame <path>] [--cost-out <path>]
 //! [--soak N [--capacity C] [--telemetry-out <path>]]`
+//!
+//! `--cost-out` runs the execute stage with per-candidate cost profiling
+//! and writes the `deepeye-cost/v1` operator-attribution document (after
+//! asserting the per-candidate totals equal the `cost.*` counters the
+//! workers flushed, and running it through the validator).
 //!
 //! `--smoke` keeps only the smallest scenario (CI mode). `--stacks` /
 //! `--flame` additionally export the run's span tree as a folded-stack
@@ -30,10 +35,14 @@ use deepeye_bench::perf::{
     Stage,
 };
 use deepeye_core::{
-    build_nodes_parallel_observed, ClassifierKind, ProgressiveSelector, Recognizer,
+    build_nodes_parallel_costed, build_nodes_parallel_observed, ClassifierKind,
+    ProgressiveSelector, Recognizer,
 };
 use deepeye_datagen::{build_table, recognition_examples, training_tables, PerceptionOracle};
-use deepeye_obs::{validate_telemetry_jsonl, Observer, RecorderConfig, Stopwatch, TelemetryCursor};
+use deepeye_obs::{
+    validate_cost_json, validate_telemetry_jsonl, CostCollector, Observer, Op, RecorderConfig,
+    Stopwatch, TelemetryCursor,
+};
 use deepeye_query::UdfRegistry;
 use std::process::ExitCode;
 
@@ -47,6 +56,7 @@ struct Args {
     soak: Option<usize>,
     capacity: usize,
     telemetry_out: Option<String>,
+    cost_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         soak: None,
         capacity: 4096,
         telemetry_out: None,
+        cost_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -102,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
                 parsed.capacity = capacity;
             }
             "--telemetry-out" => parsed.telemetry_out = Some(value("--telemetry-out")?),
+            "--cost-out" => parsed.cost_out = Some(value("--cost-out")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -135,6 +147,33 @@ fn time_stage<T>(
     samples
 }
 
+/// Write the executor cost report, first checking the exactness
+/// invariant — the collector's per-candidate totals must equal the
+/// registry's `cost.*` counters, which are flushed inside the
+/// `execute.worker` spans (so a mismatch means a worker's work escaped
+/// attribution) — then the document's own validator. Also prints the
+/// per-group rollup table to stderr.
+fn write_cost_report(path: &str, costs: &CostCollector, obs: &Observer) -> Result<(), String> {
+    let report = costs.report();
+    let snap = obs.snapshot();
+    for op in Op::ALL {
+        let counter = snap.counter(op.metric());
+        let total = report.totals.get(op);
+        if total != counter {
+            return Err(format!(
+                "cost invariant broke: collector total {total} for {} != worker counter {counter}",
+                op.metric()
+            ));
+        }
+    }
+    let doc = report.to_json();
+    validate_cost_json(&doc).map_err(|e| format!("cost document invalid: {e}"))?;
+    std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("harness: wrote executor cost report to {path}");
+    eprint!("{}", report.cost_table());
+    Ok(())
+}
+
 /// Soak mode: drive the full online pipeline `iters` times under a
 /// bounded flight recorder with the stage budgets armed, emitting one
 /// telemetry tick per iteration and asserting the retention invariant
@@ -159,6 +198,11 @@ fn soak_main(args: &Args, iters: usize) -> ExitCode {
     let obs = Observer::with_recorder(
         RecorderConfig::bounded(args.capacity).with_budgets(stall_budgets()),
     );
+    let costs = if args.cost_out.is_some() {
+        CostCollector::enabled()
+    } else {
+        CostCollector::disabled()
+    };
     let udfs = UdfRegistry::default();
     let spec = scenario_matrix(true)
         .into_iter()
@@ -187,7 +231,8 @@ fn soak_main(args: &Args, iters: usize) -> ExitCode {
         let nodes = {
             let span = obs.span(Stage::Execute.span_name());
             let clock = Stopwatch::start();
-            let n = build_nodes_parallel_observed(&table, queries, &udfs, true, &obs, span.id());
+            let n =
+                build_nodes_parallel_costed(&table, queries, &udfs, true, &obs, span.id(), &costs);
             iter_ns[1] = clock.elapsed_ns();
             n
         };
@@ -275,6 +320,12 @@ fn soak_main(args: &Args, iters: usize) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("harness: wrote {}", args.out);
+    if let Some(path) = &args.cost_out {
+        if let Err(e) = write_cost_report(path, &costs, &obs) {
+            eprintln!("harness: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     println!("{}", obs.snapshot().stage_report());
     ExitCode::SUCCESS
 }
@@ -286,7 +337,7 @@ fn main() -> ExitCode {
             eprintln!("harness: {e}");
             eprintln!(
                 "usage: harness [--smoke] [--out <path>] [--warmup N] [--reps N] \
-                 [--stacks <path>] [--flame <path>] \
+                 [--stacks <path>] [--flame <path>] [--cost-out <path>] \
                  [--soak N [--capacity C] [--telemetry-out <path>]]"
             );
             return ExitCode::FAILURE;
@@ -313,6 +364,11 @@ fn main() -> ExitCode {
     let ltr = deepeye_bench::efficiency::offline_ltr(0.03, &oracle);
 
     let obs = Observer::enabled();
+    let costs = if args.cost_out.is_some() {
+        CostCollector::enabled()
+    } else {
+        CostCollector::disabled()
+    };
     let udfs = UdfRegistry::default();
     let mut runs: Vec<ScenarioRun> = Vec::new();
     for spec in scenario_matrix(args.smoke) {
@@ -333,13 +389,14 @@ fn main() -> ExitCode {
                     deepeye_core::rules::rule_based_queries(&table)
                 }),
                 Stage::Execute => time_stage(&obs, stage, args.warmup, args.reps, |parent| {
-                    build_nodes_parallel_observed(
+                    build_nodes_parallel_costed(
                         &table,
                         queries.clone(),
                         &udfs,
                         true,
                         &obs,
                         parent,
+                        &costs,
                     )
                 }),
                 Stage::Recognize => time_stage(&obs, stage, args.warmup, args.reps, |_| {
@@ -412,6 +469,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("harness: wrote flame SVG to {path}");
+    }
+    if let Some(path) = &args.cost_out {
+        if let Err(e) = write_cost_report(path, &costs, &obs) {
+            eprintln!("harness: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     println!("{}", obs.snapshot().stage_report());
     ExitCode::SUCCESS

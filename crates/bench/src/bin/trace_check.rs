@@ -23,11 +23,16 @@
 //!   strictly increasing sequence, monotone accounting, ordered
 //!   quantiles, bounded retention. A stream with zero ticks or any
 //!   recorded stall fails.
+//! - Executor cost reports (`--cost`, from `harness --cost-out` or the
+//!   CLI `--cost-out`): `deepeye-cost/v1` schema, the operator
+//!   taxonomy, and the exactness invariant — per-candidate costs sum
+//!   to the worker flush totals, the rollup groups, and the grand
+//!   totals, per operator.
 //!
 //! Usage: `trace_check [<trace.json> ...] [--metrics <metrics.json>]...
 //! [--provenance <prov.json>]... [--lint-report <report.json>]...
 //! [--bench <bench.json>]... [--budgets <bench.json>]...
-//! [--telemetry <ticks.jsonl>]...`
+//! [--telemetry <ticks.jsonl>]... [--cost <cost.json>]...`
 //!
 //! Exits nonzero (via `ExitCode`, so the workspace `clippy::exit` lint
 //! stays intact) if any file fails validation — CI runs this against the
@@ -36,7 +41,9 @@
 use deepeye_analyze::validate_lint_report;
 use deepeye_bench::perf::{check_budgets, validate_bench_json};
 use deepeye_core::validate_provenance_json;
-use deepeye_obs::{validate_chrome_trace, validate_metrics_json, validate_telemetry_jsonl};
+use deepeye_obs::{
+    validate_chrome_trace, validate_cost_json, validate_metrics_json, validate_telemetry_jsonl,
+};
 use std::process::ExitCode;
 
 enum Kind {
@@ -47,6 +54,7 @@ enum Kind {
     Bench,
     Budgets,
     Telemetry,
+    Cost,
 }
 
 fn main() -> ExitCode {
@@ -76,6 +84,10 @@ fn main() -> ExitCode {
             },
             "--telemetry" => match args.next() {
                 Some(path) => jobs.push((Kind::Telemetry, path)),
+                None => return usage(),
+            },
+            "--cost" => match args.next() {
+                Some(path) => jobs.push((Kind::Cost, path)),
                 None => return usage(),
             },
             _ => jobs.push((Kind::Trace, arg)),
@@ -194,6 +206,23 @@ fn main() -> ExitCode {
                     failed = true;
                 }
             },
+            Kind::Cost => match validate_cost_json(&text) {
+                Ok(summary) => {
+                    println!(
+                        "{path}: ok — {} candidate(s), {} worker flush(es), {} group(s), \
+                         {} total op(s)",
+                        summary.candidates, summary.workers, summary.groups, summary.total_ops
+                    );
+                    if summary.candidates == 0 {
+                        eprintln!("{path}: no candidates recorded — was cost profiling enabled?");
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
             Kind::LintReport => match validate_lint_report(&text) {
                 Ok(summary) => {
                     println!(
@@ -231,7 +260,7 @@ fn usage() -> ExitCode {
         "usage: trace_check [<trace.json> ...] [--metrics <metrics.json>]... \
          [--provenance <prov.json>]... [--lint-report <report.json>]... \
          [--bench <bench.json>]... [--budgets <bench.json>]... \
-         [--telemetry <ticks.jsonl>]..."
+         [--telemetry <ticks.jsonl>]... [--cost <cost.json>]..."
     );
     ExitCode::FAILURE
 }

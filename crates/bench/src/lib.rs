@@ -23,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod efficiency;
 pub mod fmt;
 pub mod perf;

@@ -534,9 +534,12 @@ pub struct GateReport {
 }
 
 /// One comparable gate row: (scenario, stage, metric, median_ns, iqr_ns).
-type StageMedianRow = (String, String, String, u64, u64);
+pub(crate) type StageMedianRow = (String, String, String, u64, u64);
 
-fn stage_medians(text: &str, which: &str) -> Result<Vec<StageMedianRow>, String> {
+/// Parse a harness document's per-scenario stage rows — shared between
+/// the gate ([`perf_gate`]), the budget check, and the cross-run differ
+/// (`crate::diff`).
+pub(crate) fn stage_medians(text: &str, which: &str) -> Result<Vec<StageMedianRow>, String> {
     let summary = validate_bench_json(text).map_err(|e| format!("{which}: {e}"))?;
     if summary.experiment != "harness" {
         return Err(format!(
@@ -571,8 +574,31 @@ fn stage_medians(text: &str, which: &str) -> Result<Vec<StageMedianRow>, String>
 /// current run dropped a (scenario, stage) pair the baseline covers —
 /// silently losing coverage must not read as "no regression".
 pub fn perf_gate(baseline: &str, current: &str, cfg: &GateConfig) -> Result<GateReport, String> {
-    let base_rows = stage_medians(baseline, "baseline")?;
+    perf_gate_scoped(baseline, current, cfg, None)
+}
+
+/// [`perf_gate`] restricted to a scenario subset: when `scenarios` is
+/// given, only baseline rows for those scenarios are compared, so a
+/// smoke run (e.g. CI's `--smoke` matrix) can gate against a baseline
+/// regenerated from the full matrix without tripping the lost-coverage
+/// error. Requesting a scenario the baseline does not cover is an error
+/// — a typo must not read as "nothing to gate".
+pub fn perf_gate_scoped(
+    baseline: &str,
+    current: &str,
+    cfg: &GateConfig,
+    scenarios: Option<&[String]>,
+) -> Result<GateReport, String> {
+    let mut base_rows = stage_medians(baseline, "baseline")?;
     let cur_rows = stage_medians(current, "current")?;
+    if let Some(only) = scenarios {
+        for want in only {
+            if !base_rows.iter().any(|(s, ..)| s == want) {
+                return Err(format!("baseline has no scenario {want:?}"));
+            }
+        }
+        base_rows.retain(|(s, ..)| only.iter().any(|want| want == s));
+    }
     let mut report = GateReport {
         compared: 0,
         regressions: Vec::new(),

@@ -6,19 +6,29 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
+use deepeye_bench::diff::diff_runs;
 use deepeye_bench::perf::{
     check_budgets, perf_gate, record_stage_samples, results_json, validate_bench_json, GateConfig,
     RobustTiming, ScenarioRun, Stage, BUDGETS, SCHEMA_FIELDS,
 };
-use deepeye_core::{build_nodes_parallel_observed, ProgressiveSelector};
+use deepeye_core::{
+    build_nodes_parallel_costed, build_nodes_parallel_observed, ProgressiveSelector,
+};
 use deepeye_datagen::flight_table;
-use deepeye_obs::{Observer, Stopwatch};
+use deepeye_obs::{validate_cost_json, CostAcc, CostCollector, Observer, Op, Stopwatch};
 use deepeye_query::UdfRegistry;
 
 /// A scaled-down harness pass over one small table: every stage timed
 /// under its span for `reps` repetitions, samples recorded into the
 /// `bench.*` histograms, robust summaries into the document.
 fn mini_harness(obs: &Observer, reps: usize) -> String {
+    mini_harness_with(obs, reps, &CostCollector::disabled())
+}
+
+/// [`mini_harness`] with cost profiling: the execute stage runs through
+/// the costed parallel builder, so `costs` (when enabled) collects
+/// per-candidate operator counts and flushes the `cost.*` counters.
+fn mini_harness_with(obs: &Observer, reps: usize, costs: &CostCollector) -> String {
     let table = flight_table(7, 250);
     let udfs = UdfRegistry::default();
     let queries = deepeye_core::rules::rule_based_queries(&table);
@@ -34,13 +44,14 @@ fn mini_harness(obs: &Observer, reps: usize) -> String {
                     std::hint::black_box(deepeye_core::rules::rule_based_queries(&table));
                 }
                 Stage::Execute => {
-                    std::hint::black_box(build_nodes_parallel_observed(
+                    std::hint::black_box(build_nodes_parallel_costed(
                         &table,
                         queries.clone(),
                         &udfs,
                         true,
                         obs,
                         span.id(),
+                        costs,
                     ));
                 }
                 Stage::Recognize => {
@@ -213,6 +224,144 @@ fn schema_fields_match_design_doc() {
             doc.contains(&format!("\"{field}\"")),
             "generated document must carry schema field {field:?}"
         );
+    }
+}
+
+/// Double one stage's median in a harness document, keeping everything
+/// else byte-identical — the shape of a clean synthetic regression.
+fn double_stage_median(doc: &str, stage: &str) -> String {
+    let parsed = deepeye_obs::parse_json(doc).expect("valid");
+    let row = parsed
+        .get("scenarios")
+        .and_then(deepeye_obs::Json::as_array)
+        .unwrap()[0]
+        .get("stages")
+        .and_then(deepeye_obs::Json::as_array)
+        .unwrap()
+        .iter()
+        .find(|r| r.get("stage").and_then(deepeye_obs::Json::as_str) == Some(stage))
+        .unwrap_or_else(|| panic!("{stage} row"));
+    let median = row
+        .get("median_ns")
+        .and_then(deepeye_obs::Json::as_f64)
+        .unwrap() as u64;
+    let max = row
+        .get("max_ns")
+        .and_then(deepeye_obs::Json::as_f64)
+        .unwrap() as u64;
+    let slowed = (median * 2).max(median + 1_000_000_000);
+    let current = doc
+        .replacen(
+            &format!("\"median_ns\": {median}, \"iqr_ns\""),
+            &format!("\"median_ns\": {slowed}, \"iqr_ns\""),
+            1,
+        )
+        .replacen(
+            &format!("\"max_ns\": {max}"),
+            &format!("\"max_ns\": {}", slowed.max(max)),
+            1,
+        );
+    assert_ne!(doc, current, "substitution must hit");
+    current
+}
+
+#[test]
+fn costed_run_validates_and_matches_worker_counters() {
+    let obs = Observer::enabled();
+    let costs = CostCollector::enabled();
+    let _doc = mini_harness_with(&obs, 2, &costs);
+    let report = costs.report();
+    assert!(!report.candidates.is_empty(), "candidates collected");
+    let summary = validate_cost_json(&report.to_json()).expect("cost document validates");
+    assert!(summary.total_ops > 0);
+    assert_eq!(summary.candidates, report.candidates.len());
+    // The exactness invariant across surfaces: collector totals equal
+    // the `cost.*` counters the workers flushed under their
+    // `execute.worker` spans — no operation lost or double-counted.
+    let snapshot = obs.snapshot();
+    for op in Op::ALL {
+        assert_eq!(
+            report.totals.get(op),
+            snapshot.counter(op.metric()),
+            "collector total vs worker counter for {}",
+            op.metric()
+        );
+    }
+}
+
+#[test]
+fn perfdiff_attributes_synthetic_execute_slowdown() {
+    // Acceptance shape: a 2x execute slowdown plus an inflated
+    // group-probe count must make perfdiff name the execute stage and
+    // the probe bucket as the top attribution.
+    let costs = CostCollector::enabled();
+    let baseline = mini_harness_with(&Observer::enabled(), 2, &costs);
+    let base_report = costs.report();
+    assert!(!base_report.candidates.is_empty());
+    let current = double_stage_median(&baseline, "execute");
+
+    // A "current" cost document with 8x the group-hash probes, rebuilt
+    // through a collector so the exactness invariant still holds.
+    let cur_costs = CostCollector::enabled();
+    let inflated: Vec<deepeye_obs::CandidateCost> = base_report
+        .candidates
+        .iter()
+        .cloned()
+        .map(|mut c| {
+            c.costs
+                .add(Op::GroupProbes, c.costs.get(Op::GroupProbes) * 7 + 1);
+            c
+        })
+        .collect();
+    cur_costs.record_worker(inflated);
+    let base_cost_doc = base_report.to_json();
+    let cur_cost_doc = cur_costs.report().to_json();
+
+    let report = diff_runs(
+        &baseline,
+        &current,
+        None,
+        Some((&base_cost_doc, &cur_cost_doc)),
+        &GateConfig::default(),
+    )
+    .expect("diff runs");
+    let top = report.top_regression().expect("execute regressed");
+    assert_eq!(top.stage, "execute");
+    assert!(top.significant);
+    let headline = report.attribution().expect("causal headline");
+    assert!(headline.starts_with("execute regressed"), "{headline}");
+    assert!(
+        headline.contains("attributed to group_probes on"),
+        "{headline}"
+    );
+    let bucket = &report.buckets[0];
+    assert_eq!(bucket.op, "group_probes", "inflated bucket ranks first");
+    assert!(bucket.delta > 0);
+    // Growth spreads across rollup groups, but every growing bucket is
+    // a probe bucket — probes own all of the attributed growth (shares
+    // are per-bucket integer percentages, so their sum truncates low).
+    assert!(
+        report
+            .buckets
+            .iter()
+            .filter(|b| b.delta > 0)
+            .all(|b| b.op == "group_probes"),
+        "only probe buckets grew"
+    );
+    let probe_share: u64 = report
+        .buckets
+        .iter()
+        .filter(|b| b.op == "group_probes")
+        .map(|b| b.share_pct)
+        .sum();
+    assert!(
+        probe_share >= 80,
+        "probes dominate the growth: {probe_share}%"
+    );
+    // The GitHub rendering survives the workflow-command quoting rules.
+    for notice in report.github_notices(3) {
+        assert!(notice.starts_with("::notice title=perfdiff"), "{notice}");
+        assert!(!notice.contains('\n'), "{notice}");
     }
 }
 

@@ -11,7 +11,7 @@ use crate::ranking::{rank_by_partial_order_observed, HybridRanker, LtrRanker};
 use crate::recognition::Recognizer;
 use crate::rules;
 use deepeye_data::Table;
-use deepeye_obs::{Observer, RecorderConfig};
+use deepeye_obs::{CostCollector, Observer, RecorderConfig};
 use deepeye_query::{queries_with_verdict, valid_queries_observed, UdfRegistry, VisQuery};
 
 /// How candidate visualizations are enumerated (the `E`/`R` split of the
@@ -63,6 +63,13 @@ pub struct DeepEyeConfig {
     ///
     /// [`Explanation`]: crate::provenance::Explanation
     pub provenance: Provenance,
+    /// Executor cost-profiling hook: per-candidate operator work counts
+    /// (rows scanned, group-hash probes, …) rolled up by chart type ×
+    /// transform × column-pair signature. Defaults to
+    /// [`CostCollector::disabled`] — the executor then runs the
+    /// uninstrumented code path — pass [`CostCollector::enabled`] to
+    /// collect and export a `deepeye-cost/v1` document.
+    pub costs: CostCollector,
 }
 
 impl Default for DeepEyeConfig {
@@ -74,6 +81,7 @@ impl Default for DeepEyeConfig {
             parallel: true,
             observer: Observer::disabled(),
             provenance: Provenance::disabled(),
+            costs: CostCollector::disabled(),
         }
     }
 }
@@ -341,12 +349,24 @@ impl DeepEye {
             let execute = obs.span("pipeline.execute");
             let parent = execute.id();
             if self.config.parallel {
-                crate::parallel::build_nodes_parallel_observed(
-                    table, queries, &self.udfs, false, obs, parent,
+                crate::parallel::build_nodes_parallel_costed(
+                    table,
+                    queries,
+                    &self.udfs,
+                    false,
+                    obs,
+                    parent,
+                    &self.config.costs,
                 )
             } else {
-                crate::parallel::build_nodes_serial_observed(
-                    table, queries, &self.udfs, false, obs, parent,
+                crate::parallel::build_nodes_serial_costed(
+                    table,
+                    queries,
+                    &self.udfs,
+                    false,
+                    obs,
+                    parent,
+                    &self.config.costs,
                 )
             }
         };

@@ -68,7 +68,8 @@ pub use multi_select::{
 };
 pub use node::VisNode;
 pub use parallel::{
-    build_nodes_parallel, build_nodes_parallel_observed, build_nodes_serial_observed,
+    build_nodes_parallel, build_nodes_parallel_costed, build_nodes_parallel_observed,
+    build_nodes_serial_costed, build_nodes_serial_observed,
 };
 pub use partial_order::{compute_factor_breakdowns, compute_factors, FactorBreakdown, Factors};
 pub use progressive::{

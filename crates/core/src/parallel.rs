@@ -5,9 +5,9 @@
 //! independent table scans).
 
 use crate::node::VisNode;
-use deepeye_data::Table;
-use deepeye_obs::{Observer, SpanId, Stopwatch};
-use deepeye_query::{UdfRegistry, VisQuery};
+use deepeye_data::{DataType, Table};
+use deepeye_obs::{CandidateCost, CostCollector, Observer, Op, OpCosts, SpanId, Stopwatch};
+use deepeye_query::{Transform, UdfRegistry, VisQuery};
 use std::num::NonZeroUsize;
 
 /// Number of worker threads to use: the available parallelism, capped by
@@ -76,6 +76,86 @@ pub fn build_nodes_parallel_observed(
             if seen.insert(node.id()) {
                 nodes.push(node);
             }
+        }
+    }
+    nodes
+}
+
+/// [`build_nodes_parallel_observed`] with cost profiling: each worker
+/// additionally accumulates per-candidate executor operator counts
+/// ([`OpCosts`]) and flushes them into `costs` once per chunk — inside
+/// its `execute.worker` span, so the registry's `cost.*` counters equal
+/// the worker stage totals by construction. Delegates to the observed
+/// path when the collector is disabled (no cost overhead).
+pub fn build_nodes_parallel_costed(
+    table: &Table,
+    queries: Vec<VisQuery>,
+    udfs: &UdfRegistry,
+    slim: bool,
+    obs: &Observer,
+    parent: Option<SpanId>,
+    costs: &CostCollector,
+) -> Vec<VisNode> {
+    if !costs.is_enabled() {
+        return build_nodes_parallel_observed(table, queries, udfs, slim, obs, parent);
+    }
+    let workers = worker_count(queries.len());
+    if workers <= 1 || queries.len() < 32 {
+        return build_nodes_serial_costed(table, queries, udfs, slim, obs, parent, costs);
+    }
+    let chunk = queries.len().div_ceil(workers);
+    let chunks: Vec<&[VisQuery]> = queries.chunks(chunk).collect();
+    let mut per_chunk: Vec<Vec<VisNode>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let obs = obs.clone();
+                let costs = costs.clone();
+                scope.spawn(move || {
+                    let _worker = obs.span_under("execute.worker", parent);
+                    build_chunk_costed(table, chunk, udfs, slim, &obs, &costs)
+                })
+            })
+            .collect();
+        for h in handles {
+            per_chunk.push(h.join().unwrap_or_default());
+        }
+    });
+    let mut seen = std::collections::HashSet::new();
+    let mut nodes = Vec::new();
+    for chunk in per_chunk {
+        for node in chunk {
+            if seen.insert(node.id()) {
+                nodes.push(node);
+            }
+        }
+    }
+    nodes
+}
+
+/// Serial counterpart of [`build_nodes_parallel_costed`] (one
+/// `execute.worker` span, one cost flush).
+#[allow(clippy::too_many_arguments)]
+pub fn build_nodes_serial_costed(
+    table: &Table,
+    queries: Vec<VisQuery>,
+    udfs: &UdfRegistry,
+    slim: bool,
+    obs: &Observer,
+    parent: Option<SpanId>,
+    costs: &CostCollector,
+) -> Vec<VisNode> {
+    if !costs.is_enabled() {
+        return build_nodes_serial_observed(table, queries, udfs, slim, obs, parent);
+    }
+    let _worker = obs.span_under("execute.worker", parent);
+    let built = build_chunk_costed(table, &queries, udfs, slim, obs, costs);
+    let mut seen = std::collections::HashSet::new();
+    let mut nodes = Vec::new();
+    for node in built {
+        if seen.insert(node.id()) {
+            nodes.push(node);
         }
     }
     nodes
@@ -153,6 +233,110 @@ fn build_chunk(
     out
 }
 
+/// Build one chunk with cost profiling: per-query operator counts are
+/// buffered locally as [`CandidateCost`] records (no locking inside the
+/// loop) and flushed to the collector once per chunk. Observability
+/// recordings mirror [`build_chunk`]; the chunk's cost totals are
+/// additionally flushed into the registry's `cost.*` counters while the
+/// caller's `execute.worker` span is open.
+fn build_chunk_costed(
+    table: &Table,
+    chunk: &[VisQuery],
+    udfs: &UdfRegistry,
+    slim: bool,
+    obs: &Observer,
+    costs: &CostCollector,
+) -> Vec<VisNode> {
+    let mut out = Vec::with_capacity(chunk.len());
+    let mut cands = Vec::with_capacity(chunk.len());
+    let obs_on = obs.is_enabled();
+    let mut latencies = Vec::with_capacity(if obs_on { chunk.len() } else { 0 });
+    let (mut ok, mut err) = (0u64, 0u64);
+    let mut bytes = 0u64;
+    let mut worker_total = OpCosts::default();
+    for q in chunk {
+        let start = Stopwatch::start();
+        let (built, query_costs) = VisNode::build_costed(table, q.clone(), udfs);
+        if obs_on {
+            latencies.push(start.elapsed_ns());
+        }
+        worker_total.merge(&query_costs);
+        cands.push(CandidateCost {
+            id: crate::provenance::query_id(q),
+            chart: q.chart.name().to_owned(),
+            transform: transform_label(&q.transform).to_owned(),
+            signature: pair_signature(table, q),
+            builds: 1,
+            costs: query_costs,
+        });
+        match built {
+            Ok(mut node) => {
+                if slim {
+                    node.slim();
+                }
+                ok += 1;
+                bytes += node.approx_heap_bytes();
+                out.push(node);
+            }
+            Err(_) => err += 1,
+        }
+    }
+    if obs_on {
+        obs.record_many_ns("exec.query_ns", &latencies);
+        obs.incr("exec.ok", ok);
+        obs.incr("exec.err", err);
+        obs.alloc_many(ok, bytes);
+        flush_cost_counters(obs, &worker_total);
+    }
+    costs.record_worker(cands);
+    out
+}
+
+/// Flush one worker chunk's operator totals into the metric registry's
+/// `cost.*` counters — called inside the worker's `execute.worker` span,
+/// which is what makes the snapshot counters equal the worker stage
+/// totals (the cost document's exactness invariant).
+fn flush_cost_counters(obs: &Observer, total: &OpCosts) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.incr("cost.rows_scanned", total.get(Op::RowsScanned));
+    obs.incr("cost.bin_computations", total.get(Op::BinComputations));
+    obs.incr("cost.group_probes", total.get(Op::GroupProbes));
+    obs.incr("cost.group_inserts", total.get(Op::GroupInserts));
+    obs.incr("cost.agg_updates", total.get(Op::AggUpdates));
+    obs.incr("cost.sort_comparisons", total.get(Op::SortComparisons));
+    obs.incr("cost.output_rows", total.get(Op::OutputRows));
+}
+
+/// The transform bucket a candidate rolls up under.
+fn transform_label(t: &Transform) -> &'static str {
+    match t {
+        Transform::None => "none",
+        Transform::Group => "group",
+        Transform::Bin(_) => "bin",
+    }
+}
+
+/// The column-pair type signature a candidate rolls up under, e.g.
+/// `categorical*numerical`; one-column queries use the single type name.
+fn pair_signature(table: &Table, q: &VisQuery) -> String {
+    let type_of = |name: &str| {
+        table
+            .column_by_name(name)
+            .map(|c| match c.data_type() {
+                DataType::Categorical => "categorical",
+                DataType::Numerical => "numerical",
+                DataType::Temporal => "temporal",
+            })
+            .unwrap_or("unknown")
+    };
+    match &q.y {
+        Some(y) => format!("{}*{}", type_of(&q.x), type_of(y)),
+        None => type_of(&q.x).to_owned(),
+    }
+}
+
 #[cfg(test)]
 fn build_serial(
     table: &Table,
@@ -222,5 +406,85 @@ mod tests {
         let t = table();
         let udfs = UdfRegistry::default();
         assert!(build_nodes_parallel(&t, Vec::new(), &udfs, false).is_empty());
+    }
+
+    #[test]
+    fn costed_equals_plain_and_flushes_counters() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let queries = rule_based_queries(&t);
+        let plain = build_nodes_parallel(&t, queries.clone(), &udfs, false);
+        let obs = Observer::enabled();
+        let costs = CostCollector::enabled();
+        let nodes = build_nodes_parallel_costed(&t, queries, &udfs, false, &obs, None, &costs);
+        assert_eq!(plain.len(), nodes.len());
+        for (a, b) in plain.iter().zip(&nodes) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.data.series, b.data.series);
+        }
+        let report = costs.report();
+        assert_eq!(report.candidates.len(), nodes.len());
+        assert!(!report.totals.is_zero());
+        // Exactness invariant: the registry's cost.* counters (flushed
+        // inside the execute.worker spans) equal the collector totals.
+        let snap = obs.snapshot();
+        for op in Op::ALL {
+            assert_eq!(
+                snap.counter(op.metric()),
+                report.totals.get(op),
+                "counter {} must equal the collector total",
+                op.metric()
+            );
+        }
+        // The document round-trips through its validator.
+        deepeye_obs::validate_cost_json(&report.to_json()).unwrap();
+        // Rollup dimensions are populated with real labels.
+        assert!(report
+            .groups
+            .iter()
+            .any(|g| g.signature.contains("categorical") || g.signature.contains("numerical")));
+    }
+
+    #[test]
+    fn repeated_runs_merge_builds_not_candidates() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let queries: Vec<VisQuery> = rule_based_queries(&t).into_iter().take(8).collect();
+        let costs = CostCollector::enabled();
+        for _ in 0..3 {
+            build_nodes_serial_costed(
+                &t,
+                queries.clone(),
+                &udfs,
+                false,
+                &Observer::disabled(),
+                None,
+                &costs,
+            );
+        }
+        let report = costs.report();
+        assert_eq!(report.candidates.len(), 8);
+        assert_eq!(report.workers.len(), 3);
+        assert!(report.candidates.iter().all(|c| c.builds == 3));
+        deepeye_obs::validate_cost_json(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn disabled_collector_delegates_to_observed_path() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let queries = rule_based_queries(&t);
+        let costs = CostCollector::disabled();
+        let nodes = build_nodes_parallel_costed(
+            &t,
+            queries,
+            &udfs,
+            false,
+            &Observer::disabled(),
+            None,
+            &costs,
+        );
+        assert!(!nodes.is_empty());
+        assert!(costs.report().candidates.is_empty());
     }
 }

@@ -49,6 +49,7 @@
 
 pub mod alloc;
 pub mod clock;
+pub mod cost;
 pub mod flame;
 pub mod hist;
 pub mod json;
@@ -62,6 +63,11 @@ pub mod watchdog;
 
 pub use alloc::{fmt_bytes, AllocStats};
 pub use clock::Stopwatch;
+pub use cost::{
+    validate_cost_json, CandidateCost, CostAcc, CostCollector, CostReport, CostSummary, GroupCost,
+    NoCost, Op, OpCosts, COST_FIELDS, COST_SCHEMA,
+};
+
 pub use flame::{flame_svg, folded_stacks, spans_from_chrome_trace, FlameSpan};
 pub use hist::{HistSummary, Histogram};
 pub use json::{parse_json, Json, JsonError};

@@ -23,10 +23,24 @@
 //! `A0005` (which scans the product crates) exempts the `obs.*` /
 //! `telemetry.*` prefixes; rule `A0013` owns them instead, keeping the
 //! registry, the recorder sources, and DESIGN.md §10 in sync.
+//!
+//! The executor cost counters (`cost.*`) are flushed by
+//! `deepeye_core::parallel::flush_cost_counters`, one per operator in the
+//! [`cost`](crate::cost) taxonomy. Rule `A0005` sees those literal call
+//! sites like any other product metric; rule `A0014` additionally keeps
+//! the operator names aligned across this registry, the `exec.rs` /
+//! `batch.rs` instrumentation sites, and DESIGN.md §12.
 
 /// Every counter name ([`Observer::incr`](crate::Observer::incr)) the
 /// pipeline records, sorted.
 pub const COUNTERS: &[&str] = &[
+    "cost.agg_updates",
+    "cost.bin_computations",
+    "cost.group_inserts",
+    "cost.group_probes",
+    "cost.output_rows",
+    "cost.rows_scanned",
+    "cost.sort_comparisons",
     "enumerate.candidates",
     "enumerate.raw",
     "exec.err",

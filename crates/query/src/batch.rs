@@ -13,8 +13,9 @@
 use crate::ast::{Aggregate, SortOrder, Transform, VisQuery};
 use crate::bins::{bin_keys, group_keys, Bucketizer, Key, UdfRegistry};
 use crate::chart::{ChartData, Series};
-use crate::exec::{execute_with, QueryError};
+use crate::exec::{execute_impl, QueryError};
 use deepeye_data::{ColumnData, Table};
+use deepeye_obs::{CostAcc, NoCost, Op, OpCosts};
 use std::collections::HashMap;
 
 /// Execute many queries with shared scans. `results[i]` corresponds to
@@ -23,6 +24,59 @@ pub fn execute_batch(
     table: &Table,
     queries: &[VisQuery],
     udfs: &UdfRegistry,
+) -> Vec<Result<ChartData, QueryError>> {
+    // NoCost is zero-sized: the per-query vector allocates nothing and
+    // every counter monomorphizes away.
+    let mut per_query = vec![NoCost; queries.len()];
+    execute_batch_impl(table, queries, udfs, &mut NoCost, &mut per_query)
+}
+
+/// The executor cost breakdown of one batch: work that ran once per
+/// shared scan versus work attributable to a single query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchCosts {
+    /// Scan-phase work (rows scanned, bin computations, group-hash
+    /// probes/inserts, aggregate updates) performed once per
+    /// `(x, transform)` group and amortized over its queries.
+    pub shared: OpCosts,
+    /// Per-query work, aligned with the input: materialization (output
+    /// rows, sort comparisons) for shareable queries, the full operator
+    /// vector for queries that fell back to the scalar executor.
+    pub per_query: Vec<OpCosts>,
+}
+
+impl BatchCosts {
+    /// Shared plus per-query work — comparable against the sum of
+    /// [`crate::execute_costed`] totals to measure shared-scan savings.
+    pub fn total(&self) -> OpCosts {
+        let mut out = self.shared;
+        for q in &self.per_query {
+            out.merge(q);
+        }
+        out
+    }
+}
+
+/// [`execute_batch`], also returning the per-operator cost breakdown.
+pub fn execute_batch_costed(
+    table: &Table,
+    queries: &[VisQuery],
+    udfs: &UdfRegistry,
+) -> (Vec<Result<ChartData, QueryError>>, BatchCosts) {
+    let mut shared = OpCosts::default();
+    let mut per_query = vec![OpCosts::default(); queries.len()];
+    let results = execute_batch_impl(table, queries, udfs, &mut shared, &mut per_query);
+    (results, BatchCosts { shared, per_query })
+}
+
+/// The batch body, generic over the cost accumulator. `per_query` is
+/// aligned with `queries`.
+fn execute_batch_impl<C: CostAcc>(
+    table: &Table,
+    queries: &[VisQuery],
+    udfs: &UdfRegistry,
+    shared: &mut C,
+    per_query: &mut [C],
 ) -> Vec<Result<ChartData, QueryError>> {
     let mut results: Vec<Option<Result<ChartData, QueryError>>> = vec![None; queries.len()];
 
@@ -37,12 +91,12 @@ pub fn execute_batch(
                 .or_default()
                 .push(i);
         } else {
-            results[i] = Some(execute_with(table, q, udfs));
+            results[i] = Some(execute_impl(table, q, udfs, &mut per_query[i]));
         }
     }
 
     for ((x_name, _), indices) in groups {
-        let outcome = scan_group(table, &x_name, queries, &indices, udfs);
+        let outcome = scan_group(table, &x_name, queries, &indices, udfs, shared, per_query);
         match outcome {
             Ok(mut produced) => {
                 for i in indices {
@@ -77,13 +131,18 @@ pub fn execute_batch(
 }
 
 /// One shared scan for a set of same-(x, transform) query indices.
-#[allow(clippy::type_complexity)]
-fn scan_group(
+/// Scan-phase work is charged to `shared` (it runs once regardless of
+/// how many queries ride the scan); materialization work is charged to
+/// each query's own accumulator in `per_query`.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn scan_group<C: CostAcc>(
     table: &Table,
     x_name: &str,
     queries: &[VisQuery],
     indices: &[usize],
     udfs: &UdfRegistry,
+    shared: &mut C,
+    per_query: &mut [C],
 ) -> Result<HashMap<usize, Result<ChartData, QueryError>>, QueryError> {
     let x_col = table
         .column_by_name(x_name)
@@ -91,9 +150,14 @@ fn scan_group(
     let transform = &queries[indices[0]].transform;
     let keys = match transform {
         Transform::Group => group_keys(x_col),
-        Transform::Bin(strategy) => bin_keys(x_col, strategy, udfs)?,
+        Transform::Bin(strategy) => {
+            let keys = bin_keys(x_col, strategy, udfs)?;
+            shared.add(Op::BinComputations, keys.len() as u64);
+            keys
+        }
         Transform::None => unreachable!("caller filters raw queries"),
     };
+    shared.add(Op::RowsScanned, keys.len() as u64);
 
     // The numeric y-columns any query needs SUM/AVG over.
     let mut y_names: Vec<&str> = Vec::new();
@@ -122,8 +186,10 @@ fn scan_group(
     let mut y_counts: Vec<Vec<u64>> = vec![Vec::new(); y_names.len()];
     for (row, key) in keys.into_iter().enumerate() {
         let Some(key) = key else { continue };
+        shared.add(Op::GroupProbes, 1);
         let idx = buckets.index_of(key);
         if idx == counts.len() {
+            shared.add(Op::GroupInserts, 1);
             counts.push(0);
             for s in &mut sums {
                 s.push(0.0);
@@ -132,9 +198,11 @@ fn scan_group(
                 c.push(0);
             }
         }
+        shared.add(Op::AggUpdates, 1);
         counts[idx] += 1;
         for (yi, vals) in y_values.iter().enumerate() {
             if let Some(Some(v)) = vals.map(|v| v[row]) {
+                shared.add(Op::AggUpdates, 1);
                 sums[yi][idx] += v;
                 y_counts[yi][idx] += 1;
             }
@@ -157,6 +225,7 @@ fn scan_group(
             &y_counts,
             &y_names,
             &y_numeric,
+            &mut per_query[i],
         );
         out.insert(i, result);
     }
@@ -164,7 +233,7 @@ fn scan_group(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn materialize(
+fn materialize<C: CostAcc>(
     q: &VisQuery,
     keys: &[Key],
     counts: &[u64],
@@ -172,6 +241,7 @@ fn materialize(
     y_counts: &[Vec<u64>],
     y_names: &[&str],
     y_numeric: &[bool],
+    cost: &mut C,
 ) -> Result<ChartData, QueryError> {
     let (pairs, y_label): (Vec<(Key, f64)>, String) = match (&q.y, q.aggregate) {
         (None, Aggregate::Cnt) => (
@@ -225,12 +295,21 @@ fn materialize(
     };
     let mut series = Series::Keyed(pairs);
     if let Series::Keyed(pairs) = &mut series {
+        let mut cmps = 0u64;
         match q.order {
             SortOrder::None => {}
-            SortOrder::ByX => pairs.sort_by(|a, b| a.0.total_cmp(&b.0)),
-            SortOrder::ByY => pairs.sort_by(|a, b| b.1.total_cmp(&a.1)),
+            SortOrder::ByX => pairs.sort_by(|a, b| {
+                cmps += 1;
+                a.0.total_cmp(&b.0)
+            }),
+            SortOrder::ByY => pairs.sort_by(|a, b| {
+                cmps += 1;
+                b.1.total_cmp(&a.1)
+            }),
         }
+        cost.add(Op::SortComparisons, cmps);
     }
+    cost.add(Op::OutputRows, series.len() as u64);
     Ok(ChartData {
         chart: q.chart,
         x_label: q.x.clone(),
@@ -243,6 +322,7 @@ fn materialize(
 mod tests {
     use super::*;
     use crate::ast::{BinStrategy, ChartType};
+    use crate::exec::{execute_costed, execute_with};
     use deepeye_data::{parse_timestamp, Column, TableBuilder};
 
     fn table() -> Table {
@@ -371,5 +451,98 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(execute_batch(&table(), &[], &UdfRegistry::default()).is_empty());
+        let (results, costs) = execute_batch_costed(&table(), &[], &UdfRegistry::default());
+        assert!(results.is_empty());
+        assert!(costs.total().is_zero());
+    }
+
+    #[test]
+    fn costed_batch_matches_plain_batch() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let qs = queries();
+        let plain = execute_batch(&t, &qs, &udfs);
+        let (costed, costs) = execute_batch_costed(&t, &qs, &udfs);
+        assert_eq!(costs.per_query.len(), qs.len());
+        for (i, (a, b)) in plain.iter().zip(&costed).enumerate() {
+            match (a, b) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "mismatch for {:?}", qs[i]),
+                (Err(_), Err(_)) => {}
+                other => panic!("outcome mismatch for {:?}: {other:?}", qs[i]),
+            }
+        }
+        assert!(!costs.total().is_zero());
+    }
+
+    #[test]
+    fn shared_scan_saves_work_versus_scalar() {
+        // Three aggregates over the same (x, transform) share one scan:
+        // the batch's total work must be strictly below three scalar
+        // executions, and scan-phase operators must sit in `shared`.
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let base = VisQuery {
+            chart: ChartType::Bar,
+            x: "cat".into(),
+            y: Some("w".into()),
+            transform: Transform::Group,
+            aggregate: Aggregate::Sum,
+            order: SortOrder::ByX,
+        };
+        let qs = vec![
+            base.clone(),
+            VisQuery {
+                aggregate: Aggregate::Avg,
+                ..base.clone()
+            },
+            VisQuery {
+                aggregate: Aggregate::Cnt,
+                ..base.clone()
+            },
+        ];
+        let (results, costs) = execute_batch_costed(&t, &qs, &udfs);
+        assert!(results.iter().all(Result::is_ok));
+        let mut scalar_total = OpCosts::default();
+        for q in &qs {
+            let (out, c) = execute_costed(&t, q, &udfs);
+            assert!(out.is_ok());
+            scalar_total.merge(&c);
+        }
+        let batch_total = costs.total();
+        // One scan instead of three.
+        assert_eq!(batch_total.get(Op::RowsScanned), 60);
+        assert_eq!(scalar_total.get(Op::RowsScanned), 180);
+        assert!(batch_total.get(Op::GroupProbes) < scalar_total.get(Op::GroupProbes));
+        assert!(batch_total.total() < scalar_total.total());
+        // Scan work is shared; materialization is per-query.
+        assert_eq!(costs.shared.get(Op::RowsScanned), 60);
+        for per in &costs.per_query {
+            assert_eq!(per.get(Op::RowsScanned), 0);
+            assert_eq!(per.get(Op::OutputRows), 3); // a, b, c
+        }
+        // Output cardinality matches the materialized charts exactly.
+        for (r, per) in results.iter().zip(&costs.per_query) {
+            let chart = r.as_ref().unwrap();
+            assert_eq!(per.get(Op::OutputRows), chart.series.len() as u64);
+        }
+    }
+
+    #[test]
+    fn raw_fallback_costs_land_on_the_query() {
+        let t = table();
+        let udfs = UdfRegistry::default();
+        let raw = VisQuery {
+            chart: ChartType::Scatter,
+            x: "v".into(),
+            y: Some("w".into()),
+            transform: Transform::None,
+            aggregate: Aggregate::Raw,
+            order: SortOrder::None,
+        };
+        let (results, costs) = execute_batch_costed(&t, std::slice::from_ref(&raw), &udfs);
+        assert!(results[0].is_ok());
+        assert!(costs.shared.is_zero());
+        let (_, scalar) = execute_costed(&t, &raw, &udfs);
+        assert_eq!(costs.per_query[0], scalar);
     }
 }

@@ -38,7 +38,8 @@ fn usage() -> ExitCode {
          options:\n  --metrics-out <file>     write a JSON metrics snapshot\n  \
          --trace-out <file>       write a Chrome trace (Perfetto-loadable)\n  \
          --flame-out <file>       write a flame view (.svg) or folded stacks\n  \
-         --provenance-out <file>  write the decision-provenance JSON"
+         --provenance-out <file>  write the decision-provenance JSON\n  \
+         --cost-out <file>        write the executor cost report (deepeye-cost/v1)"
     );
     ExitCode::from(2)
 }
@@ -70,6 +71,7 @@ struct ObsFlags {
     trace_out: Option<String>,
     flame_out: Option<String>,
     provenance_out: Option<String>,
+    cost_out: Option<String>,
 }
 
 impl ObsFlags {
@@ -82,6 +84,7 @@ impl ObsFlags {
             trace_out: strip_flag(args, "--trace-out")?,
             flame_out: strip_flag(args, "--flame-out")?,
             provenance_out: strip_flag(args, "--provenance-out")?,
+            cost_out: strip_flag(args, "--cost-out")?,
         })
     }
 
@@ -110,14 +113,39 @@ impl ObsFlags {
         }
     }
 
+    /// An executor cost collector matching the flags: recording when a
+    /// cost export was requested, the no-op handle (uninstrumented
+    /// executor) otherwise.
+    fn costs(&self) -> CostCollector {
+        if self.cost_out.is_some() {
+            CostCollector::enabled()
+        } else {
+            CostCollector::disabled()
+        }
+    }
+
     /// Write the requested exports and print the stage report to stderr.
-    fn finish(&self, obs: &Observer, prov: &Provenance) -> Result<(), ExitCode> {
+    fn finish(
+        &self,
+        obs: &Observer,
+        prov: &Provenance,
+        costs: &CostCollector,
+    ) -> Result<(), ExitCode> {
         if let Some(path) = &self.provenance_out {
             std::fs::write(path, prov.to_json()).map_err(|e| {
                 eprintln!("error: cannot write {path}: {e}");
                 ExitCode::FAILURE
             })?;
             eprintln!("wrote decision provenance to {path}");
+        }
+        if let Some(path) = &self.cost_out {
+            let report = costs.report();
+            std::fs::write(path, report.to_json()).map_err(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                ExitCode::FAILURE
+            })?;
+            eprintln!("wrote executor cost report to {path}");
+            eprint!("{}", report.cost_table());
         }
         if !self.wanted() {
             return Ok(());
@@ -166,9 +194,11 @@ fn main() -> ExitCode {
         return usage();
     };
     let prov = flags.provenance(command == "explain");
+    let costs = flags.costs();
     let eye = DeepEye::new(DeepEyeConfig {
         observer: obs.clone(),
         provenance: prov.clone(),
+        costs: costs.clone(),
         ..Default::default()
     });
     match command.as_str() {
@@ -196,7 +226,7 @@ fn main() -> ExitCode {
                     rec.node.data.ascii_sketch(10)
                 );
             }
-            if let Err(code) = flags.finish(&obs, &prov) {
+            if let Err(code) = flags.finish(&obs, &prov, &costs) {
                 return code;
             }
             ExitCode::SUCCESS
@@ -213,7 +243,7 @@ fn main() -> ExitCode {
             for rec in keyword_search(&eye, &table, keywords, k) {
                 println!("#{}\n{}", rec.rank, rec.node.data.ascii_sketch(10));
             }
-            if let Err(code) = flags.finish(&obs, &prov) {
+            if let Err(code) = flags.finish(&obs, &prov, &costs) {
                 return code;
             }
             ExitCode::SUCCESS
@@ -298,7 +328,7 @@ fn main() -> ExitCode {
                 }
                 None => print!("{}", log.report(top)),
             }
-            if let Err(code) = flags.finish(&obs, &prov) {
+            if let Err(code) = flags.finish(&obs, &prov, &costs) {
                 return code;
             }
             ExitCode::SUCCESS
@@ -325,7 +355,7 @@ fn main() -> ExitCode {
                 }
                 println!("wrote {file}");
             }
-            if let Err(code) = flags.finish(&obs, &prov) {
+            if let Err(code) = flags.finish(&obs, &prov, &costs) {
                 return code;
             }
             ExitCode::SUCCESS
@@ -360,7 +390,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote {out} (fully offline, inline SVG)");
-            if let Err(code) = flags.finish(&obs, &prov) {
+            if let Err(code) = flags.finish(&obs, &prov, &costs) {
                 return code;
             }
             ExitCode::SUCCESS
