@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! analyze --workspace [--root DIR] [--baseline FILE] [--json FILE] [--github]
+//!                     [--rules A0001,A0002] [--effects]
+//! analyze --list-rules
 //! analyze --models
 //! ```
 //!
@@ -11,11 +13,18 @@
 //! annotates the offending lines in the diff view; witness chains ride
 //! along `%0A`-encoded in the message.
 //!
+//! `--rules` is an include filter: only the named rules run (unknown
+//! codes are a usage error). `--effects` prints the per-function
+//! zero-cost effect summary the v3 report exports — one line per
+//! theorem-scoped function with its any-path and disabled-world effect
+//! sets. `--list-rules` prints the rule catalog and exits.
+//!
 //! Exit status: 0 when clean, 1 on violations / stale baseline entries /
 //! model-checker findings, 2 on usage or I/O errors.
 
 use deepeye_analyze::model::demo;
 use deepeye_analyze::{lint_report_json, Baseline, Workspace};
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -26,12 +35,28 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
     let mut github = false;
+    let mut effects = false;
+    let mut only: Option<BTreeSet<String>> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => mode = Some("workspace"),
             "--models" => mode = Some("models"),
+            "--list-rules" => mode = Some("list-rules"),
             "--github" => github = true,
+            "--effects" => effects = true,
+            "--rules" => match it.next() {
+                Some(v) => {
+                    let set: BTreeSet<String> = v.split(',').map(|c| c.trim().to_owned()).collect();
+                    for code in &set {
+                        if !deepeye_analyze::rules::RULES.iter().any(|r| r.code == code) {
+                            return usage(&format!("unknown rule code {code:?}"));
+                        }
+                    }
+                    only = Some(set);
+                }
+                None => return usage("--rules needs a comma-separated list of codes"),
+            },
             "--root" => match it.next() {
                 Some(v) => root = Some(PathBuf::from(v)),
                 None => return usage("--root needs a value"),
@@ -48,17 +73,29 @@ fn main() -> ExitCode {
         }
     }
     match mode {
-        Some("workspace") => run_lint(root, baseline_path, json_out, github),
+        Some("workspace") => run_lint(root, baseline_path, json_out, github, effects, only),
         Some("models") => run_models(),
-        _ => usage("pass --workspace or --models"),
+        Some("list-rules") => run_list_rules(),
+        _ => usage("pass --workspace, --models, or --list-rules"),
     }
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("analyze: {err}");
     eprintln!("usage: analyze --workspace [--root DIR] [--baseline FILE] [--json FILE] [--github]");
+    eprintln!("                           [--rules A0001,A0002] [--effects]");
+    eprintln!("       analyze --list-rules");
     eprintln!("       analyze --models");
     ExitCode::from(2)
+}
+
+/// `--list-rules`: the catalog, one row per rule.
+fn run_list_rules() -> ExitCode {
+    for r in deepeye_analyze::rules::RULES {
+        let kind = if r.interprocedural { "y" } else { "n" };
+        println!("{}  interprocedural={}  {}", r.code, kind, r.summary);
+    }
+    ExitCode::SUCCESS
 }
 
 /// One GitHub Actions `::warning` workflow command for a finding. The
@@ -96,6 +133,8 @@ fn run_lint(
     baseline_path: Option<PathBuf>,
     json_out: Option<PathBuf>,
     github: bool,
+    effects: bool,
+    only: Option<BTreeSet<String>>,
 ) -> ExitCode {
     let root = root.unwrap_or_else(default_root);
     let ws = match Workspace::load(&root) {
@@ -116,7 +155,37 @@ fn run_lint(
         },
         Err(_) => Baseline::default(), // missing baseline = empty
     };
-    let outcome = deepeye_analyze::lint::run(&ws, &baseline);
+    let outcome = deepeye_analyze::lint::run_filtered(&ws, &baseline, only.as_ref());
+    if effects {
+        for row in &outcome.effects {
+            let fmt = |list: &[&str]| {
+                if list.is_empty() {
+                    "pure".to_owned()
+                } else {
+                    list.join("+")
+                }
+            };
+            println!(
+                "effect: {} ({}:{}) gated={} full={} disabled={}",
+                row.qual,
+                row.file,
+                row.line,
+                row.gated,
+                fmt(&row.effects),
+                fmt(&row.disabled)
+            );
+        }
+        let pure = outcome
+            .effects
+            .iter()
+            .filter(|r| r.pure_when_disabled())
+            .count();
+        println!(
+            "effects: {} function(s) in theorem scope, {} pure when disabled",
+            outcome.effects.len(),
+            pure
+        );
+    }
     if let Some(path) = json_out {
         if let Err(e) = std::fs::write(&path, lint_report_json(&outcome)) {
             eprintln!("analyze: {}: {e}", path.display());
@@ -135,10 +204,13 @@ fn run_lint(
             println!("::warning title=stale baseline entry::{s}");
         }
     }
+    let rules_run = only
+        .as_ref()
+        .map_or(deepeye_analyze::rules::RULES.len(), BTreeSet::len);
     println!(
         "analyze: {} file(s), {} rule(s): {} violation(s), {} suppressed, {} stale baseline entr{}",
         outcome.files_scanned,
-        deepeye_analyze::rules::RULES.len(),
+        rules_run,
         outcome.violations.len(),
         outcome.suppressed.len(),
         outcome.stale.len(),

@@ -23,10 +23,12 @@
 //!    method (`push`, `len`, `clone`, …) where "unique in workspace"
 //!    proves nothing.
 
+use crate::absint::{condense, BitSet, CondensedGraph};
 use crate::cfg::{self, FuncDef};
+use crate::effects::EffectSummary;
 use crate::lexer::Token;
 use crate::lint::Workspace;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One call site inside a function body.
 #[derive(Debug, Clone)]
@@ -64,6 +66,115 @@ pub struct Analysis {
     pub loop_depths: Vec<Vec<u32>>,
     /// Per file: per-token index of the innermost enclosing function.
     owner: Vec<Vec<Option<usize>>>,
+    /// SCC-condensed reachability over resolved product calls, shared
+    /// by every interprocedural rule (A0009, A0011, A0015, A0017).
+    pub reach: Reachability,
+    /// Per-function effect summaries from the abstract-interpretation
+    /// pass (see [`crate::effects`]), indexed like `funcs`.
+    pub effects: Vec<EffectSummary>,
+}
+
+/// The one SCC-condensed reachability relation over the product call
+/// graph. Built once per [`Analysis::build`]; `reaches` is then two
+/// component lookups and one bit test, so rules no longer re-walk the
+/// graph per entry point.
+pub struct Reachability {
+    /// Tarjan condensation of the product call graph (components in
+    /// reverse topological order — callees before callers).
+    pub scc: CondensedGraph,
+    /// Per component: reachable components (including itself).
+    reach: Vec<BitSet>,
+}
+
+impl Reachability {
+    /// A relation over the empty graph (placeholder during build).
+    pub fn empty() -> Reachability {
+        Reachability {
+            scc: condense(0, &[]),
+            reach: Vec::new(),
+        }
+    }
+
+    /// Condense the resolved product call edges of `a`.
+    pub fn build(ws: &Workspace, a: &Analysis) -> Reachability {
+        let n = a.funcs.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for c in &a.calls {
+            let Some(callee) = c.callee else { continue };
+            if ws.files[c.file].is_product(c.tok)
+                && !a.funcs[c.caller].is_test
+                && !a.funcs[callee].is_test
+            {
+                succs[c.caller].push(callee);
+            }
+        }
+        for out in &mut succs {
+            out.sort_unstable();
+            out.dedup();
+        }
+        let scc = condense(n, &succs);
+        let reach = scc.reachable_sets();
+        Reachability { scc, reach }
+    }
+
+    /// The component of function `f`.
+    pub fn component(&self, f: usize) -> usize {
+        self.scc.comp_of.get(f).copied().unwrap_or(0)
+    }
+
+    /// `from` can reach `to` through resolved product calls (reflexive:
+    /// every function reaches itself).
+    pub fn reaches(&self, from: usize, to: usize) -> bool {
+        match (self.scc.comp_of.get(from), self.scc.comp_of.get(to)) {
+            (Some(&a), Some(&b)) => self.reach.get(a).is_some_and(|set| set.contains(b)),
+            _ => false,
+        }
+    }
+
+    /// `a` and `b` sit in the same strongly-connected component.
+    pub fn same_component(&self, a: usize, b: usize) -> bool {
+        self.scc.comp_of.get(a).is_some() && self.component(a) == self.component(b)
+    }
+}
+
+/// A witness chain of call sites from `from` toward `to` over resolved
+/// product calls, following the precomputed reachability relation and
+/// capped at the first cycle: the walk never re-enters a component, so
+/// recursive groups contribute one representative step instead of an
+/// unbounded spiral. Returns call-site indices; may stop short of `to`
+/// when the only remaining path loops back through a visited component.
+pub fn product_chain(ws: &Workspace, a: &Analysis, from: usize, to: usize) -> Vec<usize> {
+    let mut chain = Vec::new();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    let mut cur = from;
+    seen.insert(a.reach.component(cur));
+    while cur != to {
+        let mut advanced = false;
+        for &ci in &a.calls_from[cur] {
+            let c = &a.calls[ci];
+            let Some(callee) = c.callee else { continue };
+            if !ws.files[c.file].is_product(c.tok) || a.funcs[callee].is_test {
+                continue;
+            }
+            if callee != to {
+                if !a.reach.reaches(callee, to) {
+                    continue;
+                }
+                if seen.contains(&a.reach.component(callee)) {
+                    continue;
+                }
+            }
+            chain.push(ci);
+            seen.insert(a.reach.component(callee));
+            cur = callee;
+            advanced = true;
+            break;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    chain
 }
 
 /// Methods so common in std that a unique *workspace* definition of the
@@ -175,6 +286,8 @@ impl Analysis {
             guard_masks,
             loop_depths,
             owner,
+            reach: Reachability::empty(),
+            effects: Vec::new(),
         };
         for fi in 0..ws.files.len() {
             analysis.extract_calls(ws, fi, &by_name, &by_type_method);
@@ -185,6 +298,8 @@ impl Analysis {
                 analysis.callers_of[callee].push(ci);
             }
         }
+        analysis.reach = Reachability::build(ws, &analysis);
+        analysis.effects = crate::effects::summarize(ws, &analysis);
         analysis
     }
 

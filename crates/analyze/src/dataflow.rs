@@ -468,6 +468,11 @@ pub fn panic_reachability(ws: &Workspace, a: &Analysis) -> Vec<Diagnostic> {
     }
 
     let mut out = Vec::new();
+    // Functions that contain at least one panic site, in index order —
+    // the lowest-indexed reachable carrier is the reported one.
+    let carriers: Vec<usize> = (0..a.funcs.len())
+        .filter(|&g| !sites[g].is_empty())
+        .collect();
     for (fi, f) in a.funcs.iter().enumerate() {
         let is_entry = f.is_pub
             && !f.is_test
@@ -477,38 +482,15 @@ pub fn panic_reachability(ws: &Workspace, a: &Analysis) -> Vec<Diagnostic> {
         if !is_entry {
             continue;
         }
-        // BFS to the nearest function containing a panic site.
-        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut queue = VecDeque::from([fi]);
-        let mut seen = BTreeSet::from([fi]);
-        let mut hit: Option<usize> = None;
-        while let Some(g) = queue.pop_front() {
-            if !sites[g].is_empty() {
-                hit = Some(g);
-                break;
-            }
-            for &ci in &a.calls_from[g] {
-                let Some(callee) = a.calls[ci].callee else {
-                    continue;
-                };
-                if product_call(ws, a, ci) && !a.funcs[callee].is_test && seen.insert(callee) {
-                    prev.insert(callee, ci);
-                    queue.push_back(callee);
-                }
-            }
-        }
-        let Some(target) = hit else { continue };
+        // The shared SCC-condensed relation replaces the per-entry BFS:
+        // one bit test per candidate carrier, then one chain walk for
+        // the witness (capped at the first cycle by `product_chain`).
+        let Some(target) = carriers.iter().copied().find(|&t| a.reach.reaches(fi, t)) else {
+            continue;
+        };
         let site = &sites[target][0];
-        // Reconstruct the call chain entry → target.
-        let mut calls_rev: Vec<usize> = Vec::new();
-        let mut cur = target;
-        while cur != fi {
-            let ci = prev[&cur];
-            calls_rev.push(ci);
-            cur = a.calls[ci].caller;
-        }
         let mut steps = vec![step(&f.rel, f.line, format!("public API `{}`", f.qual))];
-        for &ci in calls_rev.iter().rev() {
+        for ci in crate::callgraph::product_chain(ws, a, fi, target) {
             let c = &a.calls[ci];
             let callee = c.callee.unwrap_or(c.caller);
             steps.push(step(
@@ -670,24 +652,22 @@ pub fn hot_loop_allocations(ws: &Workspace, a: &Analysis) -> Vec<Diagnostic> {
 
     // BFS the uncovered region from *observed* execute/top_k entry
     // points — the ones handed an `Observer`, where attribution is
-    // possible — keeping the shortest entry chain for the witness.
-    // Unobserved variants are thin conveniences; their cost is measured
-    // when the harness drives the observed wrappers.
-    let mut chain: BTreeMap<usize, Vec<PathStep>> = BTreeMap::new();
+    // possible. The region is barrier-aware (it stops at attributed
+    // functions), which the global `a.reach` relation cannot express, so
+    // the walk stays; but it stores only the BFS tree (`prev`), and the
+    // witness chain is reconstructed lazily — and only — for functions
+    // that actually diagnose, instead of cloning a growing step vector
+    // into every reached node. Unobserved variants are thin
+    // conveniences; their cost is measured when the harness drives the
+    // observed wrappers.
+    let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut reached: BTreeSet<usize> = BTreeSet::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
     for (fi, f) in a.funcs.iter().enumerate() {
         let is_entry = !f.is_test
             && (f.name.starts_with("execute") || f.name.starts_with("top_k") || f.name == "topk")
             && f.params.iter().any(|(_, ty)| ty == "Observer");
-        if is_entry && !attributed[fi] {
-            chain.insert(
-                fi,
-                vec![step(
-                    &f.rel,
-                    f.line,
-                    format!("hot entry point `{}`", f.qual),
-                )],
-            );
+        if is_entry && !attributed[fi] && reached.insert(fi) {
             queue.push_back(fi);
         }
     }
@@ -699,23 +679,44 @@ pub fn hot_loop_allocations(ws: &Workspace, a: &Analysis) -> Vec<Diagnostic> {
             if !product_call(ws, a, ci)
                 || a.funcs[callee].is_test
                 || attributed[callee]
-                || chain.contains_key(&callee)
+                || !reached.insert(callee)
             {
                 continue;
             }
-            let mut c = chain[&fi].clone();
-            c.push(step(
-                &a.funcs[fi].rel,
-                a.calls[ci].line,
-                format!("calls `{}`", a.funcs[callee].qual),
-            ));
-            chain.insert(callee, c);
+            prev.insert(callee, ci);
             queue.push_back(callee);
         }
     }
+    // The shortest entry chain for `fi`, rebuilt from the BFS tree. The
+    // tree is acyclic by construction, so this is also naturally capped
+    // at the first cycle of the underlying graph.
+    let entry_chain = |fi: usize| -> Vec<PathStep> {
+        let mut calls_rev = Vec::new();
+        let mut cur = fi;
+        while let Some(&ci) = prev.get(&cur) {
+            calls_rev.push(ci);
+            cur = a.calls[ci].caller;
+        }
+        let entry = &a.funcs[cur];
+        let mut steps = vec![step(
+            &entry.rel,
+            entry.line,
+            format!("hot entry point `{}`", entry.qual),
+        )];
+        for &ci in calls_rev.iter().rev() {
+            let c = &a.calls[ci];
+            let callee = c.callee.unwrap_or(c.caller);
+            steps.push(step(
+                &a.funcs[c.caller].rel,
+                c.line,
+                format!("calls `{}`", a.funcs[callee].qual),
+            ));
+        }
+        steps
+    };
 
     let mut out = Vec::new();
-    for (fi, entry_chain) in &chain {
+    for fi in &reached {
         let f = &a.funcs[*fi];
         let file = &ws.files[f.file];
         let toks = &file.tokens;
@@ -752,7 +753,7 @@ pub fn hot_loop_allocations(ws: &Workspace, a: &Analysis) -> Vec<Diagnostic> {
                 None
             };
             let Some(marker) = marker else { continue };
-            let mut steps = entry_chain.clone();
+            let mut steps = entry_chain(*fi);
             steps.push(step(&f.rel, t.line, format!("{marker} inside a loop")));
             out.push(Diagnostic {
                 file: f.rel.clone(),

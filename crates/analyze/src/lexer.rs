@@ -210,7 +210,23 @@ pub fn lex(src: &str) -> Vec<Token> {
                         i = next;
                         continue;
                     }
-                    // `r#ident` raw identifier: fall through, emit the word.
+                    // `r#ident` raw identifier: one token spanning the
+                    // whole escape, so `r#fn` never leaks a bare `fn`
+                    // keyword into downstream token matchers.
+                    if word == "r" && hashes == 1 && j < n && is_ident_start(bytes[j]) {
+                        let mut k = j;
+                        while k < n && is_ident_cont(bytes[k]) {
+                            k += 1;
+                        }
+                        let raw: String = bytes[start..k].iter().collect();
+                        out.push(Token {
+                            tok: Tok::Ident(raw),
+                            line,
+                            span: (start as u32, k as u32),
+                        });
+                        i = k;
+                        continue;
+                    }
                 }
                 out.push(Token {
                     tok: Tok::Ident(word),

@@ -21,7 +21,22 @@
 //!   cycles, panic reachability from public APIs, dropped `Result`s,
 //!   allocation in hot loops, and call-graph propagation of
 //!   `is_enabled()` guard facts. Interprocedural findings carry their
-//!   full `file:line` witness chain.
+//!   full `file:line` witness chain, reconstructed from one shared
+//!   SCC-condensed reachability relation and capped at the first cycle.
+//!
+//!   Above that sits an abstract-interpretation layer ([`absint`],
+//!   [`effects`]): a worklist fixpoint solver over the CFG-lite with
+//!   pluggable join-semilattice domains — a finite effect lattice
+//!   (alloc/lock/io/panic) and a widening interval lattice — computing
+//!   bottom-up two-world (any-path / disabled-world) effect summaries
+//!   over the Tarjan condensation. It powers `A0015` (the zero-cost
+//!   theorem: disabled-path observability is effect-free), `A0016`
+//!   (saturating counter arithmetic, interval-proven narrowing casts),
+//!   `A0017` (no unbounded growth in long-lived loops), `A0018` (no
+//!   division by a possibly-zero abstract value), and `A0019` (the
+//!   theorem statement in DESIGN.md §8 re-verified against the proof).
+//!   The per-function summaries export as the `effects` array of the
+//!   v3 JSON report.
 //!
 //! * **Loom-lite model checker** ([`model`]) — a deterministic
 //!   cooperative scheduler that runs small 2–3-thread models of the
@@ -32,7 +47,9 @@
 //!   with the schedule that produced them.
 //!
 //! The `analyze` binary drives both: `analyze --workspace` lints the
-//! tree, `analyze --models` explores the checked-in models.
+//! tree (`--effects` prints the zero-cost proof rows, `--rules` runs a
+//! subset, `--list-rules` prints the catalog), `analyze --models`
+//! explores the checked-in models.
 //!
 //! DESIGN.md §8 documents the rule catalog and the checker's scope and
 //! limits; a doc-sync test keeps that section and [`rules::RULES`]
@@ -40,9 +57,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod absint;
 pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
+pub mod effects;
 pub mod lexer;
 pub mod lint;
 pub mod model;

@@ -271,15 +271,31 @@ pub struct LintOutcome {
     pub files_scanned: usize,
     /// Totals from the interprocedural analysis pass.
     pub callgraph: CallGraphSummary,
+    /// Per-function effect summaries for the zero-cost theorem's scope
+    /// (exported as the v3 report's `effects` array).
+    pub effects: Vec<crate::effects::EffectRow>,
 }
 
 /// Run every rule over the workspace and split the findings against the
 /// baseline. Diagnostics come back sorted by (file, line, code) — the
 /// stable order the JSON export and its validator rely on.
 pub fn run(ws: &Workspace, baseline: &Baseline) -> LintOutcome {
+    run_filtered(ws, baseline, None)
+}
+
+/// Like [`run`], restricted to the rule codes in `only` (all rules when
+/// `None`) — the `--rules A0015,A0016` CLI scope. The analysis pass and
+/// effect summaries are computed either way; only rule checks are
+/// skipped.
+pub fn run_filtered(
+    ws: &Workspace,
+    baseline: &Baseline,
+    only: Option<&std::collections::BTreeSet<String>>,
+) -> LintOutcome {
     let analysis = crate::callgraph::Analysis::build(ws);
     let mut all: Vec<Diagnostic> = crate::rules::RULES
         .iter()
+        .filter(|r| only.is_none_or(|set| set.contains(r.code)))
         .flat_map(|r| (r.check)(ws, &analysis))
         .collect();
     all.sort();
@@ -318,6 +334,7 @@ pub fn run(ws: &Workspace, baseline: &Baseline) -> LintOutcome {
             blocks: analysis.block_count(),
             edges: analysis.edge_count(),
         },
+        effects: crate::effects::effect_rows(ws, &analysis),
     }
 }
 

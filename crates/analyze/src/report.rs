@@ -12,17 +12,25 @@ use deepeye_obs::json::{escape, parse_json, Json};
 use std::fmt::Write as _;
 
 /// Schema version stamped into every report. Version 2 added the
-/// `callgraph` coverage object and per-diagnostic `path` witness chains.
-pub const REPORT_VERSION: u64 = 2;
+/// `callgraph` coverage object and per-diagnostic `path` witness chains;
+/// version 3 adds per-rule `interprocedural` flags and the `effects`
+/// array of per-function zero-cost summaries.
+pub const REPORT_VERSION: u64 = 3;
+
+/// Effect names the v3 `effects` array may carry, in emission order.
+pub const EFFECT_NAMES: [&str; 4] = ["alloc", "lock", "io", "panic"];
 
 /// Serialize a lint outcome as a machine-readable report.
 ///
 /// Shape:
 /// ```json
 /// {
-///   "version": 2,
-///   "rules": [{"code": "A0001", "summary": "..."}, ...],
+///   "version": 3,
+///   "rules": [{"code": "A0001", "summary": "...", "interprocedural": false}, ...],
 ///   "callgraph": {"functions": 0, "calls": 0, "resolved": 0, "blocks": 0, "edges": 0},
+///   "effects": [{"qual": "obs::observer::Observer::incr", "file": "...", "line": 3,
+///                "gated": true, "pure_when_disabled": true,
+///                "effects": ["alloc", "lock"], "disabled": []}, ...],
 ///   "diagnostics": [{"code": "...", "file": "...", "line": 3, "message": "...",
 ///                    "path": [{"file": "...", "line": 7, "note": "..."}]}, ...],
 ///   "suppressed": [...same shape...],
@@ -32,7 +40,9 @@ pub const REPORT_VERSION: u64 = 2;
 ///
 /// `path` is present only on interprocedural findings; the `callgraph`
 /// totals let report diffs show analysis-coverage drift (e.g. a lexer
-/// regression that silently drops functions).
+/// regression that silently drops functions); `effects` is the exported
+/// zero-cost proof — one row per function the theorem covers, with the
+/// any-path and disabled-world effect sets.
 pub fn lint_report_json(outcome: &LintOutcome) -> String {
     let mut out = String::from("{\n");
     let _ = write!(out, "  \"version\": {REPORT_VERSION},\n  \"rules\": [");
@@ -42,9 +52,10 @@ pub fn lint_report_json(outcome: &LintOutcome) -> String {
         }
         let _ = write!(
             out,
-            "\n    {{\"code\": \"{}\", \"summary\": \"{}\"}}",
+            "\n    {{\"code\": \"{}\", \"summary\": \"{}\", \"interprocedural\": {}}}",
             r.code,
-            escape(r.summary)
+            escape(r.summary),
+            r.interprocedural
         );
     }
     out.push_str("\n  ],\n");
@@ -54,6 +65,35 @@ pub fn lint_report_json(outcome: &LintOutcome) -> String {
         "  \"callgraph\": {{\"functions\": {}, \"calls\": {}, \"resolved\": {}, \"blocks\": {}, \"edges\": {}}},",
         cg.functions, cg.calls, cg.resolved, cg.blocks, cg.edges
     );
+    let _ = write!(out, "  \"effects\": [");
+    for (i, row) in outcome.effects.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let names = |list: &[&str]| {
+            list.iter()
+                .map(|n| format!("\"{n}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"qual\": \"{}\", \"file\": \"{}\", \"line\": {}, \"gated\": {}, \
+             \"pure_when_disabled\": {}, \"effects\": [{}], \"disabled\": [{}]}}",
+            escape(&row.qual),
+            escape(&row.file),
+            row.line,
+            row.gated,
+            row.pure_when_disabled(),
+            names(&row.effects),
+            names(&row.disabled)
+        );
+    }
+    if outcome.effects.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
     emit_diag_array(&mut out, "diagnostics", &outcome.violations);
     out.push_str(",\n");
     emit_diag_array(&mut out, "suppressed", &outcome.suppressed);
@@ -120,6 +160,10 @@ pub struct ReportSummary {
     /// Call sites found / resolved to a workspace function.
     pub calls: u64,
     pub resolved: u64,
+    /// Rows in the `effects` array (zero-cost theorem scope).
+    pub effect_rows: usize,
+    /// Rows whose disabled-world effect set is empty.
+    pub pure_when_disabled: usize,
 }
 
 /// Validate a lint-report JSON document.
@@ -163,10 +207,102 @@ pub fn validate_lint_report(text: &str) -> Result<ReportSummary, String> {
         if r.get("summary").and_then(Json::as_str).is_none() {
             return Err(format!("lint report: rules[{i}] missing `summary`"));
         }
+        if r.get("interprocedural").and_then(Json::as_bool).is_none() {
+            return Err(format!(
+                "lint report: rules[{i}] missing boolean `interprocedural`"
+            ));
+        }
         codes.push(code);
     }
     if codes.is_empty() {
         return Err("lint report: empty rule catalog".to_owned());
+    }
+
+    // The `effects` array: the exported zero-cost proof. Every row names
+    // effects from the fixed vocabulary, `disabled` is a subset of
+    // `effects`, the headline boolean agrees with the set, and rows are
+    // strictly sorted by (qual, file, line).
+    let effect_items = doc
+        .get("effects")
+        .and_then(Json::as_array)
+        .ok_or("lint report: missing `effects` array")?;
+    let mut effect_rows = 0usize;
+    let mut pure_when_disabled = 0usize;
+    let mut prev_row: Option<(String, String, u64)> = None;
+    for (i, row) in effect_items.iter().enumerate() {
+        let qual = row
+            .get("qual")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("lint report: effects[{i}] missing `qual`"))?;
+        let file = row
+            .get("file")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("lint report: effects[{i}] missing `file`"))?;
+        let line = row
+            .get("line")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("lint report: effects[{i}] missing numeric `line`"))?;
+        if line < 1.0 || line.fract() != 0.0 {
+            return Err(format!("lint report: effects[{i}] bad line {line}"));
+        }
+        if row.get("gated").and_then(Json::as_bool).is_none() {
+            return Err(format!("lint report: effects[{i}] missing boolean `gated`"));
+        }
+        let pure = row
+            .get("pure_when_disabled")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| {
+                format!("lint report: effects[{i}] missing boolean `pure_when_disabled`")
+            })?;
+        let mut sets: [Vec<String>; 2] = [Vec::new(), Vec::new()];
+        for (slot, key) in sets.iter_mut().zip(["effects", "disabled"]) {
+            let list = row
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("lint report: effects[{i}] missing `{key}` array"))?;
+            let mut last: Option<usize> = None;
+            for v in list {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| format!("lint report: effects[{i}].{key} non-string entry"))?;
+                let Some(pos) = EFFECT_NAMES.iter().position(|n| *n == name) else {
+                    return Err(format!(
+                        "lint report: effects[{i}].{key} unknown effect {name:?}"
+                    ));
+                };
+                if last.is_some_and(|l| l >= pos) {
+                    return Err(format!(
+                        "lint report: effects[{i}].{key} not in canonical order"
+                    ));
+                }
+                last = Some(pos);
+                slot.push(name.to_owned());
+            }
+        }
+        let [full, disabled] = sets;
+        if disabled.iter().any(|d| !full.contains(d)) {
+            return Err(format!(
+                "lint report: effects[{i}] `disabled` is not a subset of `effects`"
+            ));
+        }
+        if pure != disabled.is_empty() {
+            return Err(format!(
+                "lint report: effects[{i}] `pure_when_disabled` disagrees with `disabled`"
+            ));
+        }
+        let this = (qual.to_owned(), file.to_owned(), line as u64);
+        if let Some(p) = &prev_row {
+            if *p >= this {
+                return Err(format!(
+                    "lint report: `effects` not strictly sorted by (qual, file, line) at index {i}"
+                ));
+            }
+        }
+        prev_row = Some(this);
+        effect_rows += 1;
+        if pure {
+            pure_when_disabled += 1;
+        }
     }
 
     let mut diagnostics = 0usize;
@@ -294,6 +430,8 @@ pub fn validate_lint_report(text: &str) -> Result<ReportSummary, String> {
         functions,
         calls,
         resolved,
+        effect_rows,
+        pure_when_disabled,
     })
 }
 
@@ -360,6 +498,7 @@ mod tests {
                 blocks: 4,
                 edges: 3,
             },
+            effects: Vec::new(),
         };
         let json = lint_report_json(&outcome);
         assert!(json.contains("\"path\": ["), "{json}");
@@ -399,9 +538,10 @@ mod tests {
         .contains("version"));
         // Unknown diagnostic code.
         let bad = r#"{
-            "version": 2,
-            "rules": [{"code": "A0001", "summary": "s"}],
+            "version": 3,
+            "rules": [{"code": "A0001", "summary": "s", "interprocedural": false}],
             "callgraph": {"functions": 1, "calls": 0, "resolved": 0, "blocks": 1, "edges": 0},
+            "effects": [],
             "diagnostics": [{"code": "A9999", "file": "x.rs", "line": 1, "message": "m"}],
             "suppressed": [],
             "summary": {"files_scanned": 1, "violations": 1, "suppressed": 0, "stale_baseline": 0}
@@ -411,9 +551,10 @@ mod tests {
             .contains("A9999"));
         // Unsorted diagnostics.
         let unsorted = r#"{
-            "version": 2,
-            "rules": [{"code": "A0001", "summary": "s"}],
+            "version": 3,
+            "rules": [{"code": "A0001", "summary": "s", "interprocedural": false}],
             "callgraph": {"functions": 1, "calls": 0, "resolved": 0, "blocks": 1, "edges": 0},
+            "effects": [],
             "diagnostics": [
                 {"code": "A0001", "file": "b.rs", "line": 1, "message": "m"},
                 {"code": "A0001", "file": "a.rs", "line": 1, "message": "m"}
@@ -426,9 +567,10 @@ mod tests {
             .contains("sorted"));
         // Summary count mismatch.
         let mismatch = r#"{
-            "version": 2,
-            "rules": [{"code": "A0001", "summary": "s"}],
+            "version": 3,
+            "rules": [{"code": "A0001", "summary": "s", "interprocedural": false}],
             "callgraph": {"functions": 1, "calls": 0, "resolved": 0, "blocks": 1, "edges": 0},
+            "effects": [],
             "diagnostics": [],
             "suppressed": [],
             "summary": {"files_scanned": 1, "violations": 3, "suppressed": 0, "stale_baseline": 0}
@@ -438,8 +580,9 @@ mod tests {
             .contains("claims"));
         // Missing or inconsistent callgraph coverage.
         let no_cg = r#"{
-            "version": 2,
-            "rules": [{"code": "A0001", "summary": "s"}],
+            "version": 3,
+            "rules": [{"code": "A0001", "summary": "s", "interprocedural": false}],
+            "effects": [],
             "diagnostics": [],
             "suppressed": [],
             "summary": {"files_scanned": 1, "violations": 0, "suppressed": 0, "stale_baseline": 0}
@@ -456,9 +599,10 @@ mod tests {
             .contains("resolves"));
         // Malformed witness path.
         let bad_path = r#"{
-            "version": 2,
-            "rules": [{"code": "A0001", "summary": "s"}],
+            "version": 3,
+            "rules": [{"code": "A0001", "summary": "s", "interprocedural": false}],
             "callgraph": {"functions": 1, "calls": 0, "resolved": 0, "blocks": 1, "edges": 0},
+            "effects": [],
             "diagnostics": [{"code": "A0001", "file": "x.rs", "line": 1, "message": "m",
                              "path": [{"file": "x.rs", "line": 1}]}],
             "suppressed": [],
@@ -467,5 +611,90 @@ mod tests {
         assert!(validate_lint_report(bad_path)
             .expect_err("path step missing note")
             .contains("note"));
+    }
+
+    #[test]
+    fn validator_checks_effect_rows() {
+        let frame = |rows: &str| {
+            format!(
+                r#"{{
+            "version": 3,
+            "rules": [{{"code": "A0001", "summary": "s", "interprocedural": false}}],
+            "callgraph": {{"functions": 1, "calls": 0, "resolved": 0, "blocks": 1, "edges": 0}},
+            "effects": [{rows}],
+            "diagnostics": [],
+            "suppressed": [],
+            "summary": {{"files_scanned": 1, "violations": 0, "suppressed": 0, "stale_baseline": 0}}
+        }}"#
+            )
+        };
+        let good = frame(
+            r#"{"qual": "obs::f", "file": "crates/obs/src/x.rs", "line": 3, "gated": true,
+                "pure_when_disabled": true, "effects": ["alloc", "lock"], "disabled": []}"#,
+        );
+        let summary = validate_lint_report(&good).expect("valid");
+        assert_eq!(summary.effect_rows, 1);
+        assert_eq!(summary.pure_when_disabled, 1);
+        // Unknown effect name.
+        let bad_name = frame(
+            r#"{"qual": "obs::f", "file": "x.rs", "line": 3, "gated": true,
+                "pure_when_disabled": true, "effects": ["teleport"], "disabled": []}"#,
+        );
+        assert!(validate_lint_report(&bad_name)
+            .expect_err("unknown effect")
+            .contains("teleport"));
+        // `disabled` must be a subset of `effects`.
+        let not_subset = frame(
+            r#"{"qual": "obs::f", "file": "x.rs", "line": 3, "gated": true,
+                "pure_when_disabled": false, "effects": ["alloc"], "disabled": ["io"]}"#,
+        );
+        assert!(validate_lint_report(&not_subset)
+            .expect_err("not a subset")
+            .contains("subset"));
+        // The headline boolean must agree with the set.
+        let lying = frame(
+            r#"{"qual": "obs::f", "file": "x.rs", "line": 3, "gated": true,
+                "pure_when_disabled": true, "effects": ["alloc"], "disabled": ["alloc"]}"#,
+        );
+        assert!(validate_lint_report(&lying)
+            .expect_err("boolean disagrees")
+            .contains("disagrees"));
+        // Rows must be strictly sorted by (qual, file, line).
+        let unsorted = frame(
+            r#"{"qual": "obs::g", "file": "x.rs", "line": 3, "gated": false,
+                "pure_when_disabled": true, "effects": [], "disabled": []},
+               {"qual": "obs::f", "file": "x.rs", "line": 1, "gated": false,
+                "pure_when_disabled": true, "effects": [], "disabled": []}"#,
+        );
+        assert!(validate_lint_report(&unsorted)
+            .expect_err("unsorted rows")
+            .contains("sorted"));
+    }
+
+    #[test]
+    fn real_effect_rows_export_and_validate() {
+        let ws = Workspace::from_sources(
+            vec![(
+                "crates/obs/src/observer.rs",
+                r#"
+impl Observer {
+    pub fn incr(&mut self, n: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.log.push(n);
+        }
+    }
+}
+"#,
+            )],
+            "",
+        );
+        let outcome = run(&ws, &Baseline::default());
+        assert_eq!(outcome.effects.len(), 1, "one theorem-scoped fn");
+        assert!(outcome.effects[0].gated);
+        assert!(outcome.effects[0].pure_when_disabled());
+        let json = lint_report_json(&outcome);
+        let summary = validate_lint_report(&json).expect("valid report");
+        assert_eq!(summary.effect_rows, 1);
+        assert_eq!(summary.pure_when_disabled, 1);
     }
 }

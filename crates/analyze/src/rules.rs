@@ -28,6 +28,9 @@ pub struct Rule {
     pub code: &'static str,
     /// One-line summary (matches the DESIGN.md §8 catalog row).
     pub summary: &'static str,
+    /// Whether the rule walks the call graph / effect summaries
+    /// (vs. a single-window token matcher). Surfaced by `--list-rules`.
+    pub interprocedural: bool,
     pub check: fn(&Workspace, &Analysis) -> Vec<Diagnostic>,
 }
 
@@ -36,74 +39,118 @@ pub static RULES: &[Rule] = &[
     Rule {
         code: "A0001",
         summary: "no raw std::time::Instant outside deepeye-obs (use the span clock)",
+        interprocedural: false,
         check: instant_outside_obs,
     },
     Rule {
         code: "A0002",
         summary:
             "provenance/observer record calls with eager arguments must sit behind is_enabled()",
+        interprocedural: false,
         check: unguarded_record_calls,
     },
     Rule {
         code: "A0003",
         summary: "no Mutex guard held across an observer/provenance callback",
+        interprocedural: false,
         check: lock_across_callback,
     },
     Rule {
         code: "A0004",
         summary:
             "sema diagnostic codes are unique and in sync with the sema doc table and DESIGN.md",
+        interprocedural: false,
         check: sema_code_sync,
     },
     Rule {
         code: "A0005",
         summary: "metric name literals match the central registry (deepeye_obs::metrics)",
+        interprocedural: false,
         check: metric_registry_sync,
     },
     Rule {
         code: "A0006",
         summary: "no thread::spawn — threads come from thread::scope",
+        interprocedural: false,
         check: free_thread_spawn,
     },
     Rule {
         code: "A0007",
         summary: "bench.* metric names agree across the perf harness, the registry, and DESIGN.md",
+        interprocedural: false,
         check: bench_registry_sync,
     },
     Rule {
         code: "A0008",
         summary: "no lock-order cycles across the workspace call graph (static ABBA deadlock detection)",
+        interprocedural: true,
         check: crate::dataflow::lock_order,
     },
     Rule {
         code: "A0009",
         summary: "public core/query/obs APIs cannot reach panic!/unwrap/expect/unguarded indexing through any call chain",
+        interprocedural: true,
         check: crate::dataflow::panic_reachability,
     },
     Rule {
         code: "A0010",
         summary: "Results from fallible workspace calls are consumed — no `let _ =` discard or unread `.ok()`",
+        interprocedural: true,
         check: crate::dataflow::dropped_results,
     },
     Rule {
         code: "A0011",
         summary: "no raw allocation in hot loops reachable from execute/top_k without alloc attribution in scope",
+        interprocedural: true,
         check: crate::dataflow::hot_loop_allocations,
     },
     Rule {
         code: "A0012",
         summary: "is_enabled() guard facts propagate through calls — helpers reached only under guards need no local re-check",
+        interprocedural: true,
         check: crate::dataflow::guard_propagation,
     },
     Rule {
         code: "A0013",
         summary: "telemetry metric and field names agree across the obs registry, the recorder sources, and DESIGN.md §10",
+        interprocedural: false,
         check: telemetry_registry_sync,
     },
     Rule {
         code: "A0014",
         summary: "executor cost operator and cost.* counter names agree across the registry, the executor instrumentation, and DESIGN.md §12",
+        interprocedural: false,
         check: cost_registry_sync,
+    },
+    Rule {
+        code: "A0015",
+        summary: "disabled-path and NoCost-monomorphized functions are effect-free — the zero-cost theorem, proven by fixpoint effect inference",
+        interprocedural: true,
+        check: crate::effects::zero_cost,
+    },
+    Rule {
+        code: "A0016",
+        summary: "counter flows (cost.*/obs.*/telemetry.*) use saturating arithmetic and interval-proven narrowing casts",
+        interprocedural: false,
+        check: crate::effects::counter_arith,
+    },
+    Rule {
+        code: "A0017",
+        summary: "no unbounded collection growth in loops reachable from long-lived entries without a capacity bound or ring",
+        interprocedural: true,
+        check: crate::effects::unbounded_growth,
+    },
+    Rule {
+        code: "A0018",
+        summary: "no division or modulo by a possibly-zero abstract value in histogram-bucket and rollup math",
+        interprocedural: false,
+        check: crate::effects::div_by_zero,
+    },
+    Rule {
+        code: "A0019",
+        summary: "DESIGN.md's zero-cost theorem names only functions the effect engine proves pure",
+        interprocedural: true,
+        check: crate::effects::design_sync,
     },
 ];
 

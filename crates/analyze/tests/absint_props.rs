@@ -1,0 +1,237 @@
+//! Property tests for the abstract-interpretation engine: the worklist
+//! solver terminates and lands on a sound fixpoint for random CFGs, the
+//! SCC condensation agrees with brute-force reachability, and the
+//! interval domain's join/widen obey the semilattice laws the solver
+//! assumes.
+//!
+//! These are the laws `absint`'s doc comments promise (`bottom ⊑ x`,
+//! `x ⊑ x ⊔ y`, `x ⊔ y ⊑ x.widen(y)`, widening chains stabilize); the
+//! unit tests in `effects.rs` pin concrete behaviour, this file pins
+//! the algebra.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use deepeye_analyze::absint::{
+    condense, fixpoint, EffectSet, Interval, JoinSemiLattice, NEG_INF, POS_INF,
+};
+use deepeye_analyze::cfg::{Block, BlockKind, Cfg};
+use proptest::prelude::*;
+
+/// Build a CFG from `n` blocks and raw edge pairs (targets out of range
+/// are dropped — the solver tolerates them, but keeping the test graph
+/// well-formed makes the soundness check below exact). Every fourth
+/// block is a loop head so widening paths are exercised.
+fn make_cfg(n: usize, edges: &[(usize, usize)]) -> Cfg {
+    let mut blocks: Vec<Block> = (0..n)
+        .map(|i| Block {
+            start: i,
+            end: i + 1,
+            line: i as u32 + 1,
+            kind: if i % 4 == 3 {
+                BlockKind::LoopHead
+            } else {
+                BlockKind::Seq
+            },
+            succs: Vec::new(),
+        })
+        .collect();
+    for &(a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if !blocks[a].succs.contains(&b) {
+            blocks[a].succs.push(b);
+        }
+    }
+    Cfg { blocks }
+}
+
+/// Brute-force reflexive-transitive closure over `n` nodes.
+fn closure(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<bool>> {
+    let mut r = vec![vec![false; n]; n];
+    for (i, row) in r.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    for &(a, b) in edges {
+        r[a % n][b % n] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                r[i][j] = r[i][j] || (r[i][k] && r[k][j]);
+            }
+        }
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver terminates within its declared budget on arbitrary
+    /// graphs (cycles included) over the finite effect domain, and the
+    /// answer is an inductive fixpoint: every edge's source output is
+    /// ⊑ the target's input, and every output is exactly the transfer
+    /// of its input.
+    #[test]
+    fn effect_fixpoint_is_sound_on_random_cfgs(
+        n in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..24),
+        locals in proptest::collection::vec(0u8..16, 12),
+    ) {
+        let cfg = make_cfg(n, &edges);
+        let transfer = |b: usize, input: &EffectSet| EffectSet(input.0 | locals[b]);
+        let fix = fixpoint(&cfg, EffectSet::pure(), transfer);
+        prop_assert!(fix.steps <= 64 * n + 256, "stepped past the budget");
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            prop_assert_eq!(
+                fix.outputs[b].0, transfer(b, &fix.inputs[b]).0,
+                "output {} is not transfer(input)", b
+            );
+            for &s in &block.succs {
+                prop_assert!(
+                    fix.outputs[b].leq(&fix.inputs[s]),
+                    "edge {}->{} breaks the fixpoint inequation", b, s
+                );
+            }
+        }
+        // Rerunning is deterministic (the solver has no hidden state).
+        let again = fixpoint(&cfg, EffectSet::pure(), transfer);
+        prop_assert_eq!(fix.inputs, again.inputs);
+    }
+
+    /// The interval domain has infinite ascending chains; widening at
+    /// loop heads must still force termination, and the result must
+    /// stay an inductive *post*-fixpoint (widening over-approximates,
+    /// it never under-approximates).
+    #[test]
+    fn interval_fixpoint_terminates_via_widening(
+        n in 1usize..10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
+        increments in proptest::collection::vec(0i64..5, 10),
+    ) {
+        // Real CFGs only ever form cycles through loop heads (back
+        // edges come from `loop`/`while`/`for`), and that is exactly
+        // the shape widening needs to guarantee stabilization; route
+        // every backward/self edge through a loop-head block, or drop
+        // it when the graph is too small to have one.
+        let heads: Vec<usize> = (0..n).filter(|i| i % 4 == 3).collect();
+        let edges: Vec<(usize, usize)> = edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                let (a, b) = (a % n, b % n);
+                if b > a {
+                    Some((a, b))
+                } else {
+                    heads.first().map(|&h| (a, h))
+                }
+            })
+            .collect();
+        let cfg = make_cfg(n, &edges);
+        let transfer = |b: usize, input: &Interval| {
+            if input.is_empty() {
+                Interval::exact(0)
+            } else {
+                input.add(&Interval::exact(i128::from(increments[b])))
+            }
+        };
+        let fix = fixpoint(&cfg, Interval::exact(0), transfer);
+        prop_assert!(fix.steps <= 64 * n + 256, "widening failed to stabilize");
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                prop_assert!(
+                    fix.outputs[b].leq(&fix.inputs[s]),
+                    "edge {}->{} breaks the post-fixpoint inequation", b, s
+                );
+            }
+        }
+    }
+
+    /// SCC condensation + the ascending reachable-sets sweep computes
+    /// exactly the brute-force reflexive-transitive closure.
+    #[test]
+    fn scc_condensation_matches_brute_force_reachability(
+        n in 1usize..10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 0..30),
+    ) {
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            succs[a % n].push(b % n);
+        }
+        let scc = condense(n, &succs);
+        let reach = scc.reachable_sets();
+        let truth = closure(n, &edges);
+        for (i, row) in truth.iter().enumerate() {
+            for (j, &expected) in row.iter().enumerate() {
+                let got = reach[scc.comp_of[i]].contains(scc.comp_of[j]);
+                prop_assert_eq!(
+                    got, expected,
+                    "reachability({}, {}) disagrees with the closure", i, j
+                );
+            }
+        }
+        // Members of one component reach each other both ways.
+        for comp in &scc.comps {
+            for &a in comp {
+                for &b in comp {
+                    prop_assert!(truth[a][b] && truth[b][a], "SCC {:?} is not strongly connected", comp);
+                }
+            }
+        }
+    }
+
+    /// Interval join/widen semilattice laws, plus widening-chain
+    /// stabilization: any sequence of widens against fresh inputs
+    /// reaches a fixed interval in at most two steps per bound.
+    #[test]
+    fn interval_join_and_widen_are_sound(
+        a in (-1000i64..1000, -1000i64..1000),
+        b in (-1000i64..1000, -1000i64..1000),
+        probes in proptest::collection::vec(-1000i64..1000, 4),
+    ) {
+        let iv = |p: (i64, i64)| {
+            Interval::range(i128::from(p.0.min(p.1)), i128::from(p.0.max(p.1)))
+        };
+        let (x, y) = (iv(a), iv(b));
+        let j = x.join(&y);
+        prop_assert!(x.leq(&j) && y.leq(&j), "join is not an upper bound");
+        prop_assert_eq!(j, y.join(&x));
+        prop_assert_eq!(x.join(&x), x);
+        prop_assert!(Interval::bottom().leq(&x), "bottom is not least");
+        let w = x.widen(&y);
+        prop_assert!(j.leq(&w), "widen is below the join");
+        // Widening is stationary once a bound escapes to ±∞.
+        let w2 = w.widen(&y);
+        prop_assert_eq!(w2, w.join(&w2), "widening chain did not stabilize");
+        prop_assert!(w.lo == x.lo || w.lo == NEG_INF);
+        prop_assert!(w.hi == x.hi || w.hi == POS_INF);
+        // Concretization soundness: members of x and y stay inside the
+        // join, and sums stay inside the interval sum.
+        for &p in &probes {
+            let p = i128::from(p);
+            if x.contains(p) {
+                prop_assert!(j.contains(p) && w.contains(p));
+            }
+            for &q in &probes {
+                let q = i128::from(q);
+                if x.contains(p) && y.contains(q) {
+                    prop_assert!(x.add(&y).contains(p + q), "add lost a concrete sum");
+                    prop_assert!(x.sub(&y).contains(p - q), "sub lost a concrete difference");
+                    prop_assert!(x.mul(&y).contains(p * q), "mul lost a concrete product");
+                }
+            }
+        }
+    }
+
+    /// EffectSet is a finite join-semilattice: join is the bitwise or,
+    /// ordered by inclusion, with the empty set as bottom.
+    #[test]
+    fn effect_lattice_laws(a in 0u8..16, b in 0u8..16, c in 0u8..16) {
+        let (x, y, z) = (EffectSet(a), EffectSet(b), EffectSet(c));
+        prop_assert_eq!(x.join(&y).0, a | b);
+        prop_assert_eq!(x.join(&y).join(&z).0, x.join(&y.join(&z)).0);
+        prop_assert!(x.leq(&x.join(&y)) && y.leq(&x.join(&y)));
+        prop_assert!(EffectSet::bottom().leq(&x));
+        prop_assert_eq!(x.leq(&y), a & b == a);
+        prop_assert_eq!(x.is_pure(), a == 0);
+        // The widen default is join — finiteness needs nothing more.
+        prop_assert_eq!(x.widen(&y).0, a | b);
+    }
+}

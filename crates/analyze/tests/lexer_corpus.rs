@@ -110,3 +110,53 @@ fn corpus_round_trips_through_render_and_relex() {
         }
     }
 }
+
+/// Raw identifiers (`r#fn`, `r#loop`) are one token each: the escape
+/// must not leak a bare keyword into downstream matchers (a `loop`
+/// keyword token where none exists would, e.g., invent A0017 loop
+/// windows), and must survive the render/re-lex round trip.
+#[test]
+fn raw_identifiers_lex_as_single_tokens_and_round_trip() {
+    let src = r##"fn r#fn(r#loop: u32) -> u32 { let r#match = r#loop + 1; r#match }
+const R: &str = r#"still a raw string"#;"##;
+    let toks = lex(src);
+    let idents: Vec<&str> = toks
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Ident(w) => Some(w.as_str()),
+            _ => None,
+        })
+        .collect();
+    for raw in ["r#fn", "r#loop", "r#match"] {
+        assert!(idents.contains(&raw), "missing raw ident {raw}: {idents:?}");
+    }
+    assert!(
+        !idents.contains(&"loop") && !idents.contains(&"match"),
+        "raw-ident escape leaked a bare keyword: {idents:?}"
+    );
+    assert!(
+        !toks.iter().any(|t| t.tok == Tok::Punct('#')),
+        "raw-ident `#` escaped as punctuation"
+    );
+    assert!(
+        toks.iter()
+            .any(|t| t.tok == Tok::Str("still a raw string".into())),
+        "r#\"…\"# raw strings still lex as strings"
+    );
+    // Round trip: rendering each span and re-lexing reproduces the stream.
+    let chars: Vec<char> = src.chars().collect();
+    let rendered: String = toks
+        .iter()
+        .map(|t| {
+            chars[t.span.0 as usize..t.span.1 as usize]
+                .iter()
+                .collect::<String>()
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    let again = lex(&rendered);
+    assert_eq!(toks.len(), again.len(), "re-lex changed the token count");
+    for (a, b) in toks.iter().zip(&again) {
+        assert_eq!(a.tok, b.tok);
+    }
+}

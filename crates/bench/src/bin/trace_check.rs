@@ -227,14 +227,17 @@ fn main() -> ExitCode {
                 Ok(summary) => {
                     println!(
                         "{path}: ok — {} rules over {} files: {} violation(s), {} suppressed; \
-                         call graph: {}/{} calls resolved across {} functions",
+                         call graph: {}/{} calls resolved across {} functions; \
+                         effects: {}/{} theorem-scoped functions pure when disabled",
                         summary.rules,
                         summary.files_scanned,
                         summary.diagnostics,
                         summary.suppressed,
                         summary.resolved,
                         summary.calls,
-                        summary.functions
+                        summary.functions,
+                        summary.pure_when_disabled,
+                        summary.effect_rows
                     );
                     if summary.diagnostics > 0 {
                         eprintln!("{path}: report records unsuppressed violations");

@@ -336,7 +336,9 @@ impl Observer {
     /// Add `by` to a named counter.
     pub fn incr(&self, name: &'static str, by: u64) {
         if let Some(inner) = &self.inner {
-            *inner.lock().counters.entry(name).or_insert(0) += by;
+            let mut state = inner.lock();
+            let slot = state.counters.entry(name).or_insert(0);
+            *slot = slot.saturating_add(by);
         }
     }
 
@@ -580,7 +582,8 @@ impl Drop for SpanGuard {
             alloc,
         });
         if drops > 0 {
-            *state.counters.entry("obs.spans_dropped").or_insert(0) += drops;
+            let slot = state.counters.entry("obs.spans_dropped").or_insert(0);
+            *slot = slot.saturating_add(drops);
         }
     }
 }

@@ -159,7 +159,8 @@ impl Observer {
         let t_ns = inner.origin.elapsed().as_nanos() as u64;
         let interval_ns = t_ns.saturating_sub(cursor.last_t_ns);
         let mut state = inner.lock();
-        *state.counters.entry("telemetry.ticks").or_insert(0) += 1;
+        let ticks = state.counters.entry("telemetry.ticks").or_insert(0);
+        *ticks = ticks.saturating_add(1);
 
         let mut counter_parts: Vec<String> = Vec::new();
         for (&name, &value) in &state.counters {

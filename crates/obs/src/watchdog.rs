@@ -97,7 +97,8 @@ impl Observer {
         }
         let detected = events.len();
         if detected > 0 {
-            *state.counters.entry("obs.stall").or_insert(0) += detected as u64;
+            let stalls = state.counters.entry("obs.stall").or_insert(0);
+            *stalls = stalls.saturating_add(detected as u64);
             for event in events {
                 state.stalled.insert(event.span_id);
                 if state.stalls.len() < STALL_LOG_CAP {
