@@ -1123,12 +1123,15 @@ fn stmt_window(toks: &[Token], i: usize) -> (usize, usize) {
 }
 
 /// Whether a statement window touches a counter flow: a metric-name
-/// string literal (`cost.*` / `obs.*` / `telemetry.*`) or the
-/// `counters` map itself.
+/// string literal (`cost.*` / `obs.*` / `telemetry.*` / `health.*`) or
+/// the `counters` map itself.
 fn counter_window(toks: &[Token], s: usize, e: usize) -> bool {
     toks[s..e.min(toks.len())].iter().any(|t| {
         t.str_lit().is_some_and(|lit| {
-            lit.starts_with("cost.") || lit.starts_with("obs.") || lit.starts_with("telemetry.")
+            lit.starts_with("cost.")
+                || lit.starts_with("obs.")
+                || lit.starts_with("telemetry.")
+                || lit.starts_with("health.")
         }) || t.is_ident("counters")
     })
 }

@@ -1,4 +1,4 @@
-//! The project-invariant rule catalog (`A0001`–`A0014`).
+//! The project-invariant rule catalog (`A0001`–`A0020`).
 //!
 //! These are the invariants clippy cannot express because they are
 //! *ours*: which crate owns the clock, what discipline the observability
@@ -10,7 +10,7 @@
 //! unguarded shortcuts are the failure channel there) and never scan
 //! `vendor/*` (not loaded at all).
 //!
-//! `A0001`–`A0007`, `A0013`, and `A0014` are single-window token matchers;
+//! `A0001`–`A0007`, `A0013`, `A0014`, and `A0020` are single-window token matchers;
 //! `A0008`–`A0012` (implemented in [`crate::dataflow`]) walk the call
 //! graph and attach `file:line` witness chains to their findings.
 //!
@@ -130,7 +130,7 @@ pub static RULES: &[Rule] = &[
     },
     Rule {
         code: "A0016",
-        summary: "counter flows (cost.*/obs.*/telemetry.*) use saturating arithmetic and interval-proven narrowing casts",
+        summary: "counter flows (cost.*/obs.*/telemetry.*/health.*) use saturating arithmetic and interval-proven narrowing casts",
         interprocedural: false,
         check: crate::effects::counter_arith,
     },
@@ -151,6 +151,12 @@ pub static RULES: &[Rule] = &[
         summary: "DESIGN.md's zero-cost theorem names only functions the effect engine proves pure",
         interprocedural: true,
         check: crate::effects::design_sync,
+    },
+    Rule {
+        code: "A0020",
+        summary: "health.* metric and field names agree across the obs registry, the health-engine sources, and DESIGN.md §13",
+        interprocedural: false,
+        check: health_registry_sync,
     },
 ];
 
@@ -625,10 +631,14 @@ fn metric_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
     }
     // Dead registry entries: only meaningful on a full workspace scan.
     if ws.file("crates/core/src/deepeye.rs").is_some() {
-        // Flight-recorder self-metrics are recorded inside crates/obs,
-        // which this rule's scan skips; A0013 owns their sync instead.
-        let recorder_metric =
-            |name: &str| name.starts_with("obs.") || name.starts_with("telemetry.");
+        // Flight-recorder and health-engine self-metrics are recorded
+        // inside crates/obs, which this rule's scan skips; A0013 and
+        // A0020 own their sync instead.
+        let recorder_metric = |name: &str| {
+            name.starts_with("obs.")
+                || name.starts_with("telemetry.")
+                || name.starts_with("health.")
+        };
         for name in deepeye_obs::metrics::COUNTERS {
             if recorder_metric(name) {
                 continue;
@@ -955,6 +965,167 @@ fn telemetry_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
                         code: "A0013",
                         message: format!(
                             "telemetry schema field {field:?} is not documented in DESIGN.md §10"
+                        ),
+                        path: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A0020 — the health engine's metric and schema names stay in sync.
+//
+// The health engine adds a third self-metric namespace (`health.*`) and a
+// second versioned document schema (`deepeye-health/v1`). The same drift
+// channels A0013 closes for the recorder apply here: a typo'd `health.*`
+// literal at a record site forks the metric; a registered `health.*`
+// counter no health-engine source records is dead weight; DESIGN.md §13
+// can name a metric the registry never heard of, or omit one it has, or
+// skip a schema field `validate_health_json` enforces. Same mechanics as
+// A0013, scoped to the health-engine sources and §13.
+
+fn health_registry_sync(ws: &Workspace, _a: &Analysis) -> Vec<Diagnostic> {
+    const HEALTH_FILES: &[&str] = &[
+        "crates/obs/src/health.rs",
+        "crates/obs/src/series.rs",
+        "crates/obs/src/observer.rs",
+        "crates/obs/src/telemetry.rs",
+    ];
+    let metric_shaped = |s: &str| {
+        s.contains('.')
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c))
+    };
+    let health_name = |s: &str| s.starts_with("health.");
+    let mut out = Vec::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for rel in HEALTH_FILES {
+        let Some(file) = ws.file(rel) else { continue };
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(lit) = t.str_lit() else { continue };
+            if !health_name(lit) || !metric_shaped(lit) || !file.is_product(i) {
+                continue;
+            }
+            used.insert(lit.to_owned());
+            if !deepeye_obs::metrics::is_counter(lit) && !deepeye_obs::metrics::is_histogram(lit) {
+                out.push(diag(
+                    file,
+                    t.line,
+                    "A0020",
+                    format!(
+                        "health metric {lit:?} is not in the central metric registry \
+                         (deepeye_obs::metrics) — a typo forks the metric"
+                    ),
+                ));
+            }
+        }
+    }
+    // The reverse directions gate on the health-engine sources being in
+    // the scanned set (full workspace runs; unit fixtures gate themselves
+    // by including crates/obs/src/health.rs).
+    if ws.file("crates/obs/src/health.rs").is_some() {
+        let design = ws.design.as_str();
+        // The health-engine section: "## 13." to the end of the document
+        // (it is currently the last section; a "\n## 14." bound kicks in
+        // if one is ever added). If the heading moves, fall back to the
+        // whole document so the rule degrades to weaker matching instead
+        // of passing silently.
+        let (section, section_start) = match design.find("## 13.") {
+            Some(start) => {
+                let rest = &design[start..];
+                match rest.find("\n## 14.") {
+                    Some(end) => (&rest[..end], start),
+                    None => (rest, start),
+                }
+            }
+            None => (design, 0),
+        };
+        for name in deepeye_obs::metrics::COUNTERS
+            .iter()
+            .chain(deepeye_obs::metrics::HISTOGRAMS)
+        {
+            if !health_name(name) {
+                continue;
+            }
+            if !used.contains(*name) {
+                out.push(Diagnostic {
+                    file: "crates/obs/src/metrics.rs".to_owned(),
+                    line: 1,
+                    code: "A0020",
+                    message: format!(
+                        "registered health metric {name:?} is recorded nowhere in the \
+                         health-engine sources"
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            if !design.is_empty() && !section.contains(name) {
+                out.push(Diagnostic {
+                    file: "DESIGN.md".to_owned(),
+                    line: 1,
+                    code: "A0020",
+                    message: format!("health metric {name:?} is not documented in DESIGN.md §13"),
+                    path: Vec::new(),
+                });
+            }
+        }
+        // §13 → registry: a `health.*`-shaped token in the section that
+        // the registry does not know is a doc lie.
+        {
+            let prefix = "health.";
+            let mut pos = 0usize;
+            while let Some(found) = section[pos..].find(prefix) {
+                let start = pos + found;
+                pos = start + prefix.len();
+                // Only a standalone token starts a metric name — skip
+                // `deepeye-health.` and similar.
+                if start > 0
+                    && section[..start]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || "_-.".contains(c))
+                {
+                    continue;
+                }
+                let rest = &section[pos..];
+                let word_len = rest
+                    .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+                    .unwrap_or(rest.len());
+                if word_len == 0 {
+                    continue; // `health.*` wildcards and sentence-final dots
+                }
+                let token = &section[start..pos + word_len];
+                if !deepeye_obs::metrics::is_counter(token)
+                    && !deepeye_obs::metrics::is_histogram(token)
+                {
+                    let offset = (section_start + start).min(design.len());
+                    out.push(Diagnostic {
+                        file: "DESIGN.md".to_owned(),
+                        line: (design[..offset].matches('\n').count() + 1) as u32,
+                        code: "A0020",
+                        message: format!(
+                            "DESIGN.md §13 names health metric {token:?}, which is not in \
+                             the registry"
+                        ),
+                        path: Vec::new(),
+                    });
+                }
+            }
+        }
+        // Health document schema fields must be documented (backticked)
+        // in §13.
+        if !design.is_empty() {
+            for field in deepeye_obs::HEALTH_FIELDS {
+                if !section.contains(&format!("`{field}`")) {
+                    out.push(Diagnostic {
+                        file: "DESIGN.md".to_owned(),
+                        line: 1,
+                        code: "A0020",
+                        message: format!(
+                            "health schema field {field:?} is not documented in DESIGN.md §13"
                         ),
                         path: Vec::new(),
                     });
@@ -1670,6 +1841,137 @@ fn account(state: &mut State, drops: u64) {
             "A0013",
             vec![("crates/core/src/x.rs", "fn f() {}")],
             "whatever telemetry.bogus",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    /// A health.rs fixture recording every registered health metric.
+    const HEALTH_FIXTURE: &str = r#"
+fn account(state: &mut State) {
+    *state.counters.entry("health.ticks").or_insert(0) += 1;
+    *state.counters.entry("health.ingest_errors").or_insert(0) += 1;
+    *state.counters.entry("health.evaluations").or_insert(0) += 1;
+}
+"#;
+
+    /// A DESIGN.md §13 fixture documenting every health metric and every
+    /// health document schema field.
+    fn health_design() -> String {
+        let fields = deepeye_obs::HEALTH_FIELDS
+            .iter()
+            .map(|f| format!("`{f}`"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "## 12. Cost profiler\nno health names here\n\n\
+             ## 13. Health engine\nMetrics: health.ticks health.ingest_errors \
+             health.evaluations\nFields: {fields}\n"
+        )
+    }
+
+    #[test]
+    fn a0020_clean_when_all_agree() {
+        let hits = run_rule(
+            "A0020",
+            vec![("crates/obs/src/health.rs", HEALTH_FIXTURE)],
+            &health_design(),
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn a0020_flags_unregistered_health_literal() {
+        let hits = run_rule(
+            "A0020",
+            vec![
+                ("crates/obs/src/health.rs", HEALTH_FIXTURE),
+                (
+                    "crates/obs/src/observer.rs",
+                    r#"fn f(obs: &Observer) { obs.incr("health.tick", 1); }"#,
+                ),
+            ],
+            &health_design(),
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "crates/obs/src/observer.rs");
+        assert!(hits[0].message.contains("health.tick"));
+    }
+
+    #[test]
+    fn a0020_flags_unrecorded_registry_entry() {
+        let reduced = HEALTH_FIXTURE.replace("\"health.evaluations\"", "\"health.ticks\"");
+        let hits = run_rule(
+            "A0020",
+            vec![("crates/obs/src/health.rs", reduced.as_str())],
+            &health_design(),
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "crates/obs/src/metrics.rs");
+        assert!(hits[0].message.contains("health.evaluations"));
+    }
+
+    #[test]
+    fn a0020_flags_design_drift_both_ways() {
+        // §13 misses a registered health metric.
+        let missing = health_design().replace("health.ingest_errors ", "");
+        let hits = run_rule(
+            "A0020",
+            vec![("crates/obs/src/health.rs", HEALTH_FIXTURE)],
+            &missing,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "DESIGN.md");
+        assert!(hits[0].message.contains("not documented"));
+        // §13 invents an unregistered health metric.
+        let invented = health_design().replace("Fields:", "Also health.tocks is great.\nFields:");
+        let hits = run_rule(
+            "A0020",
+            vec![("crates/obs/src/health.rs", HEALTH_FIXTURE)],
+            &invented,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "DESIGN.md");
+        assert!(hits[0].message.contains("health.tocks"));
+    }
+
+    #[test]
+    fn a0020_requires_schema_fields_documented() {
+        let missing = health_design().replace("`detector` ", "");
+        let hits = run_rule(
+            "A0020",
+            vec![("crates/obs/src/health.rs", HEALTH_FIXTURE)],
+            &missing,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("detector"));
+    }
+
+    #[test]
+    fn a0020_ignores_wildcards_and_section_12_names() {
+        // `health.*` wildcards and names before the §13 heading are out
+        // of scope for the doc scan.
+        let prose = health_design().replace(
+            "no health names here",
+            "health.bogus is out of scope; the health.* namespace belongs to deepeye-obs",
+        );
+        let with_wildcard = prose.replace(
+            "Fields:",
+            "The health.* namespace ends sentences with health.\nFields:",
+        );
+        let hits = run_rule(
+            "A0020",
+            vec![("crates/obs/src/health.rs", HEALTH_FIXTURE)],
+            &with_wildcard,
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn a0020_skips_partial_workspaces() {
+        let hits = run_rule(
+            "A0020",
+            vec![("crates/core/src/x.rs", "fn f() {}")],
+            "whatever health.bogus",
         );
         assert!(hits.is_empty(), "{hits:?}");
     }

@@ -28,11 +28,19 @@
 //!   taxonomy, and the exactness invariant — per-candidate costs sum
 //!   to the worker flush totals, the rollup groups, and the grand
 //!   totals, per operator.
+//! - Health documents (`--health`, from `harness --soak --health-out`
+//!   or the CLI `--health-out`): `deepeye-health/v1` schema,
+//!   well-formed series stats and verdicts, and a status consistent
+//!   with the firing verdicts. A *firing* document still validates —
+//!   CI checks both the green and the deliberately-paging soak
+//!   documents with this flag; failing the run on a verdict is the
+//!   harness's job, not the validator's.
 //!
 //! Usage: `trace_check [<trace.json> ...] [--metrics <metrics.json>]...
 //! [--provenance <prov.json>]... [--lint-report <report.json>]...
 //! [--bench <bench.json>]... [--budgets <bench.json>]...
-//! [--telemetry <ticks.jsonl>]... [--cost <cost.json>]...`
+//! [--telemetry <ticks.jsonl>]... [--cost <cost.json>]...
+//! [--health <health.json>]...`
 //!
 //! Exits nonzero (via `ExitCode`, so the workspace `clippy::exit` lint
 //! stays intact) if any file fails validation — CI runs this against the
@@ -42,7 +50,8 @@ use deepeye_analyze::validate_lint_report;
 use deepeye_bench::perf::{check_budgets, validate_bench_json};
 use deepeye_core::validate_provenance_json;
 use deepeye_obs::{
-    validate_chrome_trace, validate_cost_json, validate_metrics_json, validate_telemetry_jsonl,
+    validate_chrome_trace, validate_cost_json, validate_health_json, validate_metrics_json,
+    validate_telemetry_jsonl,
 };
 use std::process::ExitCode;
 
@@ -55,6 +64,7 @@ enum Kind {
     Budgets,
     Telemetry,
     Cost,
+    Health,
 }
 
 fn main() -> ExitCode {
@@ -88,6 +98,10 @@ fn main() -> ExitCode {
             },
             "--cost" => match args.next() {
                 Some(path) => jobs.push((Kind::Cost, path)),
+                None => return usage(),
+            },
+            "--health" => match args.next() {
+                Some(path) => jobs.push((Kind::Health, path)),
                 None => return usage(),
             },
             _ => jobs.push((Kind::Trace, arg)),
@@ -223,6 +237,28 @@ fn main() -> ExitCode {
                     failed = true;
                 }
             },
+            Kind::Health => match validate_health_json(&text) {
+                Ok(summary) => {
+                    println!(
+                        "{path}: ok — status {} over {} tick(s): {} series, \
+                         {} objective(s), {} verdict(s) ({} firing)",
+                        summary.status,
+                        summary.ticks,
+                        summary.series,
+                        summary.objectives,
+                        summary.verdicts,
+                        summary.firing
+                    );
+                    if summary.ticks == 0 {
+                        eprintln!("{path}: document covers zero ticks — was soak mode on?");
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
             Kind::LintReport => match validate_lint_report(&text) {
                 Ok(summary) => {
                     println!(
@@ -263,7 +299,8 @@ fn usage() -> ExitCode {
         "usage: trace_check [<trace.json> ...] [--metrics <metrics.json>]... \
          [--provenance <prov.json>]... [--lint-report <report.json>]... \
          [--bench <bench.json>]... [--budgets <bench.json>]... \
-         [--telemetry <ticks.jsonl>]... [--cost <cost.json>]..."
+         [--telemetry <ticks.jsonl>]... [--cost <cost.json>]... \
+         [--health <health.json>]..."
     );
     ExitCode::FAILURE
 }

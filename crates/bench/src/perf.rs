@@ -691,6 +691,25 @@ pub fn stall_budgets() -> Vec<deepeye_obs::StallBudget> {
         .collect()
 }
 
+/// The budget table recast once more, as health-engine SLO objectives:
+/// each stage's [`BUDGETS`] ceiling becomes a runtime objective on the
+/// windowed median of that stage's interval p50 series
+/// (`stage.<span>.p50_ns` in health-series naming), so the CI latency
+/// budgets and the live soak verdicts are the same numbers. The same
+/// table now powers all three consumers: the offline gate
+/// (`trace_check --budgets`), the stall watchdog, and the health
+/// engine.
+pub fn health_objectives() -> Vec<deepeye_obs::SloObjective> {
+    BUDGETS
+        .iter()
+        .map(|b| deepeye_obs::SloObjective {
+            metric: format!("stage.{}.p50_ns", b.stage.span_name()),
+            max_value: b.max_median_ns as f64,
+            source: "perf::BUDGETS".to_owned(),
+        })
+        .collect()
+}
+
 /// Check a harness document against [`BUDGETS`]. Returns the list of
 /// violations (empty = within budget); errors on malformed input.
 pub fn check_budgets(text: &str) -> Result<Vec<String>, String> {
@@ -731,6 +750,20 @@ mod tests {
                 .collect(),
         }];
         results_json(&runs, &obs.snapshot())
+    }
+
+    #[test]
+    fn health_objectives_mirror_budgets() {
+        let objectives = health_objectives();
+        assert_eq!(objectives.len(), BUDGETS.len());
+        for (obj, budget) in objectives.iter().zip(BUDGETS) {
+            assert_eq!(
+                obj.metric,
+                format!("stage.{}.p50_ns", budget.stage.span_name())
+            );
+            assert_eq!(obj.max_value, budget.max_median_ns as f64);
+            assert_eq!(obj.source, "perf::BUDGETS");
+        }
     }
 
     #[test]

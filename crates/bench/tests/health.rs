@@ -1,0 +1,137 @@
+//! Acceptance tests for the health engine over soak-shaped telemetry:
+//! a 100-tick stream with a 3× execute-stage slowdown injected partway
+//! through must produce a `deepeye-health/v1` document whose firing
+//! detector names the stage and the metric, while the same stream
+//! without the injection reports all-healthy — and both documents pass
+//! the validator `trace_check --health` applies.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use deepeye_bench::perf::health_objectives;
+use deepeye_obs::{validate_health_json, HealthConfig, HealthEngine};
+
+const TICKS: u64 = 100;
+const BASELINE_P50_NS: u64 = 10_000_000;
+const INJECT_AT: u64 = 60;
+
+/// One soak-shaped telemetry tick. The execute stage carries `p50`;
+/// everything else is steady-state: a flat RSS (no leak), balanced span
+/// accounting, and a small counter delta.
+fn tick_line(seq: u64, p50: u64) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"deepeye-telemetry/v1\",\"seq\":{seq},\"t_ns\":{t},",
+            "\"interval_ns\":10000000,\"counters\":{{\"exec.ok\":{ok}}},\"hists\":{{}},",
+            "\"stages\":{{\"harness.execute\":{{\"count\":1,\"total_ns\":{p50},",
+            "\"p50_ns\":{p50},\"p95_ns\":{p95},\"p99_ns\":{p99}}},",
+            "\"harness.enumerate\":{{\"count\":1,\"total_ns\":200000,",
+            "\"p50_ns\":200000,\"p95_ns\":220000,\"p99_ns\":240000}}}},",
+            "\"alloc\":{{\"count\":10,\"bytes\":4096}},",
+            "\"spans\":{{\"finished\":{seq},\"retained\":1,\"dropped\":0,\"capacity\":256}},",
+            "\"proc\":{{\"rss_bytes\":52428800,\"cpu_user_ticks\":{seq},\"cpu_sys_ticks\":1}},",
+            "\"stalls\":[]}}",
+        ),
+        seq = seq,
+        t = seq * 10_000_000,
+        ok = 30 + seq % 5,
+        p50 = p50,
+        p95 = p50 + p50 / 10,
+        p99 = p50 + p50 / 5,
+    )
+}
+
+/// Deterministic baseline jitter: a few percent around the nominal p50
+/// so the window is realistic (nonzero MAD) but far from any firing
+/// threshold.
+fn baseline_p50(seq: u64) -> u64 {
+    BASELINE_P50_NS + (seq % 7) * 100_000
+}
+
+fn run_engine(inject: bool) -> (HealthEngine, String) {
+    let mut engine =
+        HealthEngine::new(HealthConfig::default().with_objectives(health_objectives()));
+    for seq in 1..=TICKS {
+        let p50 = if inject && seq >= INJECT_AT {
+            baseline_p50(seq) * 3
+        } else {
+            baseline_p50(seq)
+        };
+        engine
+            .ingest_line(&tick_line(seq, p50))
+            .expect("synthetic soak tick ingests");
+    }
+    let doc = engine.report_json();
+    (engine, doc)
+}
+
+#[test]
+fn injected_slowdown_fires_and_names_the_stage_and_metric() {
+    let (engine, doc) = run_engine(true);
+    assert_eq!(engine.ticks(), TICKS);
+
+    let firing: Vec<_> = engine.verdicts().into_iter().filter(|v| v.firing).collect();
+    assert!(
+        !firing.is_empty(),
+        "a 3x execute slowdown must fire at least one detector"
+    );
+    // The drift detector latches the excursion on the slowed stage, and
+    // the verdict names both the metric (series) and the detector.
+    let drift = firing
+        .iter()
+        .find(|v| v.detector == "ewma_drift")
+        .expect("EWMA drift detector fires on a 3x step");
+    assert_eq!(drift.metric, "stage.harness.execute.p50_ns");
+    assert!(
+        drift.detail.contains("first fired at tick"),
+        "latched verdict records when it fired: {}",
+        drift.detail
+    );
+    // No other stage is implicated.
+    assert!(
+        firing.iter().all(|v| v.metric.contains("harness.execute")),
+        "only the slowed stage may fire: {firing:?}"
+    );
+
+    // The document validates and records the firing verdict with the
+    // stage-series name intact.
+    let summary = validate_health_json(&doc).expect("injected document validates");
+    assert_eq!(summary.ticks, TICKS);
+    assert!(summary.firing > 0);
+    assert_ne!(summary.status, "ok");
+    assert!(doc.contains("stage.harness.execute.p50_ns"));
+    assert!(doc.contains("ewma_drift"));
+}
+
+#[test]
+fn clean_run_reports_all_healthy() {
+    let (engine, doc) = run_engine(false);
+    assert_eq!(engine.ticks(), TICKS);
+    let firing: Vec<_> = engine.verdicts().into_iter().filter(|v| v.firing).collect();
+    assert!(firing.is_empty(), "clean run must not fire: {firing:?}");
+
+    let summary = validate_health_json(&doc).expect("clean document validates");
+    assert_eq!(summary.ticks, TICKS);
+    assert_eq!(summary.firing, 0);
+    assert_eq!(summary.status, "ok");
+    // The derived objectives are still listed (non-firing), so a green
+    // document names what it was checked against.
+    assert_eq!(summary.objectives, health_objectives().len());
+    assert!(doc.contains("perf::BUDGETS"));
+}
+
+#[test]
+fn injection_is_within_slo_but_latched_as_drift() {
+    // The execute budget (60s median) dwarfs a 30ms p50, so the SLO
+    // verdicts stay quiet even under injection — the drift detector is
+    // what catches a relative regression long before the absolute
+    // ceiling is threatened.
+    let (engine, _) = run_engine(true);
+    assert!(
+        engine
+            .verdicts()
+            .iter()
+            .filter(|v| v.detector == "slo")
+            .all(|v| !v.firing),
+        "injected p50 stays far below the absolute stage budgets"
+    );
+}

@@ -51,12 +51,14 @@ pub mod alloc;
 pub mod clock;
 pub mod cost;
 pub mod flame;
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod report;
 pub mod ring;
+pub mod series;
 pub mod telemetry;
 pub mod trace;
 pub mod watchdog;
@@ -69,11 +71,17 @@ pub use cost::{
 };
 
 pub use flame::{flame_svg, folded_stacks, spans_from_chrome_trace, FlameSpan};
+pub use health::{
+    default_detectors, validate_health_json, Detector, EwmaDrift, HealthConfig, HealthEngine,
+    HealthReport, HealthSummary, MonotonicGrowth, RobustZ, Severity, SloObjective, Verdict,
+    HEALTH_FIELDS, HEALTH_SCHEMA,
+};
 pub use hist::{HistSummary, Histogram};
 pub use json::{parse_json, Json, JsonError};
 pub use observer::{HistTimer, Observer, RecorderConfig, SpanGuard, SpanId, SpanRecord};
 pub use report::{fmt_duration, validate_metrics_json, MetricsSummary, Snapshot, StageAgg};
 pub use ring::{RetentionStats, SamplingPolicy, SpanRing};
+pub use series::{stats_of, RingSeries, WindowStats};
 pub use telemetry::{
     proc_stats, validate_telemetry_jsonl, ProcStats, TelemetryCursor, TelemetrySummary,
     TELEMETRY_FIELDS, TELEMETRY_SCHEMA,

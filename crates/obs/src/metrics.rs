@@ -21,8 +21,10 @@
 //! The flight recorder's self-metrics (`obs.spans_dropped`, `obs.stall`,
 //! `telemetry.ticks`) are recorded inside `deepeye-obs` itself, so rule
 //! `A0005` (which scans the product crates) exempts the `obs.*` /
-//! `telemetry.*` prefixes; rule `A0013` owns them instead, keeping the
-//! registry, the recorder sources, and DESIGN.md §10 in sync.
+//! `telemetry.*` / `health.*` prefixes; rule `A0013` owns the first two,
+//! keeping the registry, the recorder sources, and DESIGN.md §10 in
+//! sync, and rule `A0020` does the same for the health engine's
+//! `health.*` counters against DESIGN.md §13.
 //!
 //! The executor cost counters (`cost.*`) are flushed by
 //! `deepeye_core::parallel::flush_cost_counters`, one per operator in the
@@ -45,6 +47,9 @@ pub const COUNTERS: &[&str] = &[
     "enumerate.raw",
     "exec.err",
     "exec.ok",
+    "health.evaluations",
+    "health.ingest_errors",
+    "health.ticks",
     "ltr.docs",
     "ltr.epochs",
     "ltr.groups",

@@ -22,6 +22,7 @@
 //!   watches spans that stay open past their budget.
 
 use crate::alloc::{AllocCell, AllocStats};
+use crate::health::{HealthConfig, HealthEngine, HealthReport, Verdict};
 use crate::hist::Histogram;
 use crate::ring::{RetentionStats, SpanRing};
 use crate::watchdog::{StallBudget, StallEvent};
@@ -171,6 +172,10 @@ pub(crate) struct State {
     pub stalls: Vec<StallEvent>,
     /// Open spans already reported as stalled (one event per span).
     pub stalled: BTreeSet<SpanId>,
+    /// Online health evaluation over telemetry ticks (see
+    /// [`crate::health`]); `None` unless built via
+    /// [`Observer::with_health`].
+    pub health: Option<HealthEngine>,
 }
 
 pub(crate) struct Inner {
@@ -248,9 +253,23 @@ impl Observer {
                     paths: PathTable::default(),
                     stalls: Vec::new(),
                     stalled: BTreeSet::new(),
+                    health: None,
                 }),
             })),
         }
+    }
+
+    /// A flight recorder with the health engine attached: every
+    /// [`Observer::telemetry_tick`](crate::telemetry) line is also fed
+    /// into per-metric ring timeseries and scored by the configured
+    /// detectors (see [`crate::health`]). Read the rollup with
+    /// [`Observer::health_report`] / [`Observer::health_verdicts`].
+    pub fn with_health(config: RecorderConfig, health: HealthConfig) -> Self {
+        let obs = Observer::with_recorder(config);
+        if let Some(inner) = obs.inner.as_ref() {
+            inner.lock().health = Some(HealthEngine::new(health));
+        }
+        obs
     }
 
     /// The no-op observer (also `Default`): every method is a single
@@ -420,6 +439,49 @@ impl Observer {
             .as_ref()
             .and_then(|inner| inner.lock().counters.get(name).copied())
             .unwrap_or(0)
+    }
+
+    /// Render the current `deepeye-health/v1` document. `None` when
+    /// disabled or when no health engine is attached (see
+    /// [`Observer::with_health`]). Each call counts one
+    /// `health.evaluations`.
+    pub fn health_report(&self) -> Option<String> {
+        let inner = self.inner.as_ref()?;
+        let mut state = inner.lock();
+        let doc = state.health.as_ref().map(HealthEngine::report_json)?;
+        let slot = state.counters.entry("health.evaluations").or_insert(0);
+        *slot = slot.saturating_add(1);
+        Some(doc)
+    }
+
+    /// The current structured health rollup (ticks, status, verdicts);
+    /// `None` when disabled or without a health engine.
+    pub fn health_snapshot(&self) -> Option<HealthReport> {
+        let inner = self.inner.as_ref()?;
+        let state = inner.lock();
+        state.health.as_ref().map(HealthEngine::report)
+    }
+
+    /// All current health verdicts — latched anomaly firings plus SLO
+    /// judgements — or empty when disabled / without a health engine.
+    pub fn health_verdicts(&self) -> Vec<Verdict> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let state = inner.lock();
+        state
+            .health
+            .as_ref()
+            .map(HealthEngine::verdicts)
+            .unwrap_or_default()
+    }
+
+    /// Current health gauges in the Prometheus text exposition format;
+    /// `None` when disabled or without a health engine.
+    pub fn health_prometheus(&self) -> Option<String> {
+        let inner = self.inner.as_ref()?;
+        let state = inner.lock();
+        state.health.as_ref().map(HealthEngine::prometheus_text)
     }
 
     /// Total recorded duration of all finished spans with this name.

@@ -1,0 +1,299 @@
+//! Fixed-capacity per-metric ring timeseries for the health engine.
+//!
+//! Each telemetry tick contributes one sample per live metric — a
+//! counter delta, a stage interval quantile, an allocation total, an
+//! RSS reading — and the health detectors (see [`crate::health`]) need
+//! a bounded rolling history of those samples to score the newest one
+//! against. [`RingSeries`] is that history: a fixed-capacity ring of
+//! `f64` samples with O(1) append (the oldest sample is overwritten
+//! once the ring is full, mirroring the span ring's bounded-retention
+//! design) and windowed min/max/mean/median/MAD queries computed over
+//! the most recent `w` samples.
+//!
+//! Statistics are recomputed from the ring contents on every query
+//! rather than maintained incrementally. That costs an O(w log w) sort
+//! per query — irrelevant at health-engine cadence (one evaluation per
+//! telemetry tick over a few hundred samples) — and buys the property
+//! the detector determinism tests lean on: the ring contents alone
+//! decide every statistic, so appending N samples in one batch
+//! ([`RingSeries::extend`]) is indistinguishable from N single appends.
+
+/// Windowed summary statistics over the most recent samples of a
+/// [`RingSeries`]. `median`/`mad` are the robust center/spread pair the
+/// z-score detector uses; `mad` is the raw median absolute deviation
+/// (unscaled — consumers apply the 1.4826 normal-consistency factor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Samples actually covered (≤ the requested window).
+    pub count: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub median: f64,
+    /// Median absolute deviation from `median`, unscaled.
+    pub mad: f64,
+}
+
+/// A fixed-capacity ring of `f64` samples: O(1) append, oldest-first
+/// overwrite, windowed statistics over the newest samples.
+#[derive(Debug, Clone)]
+pub struct RingSeries {
+    /// Ring storage; grows up to `cap` then wraps.
+    values: Vec<f64>,
+    /// Next write position once the ring is full.
+    head: usize,
+    cap: usize,
+    /// Samples ever appended (not capped).
+    total: u64,
+}
+
+impl RingSeries {
+    /// A ring retaining the last `capacity` samples (`capacity` is
+    /// clamped to at least 1).
+    pub fn new(capacity: usize) -> RingSeries {
+        let cap = capacity.max(1);
+        RingSeries {
+            values: Vec::new(),
+            head: 0,
+            cap,
+            total: 0,
+        }
+    }
+
+    /// Retention capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Samples currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Samples ever appended, including overwritten ones.
+    pub fn total_appended(&self) -> u64 {
+        self.total
+    }
+
+    /// The most recent sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        if self.values.len() < self.cap {
+            self.values.last().copied()
+        } else {
+            // `head` is the next write slot, so the newest sample sits
+            // just before it (wrapping).
+            let idx = if self.head == 0 {
+                self.values.len() - 1
+            } else {
+                self.head - 1
+            };
+            self.values.get(idx).copied()
+        }
+    }
+
+    /// Append one sample, overwriting the oldest once full. Non-finite
+    /// samples are recorded as 0.0 so the ring never carries NaN/inf
+    /// into detector math or JSON output.
+    pub fn push(&mut self, value: f64) {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.total = self.total.saturating_add(1);
+        if self.values.len() < self.cap {
+            self.values.push(v);
+            return;
+        }
+        if let Some(slot) = self.values.get_mut(self.head) {
+            *slot = v;
+        }
+        self.head += 1;
+        if self.head == self.cap {
+            self.head = 0;
+        }
+    }
+
+    /// Append a batch of samples; exactly equivalent to `push` in a
+    /// loop (the determinism property the proptests assert).
+    pub fn extend(&mut self, samples: &[f64]) {
+        for &v in samples {
+            self.push(v);
+        }
+    }
+
+    /// The most recent `window` samples, oldest first. A window of 0 or
+    /// larger than the retained count is clamped to the retained count.
+    pub fn window(&self, window: usize) -> Vec<f64> {
+        let len = self.values.len();
+        let w = if window == 0 { len } else { window.min(len) };
+        let mut out = Vec::with_capacity(w);
+        // Chronological order: `head` is the oldest sample once the
+        // ring has wrapped; before that the vec itself is chronological.
+        let start_at = len - w;
+        for logical in start_at..len {
+            let idx = if len < self.cap {
+                logical
+            } else {
+                let shifted = self.head + logical;
+                if shifted >= len {
+                    shifted - len
+                } else {
+                    shifted
+                }
+            };
+            if let Some(&v) = self.values.get(idx) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Windowed min/max/mean/median/MAD over the most recent `window`
+    /// samples (`0` = everything retained). `None` when the ring is
+    /// empty — detectors must not fire on empty windows.
+    pub fn window_stats(&self, window: usize) -> Option<WindowStats> {
+        stats_of(&self.window(window))
+    }
+}
+
+/// Summary statistics of a raw sample slice — the single computation
+/// both [`RingSeries::window_stats`] and the health detectors use, so
+/// every consumer agrees on the min/max/mean/median/MAD definitions.
+/// `None` for an empty slice.
+pub fn stats_of(vals: &[f64]) -> Option<WindowStats> {
+    if vals.is_empty() {
+        return None;
+    }
+    let count = vals.len();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0f64;
+    for &v in vals {
+        if v < min {
+            min = v;
+        }
+        if v > max {
+            max = v;
+        }
+        sum += v;
+    }
+    let mean = sum / count as f64;
+    let median = median_of(vals.to_vec());
+    let deviations: Vec<f64> = vals.iter().map(|v| (v - median).abs()).collect();
+    let mad = median_of(deviations);
+    Some(WindowStats {
+        count,
+        min,
+        max,
+        mean,
+        median,
+        mad,
+    })
+}
+
+/// Median of a sample set by sorting (the set is small and bounded by
+/// the ring capacity). Even-length sets take the mean of the middle
+/// pair. Returns 0.0 for an empty set.
+fn median_of(mut vals: Vec<f64>) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.sort_by(f64::total_cmp);
+    let mid = vals.len() / 2;
+    if vals.len() % 2 == 1 {
+        vals.get(mid).copied().unwrap_or(0.0)
+    } else {
+        let hi = vals.get(mid).copied().unwrap_or(0.0);
+        let lo = vals.get(mid - 1).copied().unwrap_or(0.0);
+        (lo + hi) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_reports_nothing() {
+        let s = RingSeries::new(8);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.last(), None);
+        assert_eq!(s.window_stats(4), None);
+        assert!(s.window(4).is_empty());
+    }
+
+    #[test]
+    fn append_is_chronological_before_wrap() {
+        let mut s = RingSeries::new(8);
+        s.extend(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.window(0), vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.window(2), vec![2.0, 3.0]);
+        assert_eq!(s.last(), Some(3.0));
+        assert_eq!(s.total_appended(), 3);
+    }
+
+    #[test]
+    fn overwrite_keeps_the_newest_samples() {
+        let mut s = RingSeries::new(4);
+        for v in 1..=10 {
+            s.push(v as f64);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.window(0), vec![7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(s.last(), Some(10.0));
+        assert_eq!(s.total_appended(), 10);
+    }
+
+    #[test]
+    fn window_stats_match_hand_computation() {
+        let mut s = RingSeries::new(16);
+        s.extend(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        let stats = s.window_stats(0).expect("non-empty");
+        assert_eq!(stats.count, 5);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 100.0);
+        assert_eq!(stats.mean, 22.0);
+        assert_eq!(stats.median, 3.0);
+        // |1-3| |2-3| |3-3| |4-3| |100-3| → 2 1 0 1 97 → median 1.
+        assert_eq!(stats.mad, 1.0);
+    }
+
+    #[test]
+    fn even_window_takes_middle_pair_mean() {
+        let mut s = RingSeries::new(8);
+        s.extend(&[1.0, 2.0, 3.0, 4.0]);
+        let stats = s.window_stats(0).expect("non-empty");
+        assert_eq!(stats.median, 2.5);
+    }
+
+    #[test]
+    fn single_sample_stats_degenerate_cleanly() {
+        let mut s = RingSeries::new(8);
+        s.push(7.0);
+        let stats = s.window_stats(0).expect("one sample");
+        assert_eq!(stats.count, 1);
+        assert_eq!(stats.min, 7.0);
+        assert_eq!(stats.max, 7.0);
+        assert_eq!(stats.mean, 7.0);
+        assert_eq!(stats.median, 7.0);
+        assert_eq!(stats.mad, 0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_sanitized() {
+        let mut s = RingSeries::new(4);
+        s.extend(&[f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(s.window(0), vec![0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut s = RingSeries::new(0);
+        assert_eq!(s.capacity(), 1);
+        s.extend(&[1.0, 2.0]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.last(), Some(2.0));
+    }
+}

@@ -255,7 +255,7 @@ impl Observer {
         cursor.stalls_seen = state.stalls.len();
         cursor.last_proc = proc;
 
-        Some(format!(
+        let line = format!(
             "{{\"schema\":\"{TELEMETRY_SCHEMA}\",\"seq\":{},\"t_ns\":{t_ns},\
              \"interval_ns\":{interval_ns},\"counters\":{{{}}},\"hists\":{{{}}},\
              \"stages\":{{{}}},\"alloc\":{{\"count\":{alloc_dc},\"bytes\":{alloc_db}}},\
@@ -274,7 +274,30 @@ impl Observer {
             proc.cpu_user_ticks,
             proc.cpu_sys_ticks,
             stall_parts.join(",")
-        ))
+        );
+
+        // Feed the tick straight into the health engine when one is
+        // attached (see `Observer::with_health`): the engine sees
+        // exactly the bytes the stream consumer will, so online
+        // verdicts and offline replay agree. The bookkeeping counters
+        // land on the *next* tick's deltas (the cursor snapshot above
+        // already closed this interval).
+        let ingest = state
+            .health
+            .as_mut()
+            .map(|engine| engine.ingest_line(&line));
+        match ingest {
+            Some(Ok(())) => {
+                let slot = state.counters.entry("health.ticks").or_insert(0);
+                *slot = slot.saturating_add(1);
+            }
+            Some(Err(_)) => {
+                let slot = state.counters.entry("health.ingest_errors").or_insert(0);
+                *slot = slot.saturating_add(1);
+            }
+            None => {}
+        }
+        Some(line)
     }
 }
 
@@ -334,6 +357,10 @@ pub fn validate_telemetry_jsonl(text: &str) -> Result<TelemetrySummary, String> 
     let mut prev_finished = 0u64;
     let mut prev_user = 0u64;
     let mut prev_sys = 0u64;
+    // Cross-line invariant failures cite both ends: the failing line
+    // number rides the `fail` prefix, and this remembers where the
+    // compared-against value came from.
+    let mut prev_line = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -350,13 +377,17 @@ pub fn validate_telemetry_jsonl(text: &str) -> Result<TelemetrySummary, String> 
         let seq = req_u64(&doc, "seq", "tick").map_err(|e| format!("line {n}: {e}"))?;
         if let Some(p) = prev_seq {
             if seq <= p {
-                return fail(format!("seq {seq} does not increase past {p}"));
+                return fail(format!(
+                    "`seq` {seq} does not increase past {p} (line {prev_line})"
+                ));
             }
         }
         prev_seq = Some(seq);
         let t_ns = req_u64(&doc, "t_ns", "tick").map_err(|e| format!("line {n}: {e}"))?;
         if t_ns < prev_t {
-            return fail(format!("t_ns {t_ns} regresses below {prev_t}"));
+            return fail(format!(
+                "`t_ns` {t_ns} regresses below {prev_t} (line {prev_line})"
+            ));
         }
         prev_t = t_ns;
         let interval =
@@ -425,12 +456,14 @@ pub fn validate_telemetry_jsonl(text: &str) -> Result<TelemetrySummary, String> 
         }
         if finished < prev_finished {
             return fail(format!(
-                "finished {finished} regresses below {prev_finished}"
+                "`spans.finished` {finished} regresses below {prev_finished} (line {prev_line})"
             ));
         }
         prev_finished = finished;
         if dropped < last_dropped {
-            return fail(format!("dropped {dropped} regresses below {last_dropped}"));
+            return fail(format!(
+                "`spans.dropped` {dropped} regresses below {last_dropped} (line {prev_line})"
+            ));
         }
         last_dropped = dropped;
         last_capacity = capacity;
@@ -441,8 +474,15 @@ pub fn validate_telemetry_jsonl(text: &str) -> Result<TelemetrySummary, String> 
         req_u64(proc, "rss_bytes", "proc").map_err(|e| format!("line {n}: {e}"))?;
         let user = req_u64(proc, "cpu_user_ticks", "proc").map_err(|e| format!("line {n}: {e}"))?;
         let sys = req_u64(proc, "cpu_sys_ticks", "proc").map_err(|e| format!("line {n}: {e}"))?;
-        if user < prev_user || sys < prev_sys {
-            return fail("CPU tick counters regress".to_owned());
+        if user < prev_user {
+            return fail(format!(
+                "`proc.cpu_user_ticks` {user} regresses below {prev_user} (line {prev_line})"
+            ));
+        }
+        if sys < prev_sys {
+            return fail(format!(
+                "`proc.cpu_sys_ticks` {sys} regresses below {prev_sys} (line {prev_line})"
+            ));
         }
         prev_user = user;
         prev_sys = sys;
@@ -476,6 +516,7 @@ pub fn validate_telemetry_jsonl(text: &str) -> Result<TelemetrySummary, String> 
         }
         stalls += stall_arr.len();
         ticks += 1;
+        prev_line = n;
     }
     if ticks == 0 {
         return Err("telemetry stream contains no ticks".to_owned());
@@ -565,6 +606,85 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_interval_has_degenerate_ordered_quantiles() {
+        let obs = Observer::with_recorder(RecorderConfig::bounded(8));
+        let mut cursor = TelemetryCursor::default();
+        obs.record_ns("exec.query_ns", 1234);
+        let line = obs.telemetry_tick(&mut cursor).expect("enabled");
+        let doc = parse_json(line.trim()).expect("valid");
+        let hist = doc
+            .get("hists")
+            .and_then(|h| h.get("exec.query_ns"))
+            .expect("hist present");
+        let q = |k: &str| hist.get(k).and_then(Json::as_f64).expect("numeric");
+        assert_eq!(q("count"), 1.0);
+        // One sample: every quantile collapses to the same bucket bound.
+        assert_eq!(q("p50_ns"), q("p95_ns"));
+        assert_eq!(q("p95_ns"), q("p99_ns"));
+        validate_telemetry_jsonl(&line).expect("degenerate quantiles still validate");
+    }
+
+    #[test]
+    fn multi_sample_interval_quantiles_are_ordered() {
+        let obs = Observer::with_recorder(RecorderConfig::bounded(8));
+        let mut cursor = TelemetryCursor::default();
+        // A wide spread across log2 buckets so the quantiles differ.
+        obs.record_many_ns("exec.query_ns", &[10, 100, 1_000, 100_000, 50_000_000]);
+        let line = obs.telemetry_tick(&mut cursor).expect("enabled");
+        let doc = parse_json(line.trim()).expect("valid");
+        let hist = doc
+            .get("hists")
+            .and_then(|h| h.get("exec.query_ns"))
+            .expect("hist present");
+        let q = |k: &str| hist.get(k).and_then(Json::as_f64).expect("numeric");
+        assert!(q("p50_ns") <= q("p95_ns"));
+        assert!(q("p95_ns") <= q("p99_ns"));
+        validate_telemetry_jsonl(&line).expect("ordered quantiles validate");
+    }
+
+    #[test]
+    fn saturated_counters_delta_to_zero_not_underflow() {
+        let obs = Observer::with_recorder(RecorderConfig::bounded(8));
+        let mut cursor = TelemetryCursor::default();
+        obs.incr("exec.ok", u64::MAX);
+        let line1 = obs.telemetry_tick(&mut cursor).expect("enabled");
+        let doc1 = parse_json(line1.trim()).expect("valid");
+        assert_eq!(
+            doc1.get("counters")
+                .and_then(|c| c.get("exec.ok"))
+                .and_then(Json::as_f64),
+            Some(u64::MAX as f64)
+        );
+        // The counter is already saturated; another huge increment
+        // cannot move it, so the next interval must report no delta
+        // rather than wrap.
+        obs.incr("exec.ok", u64::MAX);
+        obs.incr("exec.err", 1);
+        let line2 = obs.telemetry_tick(&mut cursor).expect("enabled");
+        let doc2 = parse_json(line2.trim()).expect("valid");
+        assert!(
+            doc2.get("counters")
+                .and_then(|c| c.get("exec.ok"))
+                .is_none(),
+            "saturated counter has no interval delta"
+        );
+        assert_eq!(
+            doc2.get("counters")
+                .and_then(|c| c.get("exec.err"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let stream = format!("{line1}{line2}");
+        validate_telemetry_jsonl(&stream).expect("saturated stream validates");
+        // The health engine accepts the saturated sample as a finite f64.
+        let mut engine = crate::health::HealthEngine::new(crate::health::HealthConfig::default());
+        for line in stream.lines() {
+            engine.ingest_line(line).expect("tick ingests");
+        }
+        assert_eq!(engine.ticks(), 2);
+    }
+
+    #[test]
     fn stream_reports_drops_and_stalls() {
         let obs =
             Observer::with_recorder(RecorderConfig::bounded(2).with_budgets(vec![StallBudget {
@@ -630,13 +750,74 @@ mod tests {
         assert!(validate_telemetry_jsonl(&bad)
             .unwrap_err()
             .contains("schema"));
-        // Repeated seq: duplicate the line verbatim.
+        // Repeated seq: duplicate the line verbatim. The error names
+        // the failing field, the failing line, and the compared line.
         let dup = format!("{line}{line}");
-        assert!(validate_telemetry_jsonl(&dup).unwrap_err().contains("seq"));
+        let err = validate_telemetry_jsonl(&dup).unwrap_err();
+        assert!(err.contains("seq"));
+        assert!(
+            err.contains("line 2") && err.contains("(line 1)"),
+            "cross-line error cites both lines: {err}"
+        );
         // Broken span accounting.
         let bad = line.replace("\"finished\":1", "\"finished\":5");
         assert!(validate_telemetry_jsonl(&bad)
             .unwrap_err()
             .contains("accounting"));
+    }
+
+    #[test]
+    fn cross_line_regressions_name_the_metric() {
+        let obs = Observer::with_recorder(RecorderConfig::bounded(8));
+        let mut cursor = TelemetryCursor::default();
+        {
+            let _s = obs.span("stage");
+        }
+        let line1 = obs.telemetry_tick(&mut cursor).expect("enabled");
+        {
+            let _s = obs.span("stage");
+        }
+        let line2 = obs.telemetry_tick(&mut cursor).expect("enabled");
+        // Force the second tick's finished count below the first's
+        // (retained too, so the within-line accounting still balances).
+        let tampered = line2.replace(
+            "\"finished\":2,\"retained\":2",
+            "\"finished\":0,\"retained\":0",
+        );
+        let err = validate_telemetry_jsonl(&format!("{line1}{tampered}")).unwrap_err();
+        assert!(
+            err.contains("spans.finished") && err.contains("line 2") && err.contains("(line 1)"),
+            "regression error names metric and both lines: {err}"
+        );
+    }
+
+    #[test]
+    fn with_health_ingests_every_tick() {
+        let obs = Observer::with_health(
+            RecorderConfig::bounded(8),
+            crate::health::HealthConfig::default(),
+        );
+        let mut cursor = TelemetryCursor::default();
+        for _ in 0..3 {
+            {
+                let _s = obs.span("stage");
+            }
+            obs.telemetry_tick(&mut cursor).expect("enabled");
+        }
+        assert_eq!(obs.counter("health.ticks"), 3);
+        assert_eq!(obs.counter("health.ingest_errors"), 0);
+        let doc = obs.health_report().expect("engine attached");
+        let summary = crate::health::validate_health_json(&doc).expect("valid document");
+        assert_eq!(summary.ticks, 3);
+        assert_eq!(obs.counter("health.evaluations"), 1);
+        let prom = obs.health_prometheus().expect("engine attached");
+        assert!(prom.contains("deepeye_health_ticks 3"));
+        let snapshot = obs.health_snapshot().expect("engine attached");
+        assert_eq!(snapshot.ticks, 3);
+        // A plain recorder has no engine and records no health metrics.
+        let plain = Observer::with_recorder(RecorderConfig::bounded(8));
+        assert!(plain.health_report().is_none());
+        assert!(plain.health_verdicts().is_empty());
+        assert_eq!(plain.counter("health.ticks"), 0);
     }
 }
